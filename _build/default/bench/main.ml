@@ -1,0 +1,512 @@
+(* The evaluation harness: regenerates every table and figure of the
+   paper's evaluation (section 4.7 and section 5), plus ablation benches
+   for the design choices called out in DESIGN.md, plus Bechamel
+   micro-benchmarks (one per table/figure).
+
+   Absolute times differ from the paper's 1992 Sun Sparc IPX; the claims
+   under test are the *shapes*: which dependences are live/dead, extended
+   analysis within a small constant factor of standard analysis, and most
+   kill tests resolved without consulting the Omega test. *)
+
+open Depend
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ms t = t *. 1000.
+
+(* ------------------------------------------------------------------ *)
+(* Examples 1-6 (the section 4 box)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let vec_strings (fr : Driver.flow_result) =
+  let vecs =
+    match fr.Driver.refined with
+    | Some v -> v
+    | None -> fr.Driver.dep.Deps.vectors
+  in
+  String.concat " " (List.map Dirvec.to_string vecs)
+
+let examples_table () =
+  section "Table: Examples 1-6 (kills, covers, refinement)";
+  Printf.printf "%-10s %-28s %-16s %-10s %s\n" "example" "expectation"
+    "result" "status" "ok?";
+  let rows =
+    [
+      ("example1", "A->C killed by B", `Dead ("A", "C"));
+      ("example2", "cover refined (0+)->(0)", `Vec ("D", "E", "(0)"));
+      ("example3", "refined (0+,1)->(0,1)", `Vec ("s", "s", "(0,1)"));
+      ("example4", "trapezoid refined (0,1)", `Vec ("s", "s", "(0,1)"));
+      ("example5", "unrefinable by generator", `Unrefined ("s", "s"));
+      ("example6", "coupled refined (1,1)", `Vec ("s", "s", "(1,1)"));
+    ]
+  in
+  List.iter
+    (fun (name, expect, check) ->
+      let prog = Lang.Sema.parse_and_analyze (Corpus.find name) in
+      let result = Driver.analyze prog in
+      let find src dst =
+        List.find_opt
+          (fun (fr : Driver.flow_result) ->
+            fr.Driver.dep.Deps.src.Lang.Ir.label = src
+            && fr.Driver.dep.Deps.dst.Lang.Ir.label = dst)
+          result.Driver.flows
+      in
+      let shown, ok =
+        match check with
+        | `Dead (s, d) -> (
+          match find s d with
+          | Some fr ->
+            ( (if fr.Driver.dead <> None then "dead" else "live"),
+              fr.Driver.dead <> None )
+          | None -> ("missing", false))
+        | `Vec (s, d, v) -> (
+          match find s d with
+          | Some fr -> (vec_strings fr, vec_strings fr = v)
+          | None -> ("missing", false))
+        | `Unrefined (s, d) -> (
+          match find s d with
+          | Some fr ->
+            ( (if fr.Driver.refined = None then "unrefined" else "refined"),
+              fr.Driver.refined = None )
+          | None -> ("missing", false))
+      in
+      Printf.printf "%-10s %-28s %-16s %-10s %s\n" name expect shown
+        (if ok then "as-paper" else "DIFFERS")
+        (if ok then "yes" else "NO"))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3 and 4: CHOLSKY                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cholsky_tables () =
+  let prog = Lang.Sema.parse_and_analyze (Corpus.find "cholsky") in
+  let result, dt = time (fun () -> Driver.analyze prog) in
+  let live = Driver.live_flows result in
+  let dead = Driver.dead_flows result in
+  section
+    (Printf.sprintf
+       "Figure 3: live flow dependences for CHOLSKY (%d rows, paper: 21)"
+       (List.length live));
+  print_string (Driver.render_flow_table live);
+  section
+    (Printf.sprintf
+       "Figure 4: dead flow dependences for CHOLSKY (%d rows, paper: 14)"
+       (List.length dead));
+  print_string (Driver.render_flow_table dead);
+  Printf.printf "\nwhole-program analysis time: %.1f ms\n" (ms dt)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6 / Figure 7: per-pair analysis times                        *)
+(* ------------------------------------------------------------------ *)
+
+type pair_timing = {
+  prog_name : string;
+  src_label : string;
+  dst_label : string;
+  t_std : float; (* standard dependence analysis *)
+  t_ext : float; (* + refinement and cover testing *)
+  category : [ `No_test | `General | `Split ];
+}
+
+(* Replicates the per-dependence extended work of the driver for one
+   write/read pair, so the pair can be timed in isolation.  Returns
+   whether a general (Omega) extended test ran and whether the dependence
+   splits into several direction vectors. *)
+let extended_pair ctx outputs (a : Lang.Ir.access) (b : Lang.Ir.access) =
+  match Deps.compute ctx ~src:a ~dst:b ~kind:Deps.Flow with
+  | None -> (false, false)
+  | Some dep ->
+    let ran = ref false in
+    let refined =
+      if not (Driver.refinement_possible outputs a) then None
+      else begin
+        ran := true;
+        let pinned = Analyses.refine ctx ~src:a ~dst:b in
+        if pinned = [] then None
+        else Some (Analyses.refined_vectors ctx ~src:a ~dst:b pinned)
+      end
+    in
+    let vectors =
+      match refined with Some v -> v | None -> dep.Deps.vectors
+    in
+    if Driver.cover_possible vectors then begin
+      ran := true;
+      ignore (Analyses.covers ctx ~src:a ~dst:b)
+    end;
+    (!ran, List.length dep.Deps.vectors > 1)
+
+let pair_timings () : pair_timing list =
+  List.concat_map
+    (fun name ->
+      let prog = Lang.Sema.parse_and_analyze (Corpus.find name) in
+      let ctx = Depctx.create prog in
+      let outputs = Deps.all ctx Deps.Output in
+      let writes = Lang.Ir.writes prog and reads = Lang.Ir.reads prog in
+      List.concat_map
+        (fun (a : Lang.Ir.access) ->
+          List.filter_map
+            (fun (b : Lang.Ir.access) ->
+              if a.Lang.Ir.array <> b.Lang.Ir.array then None
+              else begin
+                (* warm-up pass so neither measurement pays one-time costs *)
+                ignore (Deps.compute ctx ~src:a ~dst:b ~kind:Deps.Flow);
+                let _, t_std =
+                  time (fun () ->
+                      Deps.compute ctx ~src:a ~dst:b ~kind:Deps.Flow)
+                in
+                let (ran, split), t_ext =
+                  time (fun () -> extended_pair ctx outputs a b)
+                in
+                let category =
+                  if not ran then `No_test
+                  else if split then `Split
+                  else `General
+                in
+                Some
+                  {
+                    prog_name = name;
+                    src_label = a.Lang.Ir.label;
+                    dst_label = b.Lang.Ir.label;
+                    t_std;
+                    t_ext;
+                    category;
+                  }
+              end)
+            reads)
+        writes)
+    Corpus.timing_population
+
+let figure6_left (timings : pair_timing list) =
+  section "Figure 6 (left): extended vs standard analysis time per array pair";
+  Printf.printf "%d write/read array pairs (paper: 417)\n" (List.length timings);
+  let count c =
+    List.length (List.filter (fun t -> t.category = c) timings)
+  in
+  Printf.printf
+    "no general test needed: %d   general test: %d   split vectors: %d\n"
+    (count `No_test) (count `General) (count `Split);
+  Printf.printf "(paper: 264 no-test, 81 general [*], 72 split [<>])\n\n";
+  Printf.printf "%-16s %-6s %-6s %10s %10s %7s %s\n" "program" "from" "to"
+    "std(ms)" "ext(ms)" "ratio" "class";
+  let ratios = ref [] in
+  List.iter
+    (fun t ->
+      let ratio = if t.t_std > 0. then t.t_ext /. t.t_std else 1. in
+      ratios := ratio :: !ratios;
+      Printf.printf "%-16s %-6s %-6s %10.3f %10.3f %7.2f %s\n" t.prog_name
+        t.src_label t.dst_label (ms t.t_std) (ms t.t_ext) ratio
+        (match t.category with
+         | `No_test -> "."
+         | `General -> "*"
+         | `Split -> "<>"))
+    timings;
+  let rs = List.sort compare !ratios in
+  let n = List.length rs in
+  let nth k = List.nth rs (min (n - 1) k) in
+  Printf.printf
+    "\nratio ext/std: median %.2f, p90 %.2f, max %.2f (paper: mostly 2x-4x; lines y=x, y=2x, y=4x)\n"
+    (nth (n / 2))
+    (nth (n * 9 / 10))
+    (nth (n - 1))
+
+let figure6_right () =
+  section "Figure 6 (right): kill-test time vs generation+refine+cover time";
+  let points = ref [] in
+  let quick = ref 0 and consulted = ref 0 in
+  List.iter
+    (fun name ->
+      let prog = Lang.Sema.parse_and_analyze (Corpus.find name) in
+      let ctx = Depctx.create prog in
+      let outputs = Deps.all ctx Deps.Output in
+      List.iter
+        (fun (b : Lang.Ir.access) ->
+          let writers =
+            List.filter
+              (fun (w : Lang.Ir.access) ->
+                w.Lang.Ir.array = b.Lang.Ir.array
+                && Deps.exists ctx ~src:w ~dst:b)
+              (Lang.Ir.writes prog)
+          in
+          (* cover information of each candidate killer, computed during its
+             own extended analysis (so not charged to the kill test) *)
+          let cover_info =
+            List.map
+              (fun (k : Lang.Ir.access) ->
+                let dep = Deps.compute ctx ~src:k ~dst:b ~kind:Deps.Flow in
+                let vectors =
+                  match dep with Some d -> d.Deps.vectors | None -> []
+                in
+                let covers =
+                  Driver.cover_possible vectors
+                  && Analyses.covers ctx ~src:k ~dst:b
+                in
+                (k.Lang.Ir.acc_id, (covers, vectors)))
+              writers
+          in
+          List.iter
+            (fun (a : Lang.Ir.access) ->
+              (* time of generating + refining + covering the dependence
+                 being killed *)
+              let _, t_gen =
+                time (fun () -> extended_pair ctx outputs a b)
+              in
+              List.iter
+                (fun (k : Lang.Ir.access) ->
+                  if k.Lang.Ir.acc_id <> a.Lang.Ir.acc_id then begin
+                    (* quick screens: no output dependence A->K (kill
+                       impossible), or K is a loop-independent cover with A
+                       completely before it (kill certain) *)
+                    let covers, kvecs =
+                      List.assoc k.Lang.Ir.acc_id cover_info
+                    in
+                    let screened =
+                      (not (Driver.output_exists outputs a k))
+                      || (covers
+                          && Driver.cover_eliminates ~cover_vectors:kvecs k b a)
+                    in
+                    let _, t_kill =
+                      time (fun () ->
+                          if screened then false
+                          else Analyses.kills ctx ~src:a ~killer:k ~dst:b)
+                    in
+                    if screened then incr quick else incr consulted;
+                    points := (name, a, k, b, t_kill, t_gen) :: !points
+                  end)
+                writers)
+            writers)
+        (Lang.Ir.reads prog))
+    Corpus.timing_population;
+  Printf.printf
+    "%d potential kills: %d screened without the Omega test, %d consulted it\n"
+    (List.length !points) !quick !consulted;
+  Printf.printf "(paper: 284 quick [<0.3 msec], 54 consulted)\n\n";
+  Printf.printf "%-16s %-22s %12s %16s\n" "program" "kill" "kill(ms)"
+    "gen+ref+cov(ms)";
+  List.iter
+    (fun (name, a, k, b, t_kill, t_gen) ->
+      Printf.printf "%-16s %-22s %12.3f %16.3f\n" name
+        (Printf.sprintf "%s-|%s|->%s" a.Lang.Ir.label k.Lang.Ir.label
+           b.Lang.Ir.label)
+        (ms t_kill) (ms t_gen))
+    (List.rev !points)
+
+let figure7 (timings : pair_timing list) =
+  section "Figure 7: per-pair analysis times, sorted by extended time";
+  let sorted = List.sort (fun a b -> compare a.t_ext b.t_ext) timings in
+  Printf.printf "%-6s %12s %12s\n" "rank" "std(ms)" "ext(ms)";
+  List.iteri
+    (fun i t ->
+      Printf.printf "%-6d %12.4f %12.4f\n" (i + 1) (ms t.t_std) (ms t.t_ext))
+    sorted;
+  let total which = List.fold_left (fun acc t -> acc +. which t) 0. sorted in
+  Printf.printf "\ntotals: standard %.1f ms, extended %.1f ms over %d pairs\n"
+    (ms (total (fun t -> t.t_std)))
+    (ms (total (fun t -> t.t_ext)))
+    (List.length sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Section 5 dialogs                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let section5_table () =
+  section "Section 5: symbolic analysis (Examples 7 and 8)";
+  let prog = Lang.Sema.parse_and_analyze (Corpus.find "example7") in
+  let ctx = Depctx.create prog in
+  let w = List.find (fun a -> a.Lang.Ir.array = "a") (Lang.Ir.writes prog) in
+  let r = List.find (fun a -> a.Lang.Ir.array = "a") (Lang.Ir.reads prog) in
+  List.iter
+    (fun (name, restraint, expect) ->
+      let an = Symbolic.analyze ctx ~src:w ~dst:r ~restraint ~hide:[ "n" ] () in
+      let shown =
+        match an.Symbolic.cond with
+        | Symbolic.Always -> "always"
+        | Symbolic.Never -> "never"
+        | Symbolic.When g -> Omega.Problem.to_string g
+      in
+      Printf.printf "example7 %-6s: %s\n  (paper: %s)\n" name shown expect)
+    [
+      ("(+,*)", [ Dirvec.Pos; Dirvec.Any ], "{1 <= x <= 50}");
+      ("(0,+)", [ Dirvec.Zero; Dirvec.Pos ], "{x = 0 and y < m}");
+    ];
+  let prog = Lang.Sema.parse_and_analyze (Corpus.find "example8") in
+  let ctx = Depctx.create prog in
+  let w = List.find (fun a -> a.Lang.Ir.array = "a") (Lang.Ir.writes prog) in
+  let rd = List.find (fun a -> a.Lang.Ir.array = "a") (Lang.Ir.reads prog) in
+  Printf.printf "\nexample8 output-dependence query:\n%s\n"
+    (Symbolic.render_query
+       (Symbolic.analyze ctx ~src:w ~dst:w ~restraint:[ Dirvec.Pos ] ()));
+  Printf.printf "(paper: for all a & b, 1 <= a < b <= n: never Q[a] = Q[b])\n";
+  Printf.printf "\nexample8 flow-dependence query:\n%s\n"
+    (Symbolic.render_query
+       (Symbolic.analyze ctx ~src:w ~dst:rd ~restraint:[ Dirvec.Pos ] ()));
+  Printf.printf
+    "(paper: for all a & b, 1 <= a < b-1 <= n-1: never Q[a] = Q[b]-1)\n";
+  Printf.printf "\nwith asserted properties of q:\n";
+  List.iter
+    (fun (label, props) ->
+      Printf.printf "  output dependence, %-22s: %b\n" label
+        (Symbolic.dependence_exists_with ctx ~src:w ~dst:w ~props))
+    [
+      ("no assertion", []);
+      ("q injective", [ ("q", Symbolic.Injective) ]);
+      ("q strictly increasing", [ ("q", Symbolic.Strictly_increasing) ]);
+    ];
+  (* Example 11 (s141): induction recognition eliminates the carried deps *)
+  let prog = Lang.Sema.parse_and_analyze (Corpus.find "example11") in
+  let ctx = Depctx.create prog in
+  let accs = Induction.detect ctx in
+  let props =
+    List.map
+      (fun (a : Induction.accumulator) ->
+        (a.Induction.scalar, Symbolic.Accumulator a.Induction.increment))
+      accs
+  in
+  let w = List.find (fun a -> a.Lang.Ir.array = "a") (Lang.Ir.writes prog) in
+  Printf.printf
+    "\nexample11 (s141): accumulators detected: %d; self output dep \
+     without facts: %b, with induction: %b\n"
+    (List.length accs)
+    (Symbolic.dependence_exists_with ctx ~src:w ~dst:w ~props:[])
+    (Symbolic.dependence_exists_with ctx ~src:w ~dst:w ~props);
+  Printf.printf
+    "(paper: s141 could not be handled by any compiler tested by [LCD91])\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  section "Ablations (design choices from DESIGN.md)";
+  let cholsky = Lang.Sema.parse_and_analyze (Corpus.find "cholsky") in
+  (* 1: dark-shadow + gist fast path vs the (pruned, bounded) general
+     Presburger procedure.  Without the DNF pruning this configuration
+     took minutes on CHOLSKY (~3000x); with it the complete procedure is
+     viable and the fast path is "only" a few times faster. *)
+  let _, t_fast = time (fun () -> Driver.analyze cholsky) in
+  Analyses.use_fast_path := false;
+  let _, t_slow = time (fun () -> Driver.analyze cholsky) in
+  Analyses.use_fast_path := true;
+  Printf.printf
+    "ablation-fast-path   : CHOLSKY driver %.1f ms with dark-shadow fast path, %.1f ms general-only (%.2fx)\n"
+    (ms t_fast) (ms t_slow)
+    (t_slow /. t_fast);
+  (* 2: quick screens (4.5) on/off *)
+  let _, t_quick = time (fun () -> Driver.analyze ~quick:true cholsky) in
+  let _, t_noquick = time (fun () -> Driver.analyze ~quick:false cholsky) in
+  Printf.printf
+    "ablation-quick-tests : CHOLSKY driver %.1f ms with quick screens, %.1f ms without (%.2fx)\n"
+    (ms t_quick) (ms t_noquick)
+    (t_noquick /. t_quick);
+  (* 3: red/black combined projection+gist vs two separate projections
+     with the naive gist, over the section-5 analyses *)
+  let prog7 = Lang.Sema.parse_and_analyze (Corpus.find "example7") in
+  let ctx = Depctx.create prog7 in
+  let w = List.find (fun a -> a.Lang.Ir.array = "a") (Lang.Ir.writes prog7) in
+  let r = List.find (fun a -> a.Lang.Ir.array = "a") (Lang.Ir.reads prog7) in
+  let run_sym fast =
+    List.iter
+      (fun restraint ->
+        ignore
+          (Symbolic.analyze ~gist_fast:fast ctx ~src:w ~dst:r ~restraint
+             ~hide:[ "n" ] ()))
+      [ [ Dirvec.Pos; Dirvec.Any ]; [ Dirvec.Zero; Dirvec.Pos ] ]
+  in
+  let _, t_gfast =
+    time (fun () ->
+        for _ = 1 to 20 do
+          run_sym true
+        done)
+  in
+  let _, t_gnaive =
+    time (fun () ->
+        for _ = 1 to 20 do
+          run_sym false
+        done)
+  in
+  Printf.printf
+    "ablation-red-black   : 20x example7 symbolic %.1f ms with combined red/black projection+gist, %.1f ms with two projections + naive gist (%.2fx)\n"
+    (ms t_gfast) (ms t_gnaive)
+    (t_gnaive /. t_gfast)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (one per table/figure)                    *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_benches () =
+  section "Bechamel micro-benchmarks (one per table/figure)";
+  let open Bechamel in
+  let cholsky = Lang.Sema.parse_and_analyze (Corpus.find "cholsky") in
+  let ex3 = Lang.Sema.parse_and_analyze (Corpus.find "example3") in
+  let ex7 = Lang.Sema.parse_and_analyze (Corpus.find "example7") in
+  let kill_prog = Lang.Sema.parse_and_analyze (Corpus.find "kill_chain") in
+  let kill_ctx = Depctx.create kill_prog in
+  let find l list = List.find (fun a -> a.Lang.Ir.label = l) list in
+  let kw1 = find "w1" (Lang.Ir.writes kill_prog) in
+  let kw2 = find "w2" (Lang.Ir.writes kill_prog) in
+  let kr = find "r" (Lang.Ir.reads kill_prog) in
+  let ctx7 = Depctx.create ex7 in
+  let w7 = List.find (fun a -> a.Lang.Ir.array = "a") (Lang.Ir.writes ex7) in
+  let r7 = List.find (fun a -> a.Lang.Ir.array = "a") (Lang.Ir.reads ex7) in
+  let tests =
+    [
+      Test.make ~name:"examples1-6/driver-example3"
+        (Staged.stage (fun () -> ignore (Driver.analyze ex3)));
+      Test.make ~name:"fig3-fig4/driver-cholsky"
+        (Staged.stage (fun () -> ignore (Driver.analyze cholsky)));
+      Test.make ~name:"fig6-left/pair-extended"
+        (Staged.stage (fun () ->
+             ignore (Deps.compute kill_ctx ~src:kw1 ~dst:kr ~kind:Deps.Flow);
+             ignore (Analyses.covers kill_ctx ~src:kw1 ~dst:kr)));
+      Test.make ~name:"fig6-right/kill-test"
+        (Staged.stage (fun () ->
+             ignore (Analyses.kills kill_ctx ~src:kw1 ~killer:kw2 ~dst:kr)));
+      Test.make ~name:"fig7/pair-standard"
+        (Staged.stage (fun () ->
+             ignore (Deps.compute kill_ctx ~src:kw1 ~dst:kr ~kind:Deps.Flow)));
+      Test.make ~name:"sec5/symbolic-example7"
+        (Staged.stage (fun () ->
+             ignore
+               (Symbolic.analyze ctx7 ~src:w7 ~dst:r7
+                  ~restraint:[ Dirvec.Pos; Dirvec.Any ] ~hide:[ "n" ] ())));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw =
+    Benchmark.all cfg
+      Toolkit.Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"odep" tests)
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-36s %14.1f ns/run\n" name est
+      | _ -> Printf.printf "%-36s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  examples_table ();
+  cholsky_tables ();
+  let timings = pair_timings () in
+  figure6_left timings;
+  figure6_right ();
+  figure7 timings;
+  section5_table ();
+  ablations ();
+  bechamel_benches ();
+  Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

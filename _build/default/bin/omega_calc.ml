@@ -1,0 +1,399 @@
+(* omega_calc: a small constraint calculator over the Omega test, in the
+   spirit of the calculator shipped with the original Omega library.
+
+   Problems are conjunctions of (possibly chained) linear comparisons over
+   named integer variables, e.g. "0 <= x <= 5 and y < x and x <= 5*y".
+
+   Subcommands:
+     sat "P"                       integer satisfiability
+     project --onto x,y "P"        exact projection (may print a union)
+     dark --onto x,y "P"           dark-shadow projection
+     real --onto x,y "P"           real-shadow projection
+     gist --given "Q" "P"          gist P given Q
+     implies "P" "Q"               is P => Q a tautology?
+     min --var x "P" / max --var x "P"                                  *)
+
+open Cmdliner
+open Omega
+
+(* Translate parsed conditions to a Problem, creating a variable per
+   name. *)
+let build_problem (conds : Lang.Ast.cond list list) :
+    Problem.t list * (string * Var.t) list =
+  let env : (string * Var.t) list ref = ref [] in
+  let var name =
+    match List.assoc_opt name !env with
+    | Some v -> v
+    | None ->
+      let v = Var.fresh name in
+      env := (name, v) :: !env;
+      v
+  in
+  let rec expr (e : Lang.Ast.expr) : Linexpr.t =
+    match e with
+    | Lang.Ast.Int n -> Linexpr.of_int n
+    | Lang.Ast.Name s -> Linexpr.var (var s)
+    | Lang.Ast.Neg a -> Linexpr.neg (expr a)
+    | Lang.Ast.Add (a, b) -> Linexpr.add (expr a) (expr b)
+    | Lang.Ast.Sub (a, b) -> Linexpr.sub (expr a) (expr b)
+    | Lang.Ast.Mul (a, b) -> (
+      let ea = expr a and eb = expr b in
+      if Linexpr.is_const ea then Linexpr.scale (Linexpr.constant ea) eb
+      else if Linexpr.is_const eb then
+        Linexpr.scale (Linexpr.constant eb) ea
+      else failwith "non-linear product")
+    | Lang.Ast.Max _ | Lang.Ast.Min _ | Lang.Ast.Ref _ ->
+      failwith "max/min/array references are not allowed here"
+  in
+  let constr (c : Lang.Ast.cond) : Constr.t =
+    let l = expr c.Lang.Ast.left and r = expr c.Lang.Ast.right in
+    match c.Lang.Ast.op with
+    | Lang.Ast.Eq -> Constr.eq2 l r
+    | Lang.Ast.Le -> Constr.le l r
+    | Lang.Ast.Lt -> Constr.lt l r
+    | Lang.Ast.Ge -> Constr.ge l r
+    | Lang.Ast.Gt -> Constr.gt l r
+    | Lang.Ast.Ne -> failwith "!= is a disjunction; not allowed here"
+  in
+  let problems =
+    List.map (fun cs -> Problem.of_list (List.map constr cs)) conds
+  in
+  (problems, !env)
+
+let parse_problems (srcs : string list) =
+  build_problem (List.map Lang.Parser.parse_conds_string srcs)
+
+let with_errors f =
+  try f () with
+  | Lang.Parser.Error (msg, pos) ->
+    Printf.eprintf "parse error at column %d: %s\n" pos.Lang.Ast.col msg;
+    exit 1
+  | Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+let problem_arg pos_idx docv =
+  Arg.(required & pos pos_idx (some string) None & info [] ~docv)
+
+let onto_arg =
+  Arg.(
+    required
+    & opt (some (list string)) None
+    & info [ "onto" ] ~docv:"VARS" ~doc:"Comma-separated variables to keep.")
+
+let var_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "var" ] ~docv:"VAR" ~doc:"Objective variable.")
+
+let sat_cmd =
+  let run src =
+    with_errors @@ fun () ->
+    let ps, _ = parse_problems [ src ] in
+    let p = List.hd ps in
+    print_endline (if Elim.satisfiable p then "satisfiable" else "unsatisfiable")
+  in
+  Cmd.v
+    (Cmd.info "sat" ~doc:"Integer satisfiability of a conjunction.")
+    Term.(const run $ problem_arg 0 "PROBLEM")
+
+let lookup_vars env names =
+  List.map
+    (fun n ->
+      match List.assoc_opt n env with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "variable %s not in the problem" n))
+    names
+
+let projection_cmd name doc mode =
+  let run onto src =
+    with_errors @@ fun () ->
+    let ps, env = parse_problems [ src ] in
+    let p = List.hd ps in
+    let vars = lookup_vars env onto in
+    let keep v = List.exists (Var.equal v) vars in
+    match mode with
+    | `Exact ->
+      let pieces = Elim.project ~keep p in
+      if pieces = [] then print_endline "FALSE"
+      else
+        List.iteri
+          (fun i q ->
+            Printf.printf "%s%s\n"
+              (if i > 0 then "union " else "")
+              (Problem.to_string q))
+          pieces
+    | (`Dark | `Real) as m ->
+      let f = match m with `Dark -> Elim.project_dark | `Real -> Elim.project_real in
+      (match f ~keep p with
+       | `Contra -> print_endline "FALSE"
+       | `Ok q -> print_endline (Problem.to_string q))
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ onto_arg $ problem_arg 0 "PROBLEM")
+
+let gist_cmd =
+  let given_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "given" ] ~docv:"PROBLEM" ~doc:"What is already known.")
+  in
+  let run given src =
+    with_errors @@ fun () ->
+    let ps, _ = parse_problems [ src; given ] in
+    match ps with
+    | [ p; q ] -> (
+      match Gist.gist p ~given:q with
+      | Gist.Tautology -> print_endline "TRUE (implied by the given)"
+      | Gist.False -> print_endline "FALSE (inconsistent with the given)"
+      | Gist.Gist g -> print_endline (Problem.to_string g))
+    | _ -> assert false
+  in
+  Cmd.v
+    (Cmd.info "gist"
+       ~doc:"The new information in PROBLEM relative to --given.")
+    Term.(const run $ given_arg $ problem_arg 0 "PROBLEM")
+
+let implies_cmd =
+  let run src1 src2 =
+    with_errors @@ fun () ->
+    let ps, _ = parse_problems [ src1; src2 ] in
+    match ps with
+    | [ p; q ] ->
+      print_endline (if Gist.implies p q then "tautology" else "not a tautology")
+    | _ -> assert false
+  in
+  Cmd.v
+    (Cmd.info "implies" ~doc:"Is P => Q a tautology?")
+    Term.(const run $ problem_arg 0 "P" $ problem_arg 1 "Q")
+
+let opt_cmd name doc which =
+  let run var src =
+    with_errors @@ fun () ->
+    let ps, env = parse_problems [ src ] in
+    let p = List.hd ps in
+    let v = List.hd (lookup_vars env [ var ]) in
+    let show = function
+      | `Unsat -> print_endline "unsatisfiable"
+      | `Unbounded -> print_endline "unbounded"
+      | `Val x -> print_endline (Zint.to_string x)
+    in
+    match which with
+    | `Min ->
+      show
+        (match Omega.minimize p v with
+         | `Min x -> `Val x
+         | `Unsat -> `Unsat
+         | `Unbounded -> `Unbounded)
+    | `Max ->
+      show
+        (match Omega.maximize p v with
+         | `Max x -> `Val x
+         | `Unsat -> `Unsat
+         | `Unbounded -> `Unbounded)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ var_arg $ problem_arg 0 "PROBLEM")
+
+(* Quantified Presburger formulas (section 3.2), via Depend.Fparse. *)
+let formula_cmd name doc which =
+  let run src =
+    with_errors @@ fun () ->
+    match Depend.Fparse.formula_of_string src with
+    | exception Depend.Fparse.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | f -> (
+      match which with
+      | `Valid ->
+        print_endline (if Omega.Presburger.valid f then "valid" else "invalid")
+      | `Sat ->
+        print_endline
+          (if Omega.Presburger.satisfiable f then "satisfiable"
+           else "unsatisfiable"))
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ problem_arg 0 "FORMULA")
+
+(* ------------------------------------------------------------------ *)
+(* Interactive mode                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny command loop in the spirit of the calculator shipped with the
+   original Omega library:
+
+     > sat 0 <= x <= 5 and 2*x = 3
+     > project x: 0 <= x <= 5 and y < x and x <= 5*y
+     > gist x >= 0 and x <= 5 given x >= 3
+     > implies 2 <= x <= 5 => x >= 0
+     > min x: 2*x >= 3 and x <= 9                                      *)
+let repl_eval (line : string) : unit =
+  let line = String.trim line in
+  if line = "" then ()
+  else begin
+    let split_kw kw str =
+      (* split [str] at the first occurrence of the word [kw] *)
+      let klen = String.length kw in
+      let n = String.length str in
+      let rec find i =
+        if i + klen > n then None
+        else if String.sub str i klen = kw then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | Some i ->
+        Some
+          ( String.trim (String.sub str 0 i),
+            String.trim (String.sub str (i + klen) (n - i - klen)) )
+      | None -> None
+    in
+    let cmd, rest =
+      match String.index_opt line ' ' with
+      | Some i ->
+        ( String.sub line 0 i,
+          String.trim (String.sub line i (String.length line - i)) )
+      | None -> (line, "")
+    in
+    let parse1 src =
+      let ps, env = parse_problems [ src ] in
+      (List.hd ps, env)
+    in
+    match cmd with
+    | "sat" ->
+      let p, _ = parse1 rest in
+      print_endline
+        (if Elim.satisfiable p then "satisfiable" else "unsatisfiable")
+    | "project" | "dark" | "real" -> (
+      match String.index_opt rest ':' with
+      | None -> print_endline "usage: project x,y: <constraints>"
+      | Some i ->
+        let names =
+          String.sub rest 0 i |> String.split_on_char ','
+          |> List.map String.trim
+        in
+        let src = String.sub rest (i + 1) (String.length rest - i - 1) in
+        let p, env = parse1 src in
+        let vars = lookup_vars env names in
+        let keep v = List.exists (Var.equal v) vars in
+        (match cmd with
+         | "project" ->
+           let pieces = Elim.project ~keep p in
+           if pieces = [] then print_endline "FALSE"
+           else
+             List.iteri
+               (fun i q ->
+                 Printf.printf "%s%s
+"
+                   (if i > 0 then "union " else "")
+                   (Problem.to_string q))
+               pieces
+         | _ ->
+           let f = if cmd = "dark" then Elim.project_dark else Elim.project_real in
+           (match f ~keep p with
+            | `Contra -> print_endline "FALSE"
+            | `Ok q -> print_endline (Problem.to_string q))))
+    | "gist" -> (
+      match split_kw " given " rest with
+      | None -> print_endline "usage: gist <constraints> given <constraints>"
+      | Some (psrc, qsrc) -> (
+        let ps, _ = parse_problems [ psrc; qsrc ] in
+        match ps with
+        | [ p; q ] -> (
+          match Gist.gist p ~given:q with
+          | Gist.Tautology -> print_endline "TRUE (implied by the given)"
+          | Gist.False -> print_endline "FALSE (inconsistent with the given)"
+          | Gist.Gist g -> print_endline (Problem.to_string g))
+        | _ -> assert false))
+    | "implies" -> (
+      match split_kw " => " rest with
+      | None -> print_endline "usage: implies <constraints> => <constraints>"
+      | Some (psrc, qsrc) -> (
+        let ps, _ = parse_problems [ psrc; qsrc ] in
+        match ps with
+        | [ p; q ] ->
+          print_endline
+            (if Gist.implies p q then "tautology" else "not a tautology")
+        | _ -> assert false))
+    | "min" | "max" -> (
+      match String.index_opt rest ':' with
+      | None -> print_endline "usage: min x: <constraints>"
+      | Some i ->
+        let name = String.trim (String.sub rest 0 i) in
+        let src = String.sub rest (i + 1) (String.length rest - i - 1) in
+        let p, env = parse1 src in
+        let v = List.hd (lookup_vars env [ name ]) in
+        let show = function
+          | `Unsat -> print_endline "unsatisfiable"
+          | `Unbounded -> print_endline "unbounded"
+          | `Val x -> print_endline (Zint.to_string x)
+        in
+        if cmd = "min" then
+          show
+            (match Omega.minimize p v with
+             | `Min x -> `Val x
+             | `Unsat -> `Unsat
+             | `Unbounded -> `Unbounded)
+        else
+          show
+            (match Omega.maximize p v with
+             | `Max x -> `Val x
+             | `Unsat -> `Unsat
+             | `Unbounded -> `Unbounded))
+    | "help" ->
+      print_endline
+        "commands: sat P | project VARS: P | dark VARS: P | real VARS: P |
+        \          gist P given Q | implies P => Q | min VAR: P | max VAR: P |
+        \          help | quit"
+    | "quit" | "exit" -> raise Exit
+    | other -> Printf.printf "unknown command %s (try 'help')
+" other
+  end
+
+let repl_cmd =
+  let run () =
+    print_endline
+      "omega_calc interactive mode; 'help' for commands, 'quit' to leave.";
+    (try
+       while true do
+         print_string "> ";
+         flush stdout;
+         match In_channel.input_line stdin with
+         | None -> raise Exit
+         | Some line -> (
+           try repl_eval line with
+           | Lang.Parser.Error (msg, _) -> Printf.printf "parse error: %s
+" msg
+           | Failure msg -> Printf.printf "error: %s
+" msg)
+       done
+     with Exit -> ());
+    print_endline "bye"
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive calculator loop.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "omega_calc" ~version:"1.0"
+      ~doc:"Constraint calculator over the extended Omega test."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            sat_cmd;
+            projection_cmd "project" "Exact projection (may be a union)." `Exact;
+            projection_cmd "dark" "Dark-shadow projection (under-approx)." `Dark;
+            projection_cmd "real" "Real-shadow projection (over-approx)." `Real;
+            gist_cmd;
+            implies_cmd;
+            opt_cmd "min" "Minimum of --var subject to the constraints." `Min;
+            opt_cmd "max" "Maximum of --var subject to the constraints." `Max;
+            formula_cmd "valid"
+              "Validity of a quantified Presburger formula (free variables \
+               universal)." `Valid;
+            formula_cmd "psat"
+              "Satisfiability of a quantified Presburger formula (free \
+               variables existential)." `Sat;
+            repl_cmd;
+          ]))

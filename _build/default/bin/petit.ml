@@ -1,0 +1,260 @@
+(* petit: the analyzer CLI, our stand-in for Wolfe's tiny tool augmented
+   with the extended Omega test.
+
+   Subcommands:
+     analyze FILE      full dependence analysis (Figures 3/4 style tables)
+     deps FILE         standard dependences only (flow/anti/output)
+     run FILE -s n=4   execute the program and print dynamic dependences
+     corpus [NAME]     list bundled corpus programs / print one *)
+
+open Cmdliner
+open Depend
+
+let load path =
+  if Sys.file_exists path then Lang.Parser.parse_file path
+  else
+    (* convenience: corpus programs can be named directly *)
+    Lang.Parser.parse_string (Corpus.find path)
+
+let with_errors f =
+  try f () with
+  | Lang.Parser.Error (msg, pos) ->
+    Printf.eprintf "parse error at line %d, column %d: %s\n" pos.Lang.Ast.line
+      pos.Lang.Ast.col msg;
+    exit 1
+  | Lang.Sema.Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Program to analyze (a path or a corpus name).")
+
+let in_bounds_arg =
+  Arg.(
+    value & flag
+    & info [ "in-bounds" ]
+        ~doc:"Assume all array references are within declared bounds.")
+
+let analyze_cmd =
+  let run file in_bounds =
+    with_errors @@ fun () ->
+    let prog = Lang.Sema.analyze (load file) in
+    let result = Driver.analyze ~in_bounds prog in
+    print_string "Live flow dependences:\n";
+    print_string (Driver.render_flow_table (Driver.live_flows result));
+    print_string "\nDead flow dependences:\n";
+    print_string (Driver.render_flow_table (Driver.dead_flows result));
+    Printf.printf "\nOutput dependences:\n";
+    List.iter
+      (fun d -> Printf.printf "  %s\n" (Deps.dep_to_string d))
+      result.Driver.outputs;
+    Printf.printf "\nAnti dependences:\n";
+    List.iter
+      (fun d -> Printf.printf "  %s\n" (Deps.dep_to_string d))
+      result.Driver.antis
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Full analysis: flow dependences classified live/dead with \
+          refinement, covering and killing.")
+    Term.(const run $ file_arg $ in_bounds_arg)
+
+let deps_cmd =
+  let run file in_bounds =
+    with_errors @@ fun () ->
+    let prog = Lang.Sema.analyze (load file) in
+    let ctx = Depctx.create prog in
+    List.iter
+      (fun kind ->
+        Printf.printf "%s dependences:\n" (Deps.kind_to_string kind);
+        List.iter
+          (fun d -> Printf.printf "  %s\n" (Deps.dep_to_string d))
+          (Deps.all ~in_bounds ctx kind))
+      [ Deps.Flow; Deps.Anti; Deps.Output ]
+  in
+  Cmd.v
+    (Cmd.info "deps" ~doc:"Standard dependence analysis only (no kills).")
+    Term.(const run $ file_arg $ in_bounds_arg)
+
+let syms_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string int) []
+    & info [ "s"; "sym" ] ~docv:"NAME=VALUE"
+        ~doc:"Value for a symbolic constant (repeatable).")
+
+let run_cmd =
+  let run file syms =
+    with_errors @@ fun () ->
+    let prog = Lang.Sema.analyze (load file) in
+    let trace = Lang.Interp.run prog ~syms in
+    Printf.printf "%d events\n" (List.length trace.Lang.Interp.events);
+    let show title deps =
+      Printf.printf "%s (%d):\n" title (List.length deps);
+      List.iter
+        (fun d -> Format.printf "  %a@." Lang.Interp.pp_dep d)
+        deps
+    in
+    show "dynamic value-based flow dependences"
+      (Lang.Interp.value_flow_deps trace);
+    show "dynamic memory-based flow dependences"
+      (Lang.Interp.memory_deps trace `Flow)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute the program and print its dynamic dependences.")
+    Term.(const run $ file_arg $ syms_arg)
+
+let restraint_conv : Depend.Symbolic.restraint Arg.conv =
+  let parse s =
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.map (fun tok ->
+               match String.trim tok with
+               | "+" -> Dirvec.Pos
+               | "-" -> Dirvec.Neg
+               | "0" -> Dirvec.Zero
+               | "0+" -> Dirvec.NonNeg
+               | "0-" -> Dirvec.NonPos
+               | "*" -> Dirvec.Any
+               | t -> failwith t))
+    with Failure t -> Error (`Msg (Printf.sprintf "bad restraint sign %S" t))
+  in
+  let print fmt r =
+    Format.pp_print_string fmt
+      (String.concat ","
+         (List.map
+            (fun s -> Dirvec.entry_to_string { Dirvec.sign = s; lo = None; hi = None })
+            r))
+  in
+  Arg.conv (parse, print)
+
+let symbolic_cmd =
+  let src_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "src" ] ~docv:"LABEL" ~doc:"Label of the source (write) statement.")
+  in
+  let dst_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dst" ] ~docv:"LABEL" ~doc:"Label of the destination statement.")
+  in
+  let restraint_arg =
+    Arg.(
+      value
+      & opt (some restraint_conv) None
+      & info [ "restraint" ] ~docv:"SIGNS"
+          ~doc:"Restraint vector, e.g. '+,*' or '0,+'. Defaults to all '*'.")
+  in
+  let hide_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "hide" ] ~docv:"SYMS"
+          ~doc:"Symbolic constants to project away from the condition.")
+  in
+  let induction_arg =
+    Arg.(
+      value & flag
+      & info [ "induction" ]
+          ~doc:"Run induction recognition and report whether the dependence \
+                survives the detected accumulator facts.")
+  in
+  let run file src dst restraint hide induction =
+    with_errors @@ fun () ->
+    let prog = Lang.Sema.analyze (load file) in
+    let ctx = Depctx.create prog in
+    let find ?array label kind =
+      List.find_opt
+        (fun (a : Lang.Ir.access) ->
+          a.Lang.Ir.label = label
+          && a.Lang.Ir.kind = kind
+          && match array with Some arr -> a.Lang.Ir.array = arr | None -> true)
+        (Array.to_list prog.Lang.Ir.accesses)
+    in
+    let w =
+      match find src Lang.Ir.Write with
+      | Some a -> a
+      | None -> failwith (Printf.sprintf "no write labeled %s" src)
+    in
+    (* the destination must touch the same array *)
+    let r =
+      match
+        ( find ~array:w.Lang.Ir.array dst Lang.Ir.Read,
+          find ~array:w.Lang.Ir.array dst Lang.Ir.Write )
+      with
+      | Some a, _ | None, Some a -> a
+      | None, None ->
+        failwith
+          (Printf.sprintf "no access of array %s labeled %s" w.Lang.Ir.array
+             dst)
+    in
+    let c = Lang.Ir.common_loops w r in
+    let restraint =
+      match restraint with
+      | Some rv -> rv
+      | None -> List.init c (fun _ -> Dirvec.Any)
+    in
+    let an = Symbolic.analyze ctx ~src:w ~dst:r ~restraint ~hide () in
+    print_endline (Symbolic.render_query an);
+    if induction then begin
+      let accs = Induction.detect ctx in
+      List.iter
+        (fun (a : Induction.accumulator) ->
+          Printf.printf "accumulator: %s (increment at %s)\n"
+            a.Induction.scalar a.Induction.increment.Lang.Ir.label)
+        accs;
+      let props =
+        List.map
+          (fun (a : Induction.accumulator) ->
+            (a.Induction.scalar, Symbolic.Accumulator a.Induction.increment))
+          accs
+      in
+      Printf.printf "dependence exists with induction facts: %b\n"
+        (Symbolic.dependence_exists_with ctx ~src:w ~dst:r ~props)
+    end
+  in
+  Cmd.v
+    (Cmd.info "symbolic"
+       ~doc:
+         "Section-5 symbolic analysis: the condition under which a \
+          dependence with a given restraint vector exists.")
+    Term.(
+      const run $ file_arg $ src_arg $ dst_arg $ restraint_arg $ hide_arg
+      $ induction_arg)
+
+let corpus_cmd =
+  let run name =
+    match name with
+    | None ->
+      List.iter (fun (n, _) -> print_endline n) Corpus.all
+    | Some n -> print_string (Corpus.find n)
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"List bundled corpus programs, or print one.")
+    Term.(const run $ Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"))
+
+let () =
+  let info =
+    Cmd.info "petit" ~version:"1.0"
+      ~doc:
+        "Array dependence analysis with the extended Omega test \
+         (Pugh-Wonnacott, PLDI'92)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_cmd; deps_cmd; run_cmd; symbolic_cmd; corpus_cmd ]))

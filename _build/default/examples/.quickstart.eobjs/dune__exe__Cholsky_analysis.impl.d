@@ -1,0 +1,1 @@
+examples/cholsky_analysis.ml: Corpus Depend Driver Format Lang List Unix

@@ -1,0 +1,1 @@
+examples/cholsky_analysis.mli:

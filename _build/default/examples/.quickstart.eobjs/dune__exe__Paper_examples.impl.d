@@ -1,0 +1,1 @@
+examples/paper_examples.ml: Analyses Corpus Depctx Depend Driver Format Lang List

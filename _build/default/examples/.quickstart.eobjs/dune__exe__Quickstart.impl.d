@@ -1,0 +1,1 @@
+examples/quickstart.ml: Constr Depend Elim Format Gist Lang Linexpr List Omega Presburger Problem Var Zint

@@ -1,0 +1,1 @@
+examples/symbolic_dialog.ml: Corpus Depctx Depend Dirvec Format Induction Lang List Omega Symbolic

@@ -1,0 +1,26 @@
+(* Reproduces Figures 3 and 4 of the paper: the live and dead flow
+   dependences of CHOLSKY (a NASA NAS benchmark kernel, Figure 2).
+
+   Of the 35 apparent flow dependences, 14 carry no data at all: they are
+   killed ([k]) or covered ([c]) by intervening writes.  Almost all other
+   dependence analyzers would report all 35 as true dependences. *)
+
+open Depend
+
+let () =
+  let prog = Lang.Sema.parse_and_analyze (Corpus.find "cholsky") in
+  let t0 = Unix.gettimeofday () in
+  let result = Driver.analyze prog in
+  let dt = Unix.gettimeofday () -. t0 in
+  let live = Driver.live_flows result in
+  let dead = Driver.dead_flows result in
+  Format.printf "Figure 3: live flow dependences for CHOLSKY (%d)@.%s@."
+    (List.length live)
+    (Driver.render_flow_table live);
+  Format.printf "Figure 4: dead flow dependences for CHOLSKY (%d)@.%s@."
+    (List.length dead)
+    (Driver.render_flow_table dead);
+  Format.printf
+    "[C] covers its read; [r] refined; [k] killed; [c] covered.@.";
+  Format.printf "analysis time: %.1f ms (all %d accesses)@." (dt *. 1000.)
+    (Lang.Ir.access_count prog)

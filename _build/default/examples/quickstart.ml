@@ -1,0 +1,90 @@
+(* Quickstart: a tour of the public API.
+
+   1. Build and solve integer constraint problems with the Omega test.
+   2. Project, compute gists, decide Presburger formulas.
+   3. Parse a small loop program and analyze its dependences. *)
+
+open Omega
+
+let section title = Format.printf "@.== %s ==@." title
+
+let () =
+  section "1. Integer programming with the Omega test";
+  let x = Var.fresh "x" and y = Var.fresh "y" in
+  let i n = Linexpr.of_int n in
+  let vx = Linexpr.var x and vy = Linexpr.var y in
+  (* 7x + 12y = 1 with x, y >= 0 has no integer solutions *)
+  let p =
+    Problem.of_list
+      [
+        Constr.eq2
+          (Linexpr.add (Linexpr.scale_int 7 vx) (Linexpr.scale_int 12 vy))
+          (i 1);
+        Constr.ge vx (i 0);
+        Constr.ge vy (i 0);
+      ]
+  in
+  Format.printf "problem: %a@." Problem.pp p;
+  Format.printf "satisfiable: %b@." (Elim.satisfiable p);
+
+  section "2. Projection (the paper's example)";
+  (* projecting {0 <= a <= 5; b < a <= 5b} onto a gives {2 <= a <= 5} *)
+  let a = Var.fresh "a" and b = Var.fresh "b" in
+  let va = Linexpr.var a and vb = Linexpr.var b in
+  let q =
+    Problem.of_list
+      [
+        Constr.ge va (i 0);
+        Constr.le va (i 5);
+        Constr.lt vb va;
+        Constr.le va (Linexpr.scale_int 5 vb);
+      ]
+  in
+  List.iter
+    (fun piece -> Format.printf "projection piece: %a@." Problem.pp piece)
+    (Omega.project ~keep:(Var.equal a) q);
+
+  section "3. Gists: what is new in p, given q";
+  let p3 = Problem.of_list [ Constr.ge vx (i 0); Constr.le vx (i 5) ] in
+  let q3 = Problem.of_list [ Constr.ge vx (i 3) ] in
+  (match Omega.gist p3 ~given:q3 with
+   | Gist.Gist g -> Format.printf "gist: %a@." Problem.pp g
+   | Gist.Tautology -> Format.printf "gist: TRUE@."
+   | Gist.False -> Format.printf "gist: FALSE@.");
+
+  section "4. Presburger formulas";
+  let open Presburger in
+  (* every integer in [0,10] is even or odd *)
+  let f =
+    forall [ x ]
+      (implies_
+         (and_ [ ge vx (i 0); le vx (i 10) ])
+         (exists [ y ]
+            (or_
+               [
+                 eq vx (Linexpr.scale_int 2 vy);
+                 eq vx (Linexpr.add_const (Linexpr.scale_int 2 vy) Zint.one);
+               ])))
+  in
+  Format.printf "valid (parity cover): %b@." (valid f);
+
+  section "5. Dependence analysis of a loop program";
+  let src =
+    {|
+symbolic n, m;
+real a[-1000:1000];
+for L1 := 1 to n do
+  for L2 := 2 to m do
+    s: a(L2) := a(L2-1);
+  endfor
+endfor
+|}
+  in
+  print_string src;
+  let prog = Lang.Sema.parse_and_analyze src in
+  let result = Depend.Driver.analyze prog in
+  Format.printf "live flow dependences:@.%s"
+    (Depend.Driver.render_flow_table (Depend.Driver.live_flows result));
+  Format.printf
+    "(the dependence is refined from (0+,1) to (0,1): only the previous@.\
+    \ iteration of the inner loop supplies the value)@."

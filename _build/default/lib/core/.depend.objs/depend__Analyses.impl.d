@@ -1,0 +1,1 @@
+lib/core/analyses.ml: Array Constr Depctx Deps Dirvec Elim Gist Ir Lazy Linexpr List Omega Presburger Problem Var Zint

@@ -1,0 +1,1 @@
+lib/core/analyses.mli: Constr Depctx Dirvec Ir Omega Problem Var

@@ -1,0 +1,1 @@
+lib/core/depctx.ml: Array Ast Constr Ir Linexpr List Omega Presburger Printf Var Zint

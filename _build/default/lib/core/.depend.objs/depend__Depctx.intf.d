@@ -1,0 +1,1 @@
+lib/core/depctx.mli: Constr Ir Linexpr Omega Presburger Var

@@ -1,0 +1,1 @@
+lib/core/deps.ml: Array Constr Depctx Dirvec Elim Ir Linexpr List Omega Printf Problem String Var

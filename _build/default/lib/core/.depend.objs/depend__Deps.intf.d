@@ -1,0 +1,1 @@
+lib/core/deps.mli: Constr Depctx Dirvec Ir Omega Problem Var

@@ -1,0 +1,1 @@
+lib/core/dirvec.ml: Array Constr Elim Linexpr List Omega Printf Problem Stdlib String Var Zint

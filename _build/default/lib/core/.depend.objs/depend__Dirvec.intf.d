@@ -1,0 +1,1 @@
+lib/core/dirvec.mli: Constr Omega Problem Var

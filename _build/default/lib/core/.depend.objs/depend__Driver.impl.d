@@ -1,0 +1,1 @@
+lib/core/driver.ml: Analyses Array Buffer Depctx Deps Dirvec Ir List Printf String

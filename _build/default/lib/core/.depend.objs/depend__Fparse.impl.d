@@ -1,0 +1,1 @@
+lib/core/fparse.ml: Ast Constr Linexpr List Omega Parser Presburger Problem String Var

@@ -1,0 +1,1 @@
+lib/core/fparse.mli: Omega Presburger Problem Var

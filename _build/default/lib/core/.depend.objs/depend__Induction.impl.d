@@ -1,0 +1,1 @@
+lib/core/induction.ml: Array Ast Constr Depctx Elim Ir Linexpr List Omega Option Problem Zint

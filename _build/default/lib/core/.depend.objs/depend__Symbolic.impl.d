@@ -1,0 +1,1 @@
+lib/core/symbolic.ml: Array Ast Constr Depctx Dirvec Elim Format Gist Ir Linexpr List Omega Presburger Printf Problem String Var Zint

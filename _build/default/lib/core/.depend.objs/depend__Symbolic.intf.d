@@ -1,0 +1,1 @@
+lib/core/symbolic.mli: Constr Depctx Dirvec Ir Omega Problem

@@ -1,0 +1,271 @@
+(* The four section-4 analyses: killing, covering, terminating, and
+   refinement of dependence distances.  Each is phrased as the validity of
+   a Presburger formula of the form  forall (p => exists q)  and decided
+   with the extended Omega test.
+
+   A fast path first tries the paper's efficient route: project the
+   existential side with the dark shadow and check the implication with
+   gists; only when that fails do we fall back to the complete Presburger
+   decision procedure. *)
+
+open Omega
+
+(* Statistics for the evaluation section benches. *)
+module Stats = struct
+  type t = {
+    mutable fast_path_hits : int;
+    mutable general_calls : int;
+    mutable quick_screen_hits : int;
+  }
+
+  let stats = { fast_path_hits = 0; general_calls = 0; quick_screen_hits = 0 }
+
+  let reset () =
+    stats.fast_path_hits <- 0;
+    stats.general_calls <- 0;
+    stats.quick_screen_hits <- 0
+end
+
+(* Ablation switch for the benches: when false, every query goes through
+   the complete Presburger procedure instead of trying the dark-shadow +
+   gist fast path first. *)
+let use_fast_path = ref true
+
+(* [p => exists vs. q] checked first via dark-shadow projection + gist
+   implication (sound when it answers [true]), then via the full
+   Presburger engine. *)
+let implies_exists ~(hyp : Constr.t list) (lhs : Problem.t list)
+    ~(evars : Var.t list) (rhs : Problem.t list) : bool =
+  let keep v = not (List.exists (Var.equal v) evars) in
+  (* fast path: one RHS disjunct's dark projection implied by an LHS
+     disjunct (must hold for EVERY lhs disjunct) *)
+  let rhs_dark =
+    lazy
+      (List.filter_map
+         (fun r ->
+           match Elim.project_dark ~keep (Problem.add_list hyp r) with
+           | `Contra -> None
+           | `Ok d -> Some d)
+         rhs)
+  in
+  let fast_ok =
+    !use_fast_path
+    && List.for_all
+         (fun l ->
+           let l = Problem.add_list hyp l in
+           (not (Elim.satisfiable l))
+           || List.exists (fun d -> Gist.implies l d) (Lazy.force rhs_dark))
+         lhs
+  in
+  if fast_ok then begin
+    Stats.stats.fast_path_hits <- Stats.stats.fast_path_hits + 1;
+    true
+  end
+  else begin
+    Stats.stats.general_calls <- Stats.stats.general_calls + 1;
+    let open Presburger in
+    let f =
+      implies_
+        (and_ (List.map atom hyp))
+        (implies_
+           (or_ (List.map of_problem lhs))
+           (exists evars (or_ (List.map of_problem rhs))))
+    in
+    (* a blown work budget means "not proved": conservative, since every
+       caller uses a positive answer to eliminate or refine a dependence *)
+    try valid f with Presburger.Too_large -> false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Shared problem pieces                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The dependence problems (one per ordering level) from instance [a] to
+   instance [b]. *)
+let dep_problems ?(in_bounds = false) ctx a b : Problem.t list =
+  let core =
+    Depctx.domain ~in_bounds ctx a
+    @ Depctx.domain ~in_bounds ctx b
+    @ Depctx.subs_equal ctx a b
+  in
+  List.map
+    (fun (_, order) -> Problem.of_list (core @ order))
+    (Depctx.order_before ctx a b)
+
+(* ------------------------------------------------------------------ *)
+(* Covering (4.2) and terminating (4.3)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Does the write [src] cover [dst]?  (Every element [dst] accesses was
+   written by an earlier instance of [src].) *)
+let covers ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access) :
+    bool =
+  let a = Depctx.instantiate ctx src ~tag:"i" in
+  let b = Depctx.instantiate ctx dst ~tag:"j" in
+  let hyp = Depctx.assumes ctx in
+  let lhs = [ Problem.of_list (Depctx.domain ~in_bounds ctx b) ] in
+  let rhs = dep_problems ~in_bounds ctx a b in
+  implies_exists ~hyp lhs ~evars:(Depctx.inst_vars a) rhs
+
+(* Does the write [dst] terminate [src]?  (Every element [src] accesses is
+   later overwritten by [dst].) *)
+let terminates ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access)
+    : bool =
+  let a = Depctx.instantiate ctx src ~tag:"i" in
+  let b = Depctx.instantiate ctx dst ~tag:"j" in
+  let hyp = Depctx.assumes ctx in
+  let lhs = [ Problem.of_list (Depctx.domain ~in_bounds ctx a) ] in
+  let rhs = dep_problems ~in_bounds ctx a b in
+  implies_exists ~hyp lhs ~evars:(Depctx.inst_vars b) rhs
+
+(* ------------------------------------------------------------------ *)
+(* Killing (4.1)                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Is the dependence from [src] to [dst] killed by the write [killer]?
+   For every (i,k) instance pair of the dependence there must be a j with
+   src(i) << killer(j) << dst(k) and killer(j) writing dst(k)'s element. *)
+let kills ?(in_bounds = false) ctx ~(src : Ir.access) ~(killer : Ir.access)
+    ~(dst : Ir.access) : bool =
+  let a = Depctx.instantiate ctx src ~tag:"i" in
+  let b = Depctx.instantiate ctx killer ~tag:"j" in
+  let c = Depctx.instantiate ctx dst ~tag:"k" in
+  let hyp = Depctx.assumes ctx in
+  let lhs = dep_problems ~in_bounds ctx a c in
+  let rhs =
+    (* j in [B] and A(i) << B(j) << C(k) and B(j) =sub C(k); the two
+       ordering disjunctions multiply out *)
+    let dom_b = Depctx.domain ~in_bounds ctx b in
+    let sub_bc = Depctx.subs_equal ctx b c in
+    List.concat_map
+      (fun (_, ab) ->
+        List.map
+          (fun (_, bc) -> Problem.of_list (dom_b @ sub_bc @ ab @ bc))
+          (Depctx.order_before ctx b c))
+      (Depctx.order_before ctx a b)
+  in
+  implies_exists ~hyp lhs ~evars:(Depctx.inst_vars b) rhs
+
+(* ------------------------------------------------------------------ *)
+(* Refinement (4.4)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A candidate refinement: for each common loop, an optional inclusive
+   range of distances ([None] = unconstrained). *)
+type candidate = (int option * int option) list
+
+(* Constraints on a (j,k) instance pair expressing "distance within the
+   candidate". *)
+let candidate_constraints (j : Depctx.inst) (k : Depctx.inst)
+    (cand : candidate) : Constr.t list =
+  List.concat
+    (List.mapi
+       (fun l (lo, hi) ->
+         let dist =
+           Linexpr.sub
+             (Linexpr.var k.Depctx.ivars.(l))
+             (Linexpr.var j.Depctx.ivars.(l))
+         in
+         (match lo with
+          | Some d -> [ Constr.ge dist (Linexpr.of_int d) ]
+          | None -> [])
+         @
+         match hi with
+         | Some d -> [ Constr.le dist (Linexpr.of_int d) ]
+         | None -> [])
+       cand)
+
+(* Does candidate [cand] refine the dependence from write [src] to [dst]?
+   Condition (simplified as in 4.4): every instance of [dst] receiving the
+   dependence also receives it from an instance of [src] within the
+   candidate distance. *)
+let check_refinement ?(in_bounds = false) ctx ~(src : Ir.access)
+    ~(dst : Ir.access) (cand : candidate) : bool =
+  let i = Depctx.instantiate ctx src ~tag:"i" in
+  let j = Depctx.instantiate ctx src ~tag:"j" in
+  let k = Depctx.instantiate ctx dst ~tag:"k" in
+  let hyp = Depctx.assumes ctx in
+  let lhs = dep_problems ~in_bounds ctx i k in
+  let rhs =
+    let core =
+      Depctx.domain ~in_bounds ctx j
+      @ Depctx.domain ~in_bounds ctx k
+      @ Depctx.subs_equal ctx j k
+      @ candidate_constraints j k cand
+    in
+    List.map
+      (fun (_, order) -> Problem.of_list (core @ order))
+      (Depctx.order_before ctx j k)
+  in
+  implies_exists ~hyp lhs ~evars:(Depctx.inst_vars j) rhs
+
+(* Generate and verify refinements the paper's way: walk the common loops
+   outermost-first, each time pinning the distance to its minimum possible
+   value; stop at the first loop whose pinned candidate fails.  Returns
+   the number of pinned levels and their distances. *)
+let refine ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access) :
+    int list =
+  let pair = Deps.make_pair ~in_bounds ctx src dst in
+  let c = pair.Deps.common in
+  let levels = Depctx.order_before ctx pair.Deps.a pair.Deps.b in
+  (* minimum possible distance in loop [l], given the already-fixed
+     distances [fixed] (outermost-first) *)
+  let min_distance fixed l =
+    let fix_constrs =
+      List.mapi
+        (fun l' d ->
+          Constr.eq2 (Linexpr.var pair.Deps.dvars.(l')) (Linexpr.of_int d))
+        fixed
+    in
+    let mins =
+      List.filter_map
+        (fun (_, order) ->
+          let p = Problem.add_list (fix_constrs @ order) pair.Deps.base in
+          match Omega.minimize p pair.Deps.dvars.(l) with
+          | `Min m -> Zint.to_int_opt m
+          | `Unbounded | `Unsat -> None)
+        levels
+    in
+    match mins with [] -> None | m :: rest -> Some (List.fold_left min m rest)
+  in
+  let rec go fixed l =
+    if l >= c then List.rev fixed
+    else begin
+      match min_distance (List.rev fixed) l with
+      | None -> List.rev fixed
+      | Some d ->
+        (* the candidate's forwardness is enforced by the ordering
+           constraints inside check_refinement's right-hand side *)
+        let prefix = List.rev (d :: fixed) in
+        let cand =
+          List.init c (fun l' ->
+              if l' < List.length prefix then
+                let dd = List.nth prefix l' in
+                (Some dd, Some dd)
+              else (None, None))
+        in
+        if check_refinement ~in_bounds ctx ~src ~dst cand then
+          go (d :: fixed) (l + 1)
+        else List.rev fixed
+    end
+  in
+  go [] 0
+
+(* The refined direction vectors: distances pinned by [refine] plus the
+   sign analysis of the remaining levels. *)
+let refined_vectors ?(in_bounds = false) ctx ~(src : Ir.access)
+    ~(dst : Ir.access) (pinned : int list) : Dirvec.t list =
+  let pair = Deps.make_pair ~in_bounds ctx src dst in
+  let fix_constrs =
+    List.mapi
+      (fun l d ->
+        Constr.eq2 (Linexpr.var pair.Deps.dvars.(l)) (Linexpr.of_int d))
+      pinned
+  in
+  let levels = Depctx.order_before ctx pair.Deps.a pair.Deps.b in
+  List.concat_map
+    (fun (lvl, order) ->
+      let p = Problem.add_list (fix_constrs @ order) pair.Deps.base in
+      Dirvec.vectors_of_level p pair.Deps.dvars ~carried:lvl)
+    levels
+  |> List.sort_uniq Dirvec.compare

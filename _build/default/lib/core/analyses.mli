@@ -1,0 +1,90 @@
+(** The four section-4 analyses - killing (4.1), covering (4.2),
+    terminating (4.3) and refinement (4.4) - each phrased as the validity
+    of a Presburger formula [forall (p => exists q)].
+
+    A fast path first tries the paper's efficient route (project the
+    existential side with the dark shadow, check the implication with
+    gists); only when that fails does the complete Presburger decision
+    procedure run. *)
+
+open Omega
+
+module Stats : sig
+  type t = {
+    mutable fast_path_hits : int;
+    mutable general_calls : int;
+    mutable quick_screen_hits : int;
+  }
+
+  val stats : t
+  val reset : unit -> unit
+end
+
+val use_fast_path : bool ref
+(** Ablation switch: when [false], every query goes through the complete
+    Presburger procedure. *)
+
+val implies_exists :
+  hyp:Constr.t list ->
+  Problem.t list ->
+  evars:Var.t list ->
+  Problem.t list ->
+  bool
+(** [implies_exists ~hyp lhs ~evars rhs]: is
+    [hyp => (lhs => exists evars. rhs)] valid (disjunction over each
+    list)? *)
+
+val dep_problems :
+  ?in_bounds:bool -> Depctx.t -> Depctx.inst -> Depctx.inst -> Problem.t list
+(** The dependence problems from one instance to another, one per
+    ordering level. *)
+
+val covers :
+  ?in_bounds:bool -> Depctx.t -> src:Ir.access -> dst:Ir.access -> bool
+(** Does the write [src] cover [dst] (write every element [dst] accesses,
+    earlier)?  Section 4.2. *)
+
+val terminates :
+  ?in_bounds:bool -> Depctx.t -> src:Ir.access -> dst:Ir.access -> bool
+(** Does the write [dst] terminate [src] (overwrite every element [src]
+    accesses, later)?  Section 4.3. *)
+
+val kills :
+  ?in_bounds:bool ->
+  Depctx.t ->
+  src:Ir.access ->
+  killer:Ir.access ->
+  dst:Ir.access ->
+  bool
+(** Is the dependence from [src] to [dst] killed by the intervening write
+    [killer]?  Section 4.1. *)
+
+type candidate = (int option * int option) list
+(** A candidate refinement: per common loop, an optional inclusive
+    distance range. *)
+
+val check_refinement :
+  ?in_bounds:bool ->
+  Depctx.t ->
+  src:Ir.access ->
+  dst:Ir.access ->
+  candidate ->
+  bool
+(** The general refinement test of section 4.4: every instance of [dst]
+    receiving the dependence also receives it from an instance of [src]
+    within the candidate distance. *)
+
+val refine :
+  ?in_bounds:bool -> Depctx.t -> src:Ir.access -> dst:Ir.access -> int list
+(** The paper's candidate generator: pin the distance of each common
+    loop, outermost first, to its minimum possible value, stopping at the
+    first failure.  Returns the pinned distances. *)
+
+val refined_vectors :
+  ?in_bounds:bool ->
+  Depctx.t ->
+  src:Ir.access ->
+  dst:Ir.access ->
+  int list ->
+  Dirvec.t list
+(** Direction vectors of the dependence under the pinned distances. *)

@@ -1,0 +1,233 @@
+(* Building Omega problems from IR accesses.
+
+   An [inst] is an instantiation of an access: fresh integer variables for
+   its loop counters (the iteration vector), plus variables for the value
+   and arguments of each opaque (non-affine) term it mentions.  Opaque
+   value variables are the "different symbolic variable for each
+   appearance" of section 5. *)
+
+open Omega
+
+type t = {
+  prog : Ir.program;
+  syms : (string * Var.t) list;
+  (* declared array ranges, translated over symbolic constants *)
+  ranges : (string * (Linexpr.t * Linexpr.t) list) list;
+}
+
+type inst = {
+  access : Ir.access;
+  tag : string; (* used in variable names, e.g. "i", "j", "k" *)
+  ivars : Var.t array;
+  opq_vals : (int * Var.t) list; (* opaque id -> value variable *)
+  opq_args : (int * Var.t list) list; (* opaque id -> argument variables *)
+}
+
+let sym_var t name =
+  match List.assoc_opt name t.syms with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Depctx.sym_var: unknown symbolic %s" name)
+
+(* Affine over syms only (array ranges, assumes). *)
+let affine_syms t (a : Ir.affine) : Linexpr.t =
+  List.fold_left
+    (fun e (v, c) ->
+      match v with
+      | Ir.Symc s -> Linexpr.add_term e (Zint.of_int c) (sym_var t s)
+      | Ir.Loop _ | Ir.Opq _ ->
+        invalid_arg "Depctx.affine_syms: non-symbolic term")
+    (Linexpr.of_int a.Ir.const)
+    a.Ir.terms
+
+let create (prog : Ir.program) : t =
+  let syms =
+    List.map (fun s -> (s, Var.fresh ~kind:Var.Sym s)) prog.Ir.symbolics
+  in
+  let t0 = { prog; syms; ranges = [] } in
+  let ranges =
+    List.map
+      (fun (name, ranges) ->
+        (name, List.map (fun (lo, hi) -> (affine_syms t0 lo, affine_syms t0 hi)) ranges))
+      prog.Ir.arrays
+  in
+  { t0 with ranges }
+
+let instantiate t (access : Ir.access) ~tag : inst =
+  ignore t;
+  let d = Ir.depth access in
+  let ivars =
+    Array.init d (fun i -> Var.fresh (Printf.sprintf "%s%d" tag (i + 1)))
+  in
+  let opq_vals =
+    List.map
+      (fun (o : Ir.opaque) ->
+        (o.Ir.opq_id, Var.fresh ~kind:Var.Sym (Printf.sprintf "%s_val%d" tag o.Ir.opq_id)))
+      access.Ir.opaques
+  in
+  let opq_args =
+    List.map
+      (fun (o : Ir.opaque) ->
+        ( o.Ir.opq_id,
+          List.mapi
+            (fun k _ ->
+              Var.fresh ~kind:Var.Sym (Printf.sprintf "%s_arg%d_%d" tag o.Ir.opq_id k))
+            o.Ir.args ))
+      access.Ir.opaques
+  in
+  { access; tag; ivars; opq_vals; opq_args }
+
+(* Affine over an instantiation's variables. *)
+let affine t (inst : inst) (a : Ir.affine) : Linexpr.t =
+  List.fold_left
+    (fun e (v, c) ->
+      let var =
+        match v with
+        | Ir.Loop i -> inst.ivars.(i)
+        | Ir.Symc s -> sym_var t s
+        | Ir.Opq id -> List.assoc id inst.opq_vals
+      in
+      Linexpr.add_term e (Zint.of_int c) var)
+    (Linexpr.of_int a.Ir.const)
+    a.Ir.terms
+
+(* i in [A]: the loop bounds of the access's nest, plus the defining
+   constraints of its opaque terms' arguments, plus (optionally) in-bounds
+   assertions for its subscripts and index-array arguments. *)
+let domain ?(in_bounds = false) t (inst : inst) : Constr.t list =
+  let bounds =
+    List.concat
+      (List.mapi
+         (fun d (loop : Ir.loop) ->
+           let v = Linexpr.var inst.ivars.(d) in
+           if loop.Ir.step = 1 then
+             List.map (fun lo -> Constr.ge v (affine t inst lo)) loop.Ir.lo
+             @ List.map (fun hi -> Constr.le v (affine t inst hi)) loop.Ir.hi
+           else begin
+             (* normalized counter of a stepped loop: v >= 0, and the
+                surface value lo + step*v within the (single) limit *)
+             let l = affine t inst (List.hd loop.Ir.lo) in
+             let surface = Linexpr.add l (Linexpr.scale_int loop.Ir.step v) in
+             Constr.ge v (Linexpr.of_int 0)
+             :: List.map
+                  (fun hi ->
+                    let h = affine t inst hi in
+                    if loop.Ir.step > 0 then Constr.le surface h
+                    else Constr.ge surface h)
+                  loop.Ir.hi
+           end)
+         inst.access.Ir.loops)
+  in
+  let opaque_defs =
+    List.concat_map
+      (fun (o : Ir.opaque) ->
+        let args = List.assoc o.Ir.opq_id inst.opq_args in
+        List.map2
+          (fun var arg -> Constr.eq2 (Linexpr.var var) (affine t inst arg))
+          args o.Ir.args)
+      inst.access.Ir.opaques
+  in
+  let in_bounds_cs =
+    if not in_bounds then []
+    else begin
+      (* subscripts of this access within the declared range *)
+      let sub_bounds =
+        match List.assoc_opt inst.access.Ir.array t.ranges with
+        | Some ranges when List.length ranges = List.length inst.access.Ir.subs ->
+          List.concat
+            (List.map2
+               (fun s (lo, hi) ->
+                 let e = affine t inst s in
+                 [ Constr.ge e lo; Constr.le e hi ])
+               inst.access.Ir.subs ranges)
+        | _ -> []
+      in
+      (* index-array values and arguments within their declared ranges *)
+      let opq_bounds =
+        List.concat_map
+          (fun (o : Ir.opaque) ->
+            match o.Ir.base with
+            | Some base -> (
+              match List.assoc_opt base t.ranges with
+              | Some ranges when List.length ranges = List.length o.Ir.args ->
+                let args = List.assoc o.Ir.opq_id inst.opq_args in
+                List.concat
+                  (List.map2
+                     (fun var (lo, hi) ->
+                       [
+                         Constr.ge (Linexpr.var var) lo;
+                         Constr.le (Linexpr.var var) hi;
+                       ])
+                     args ranges)
+              | _ -> [])
+            | None -> [])
+          inst.access.Ir.opaques
+      in
+      sub_bounds @ opq_bounds
+    end
+  in
+  bounds @ opaque_defs @ in_bounds_cs
+
+(* A(i) and B(j) touch the same array element. *)
+let subs_equal t (a : inst) (b : inst) : Constr.t list =
+  assert (a.access.Ir.array = b.access.Ir.array);
+  assert (List.length a.access.Ir.subs = List.length b.access.Ir.subs);
+  List.map2
+    (fun sa sb -> Constr.eq2 (affine t a sa) (affine t b sb))
+    a.access.Ir.subs b.access.Ir.subs
+
+(* User assumptions, as constraints over the symbolic constants. *)
+let assumes t : Constr.t list =
+  List.map
+    (fun (c : Ir.sym_cond) ->
+      let l = affine_syms t c.Ir.sc_left and r = affine_syms t c.Ir.sc_right in
+      match c.Ir.sc_op with
+      | Ast.Eq -> Constr.eq2 l r
+      | Ast.Le -> Constr.le l r
+      | Ast.Lt -> Constr.lt l r
+      | Ast.Ge -> Constr.ge l r
+      | Ast.Gt -> Constr.gt l r
+      | Ast.Ne ->
+        (* not expressible as one constraint; drop (conservative) *)
+        Constr.geq (Linexpr.of_int 0))
+    t.prog.Ir.assumes
+
+(* ------------------------------------------------------------------ *)
+(* Execution order                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A(i) << B(j) as a disjunction of conjunctions, one per level:
+   level l (1-based, l <= c): i_1 = j_1, ..., i_{l-1} = j_{l-1}, i_l < j_l;
+   level c+1 (only when A is textually before B): all common equal.
+   Returns the list of (carried-level, constraints); carried level c+1 is
+   reported as 0 (loop-independent). *)
+let order_before t (a : inst) (b : inst) : (int * Constr.t list) list =
+  let c = Ir.common_loops a.access b.access in
+  let eq_prefix l =
+    List.init l (fun d ->
+        Constr.eq2 (Linexpr.var a.ivars.(d)) (Linexpr.var b.ivars.(d)))
+  in
+  ignore t;
+  let levels =
+    List.init c (fun l ->
+        ( l + 1,
+          eq_prefix l
+          @ [ Constr.lt (Linexpr.var a.ivars.(l)) (Linexpr.var b.ivars.(l)) ] ))
+  in
+  if Ir.textually_before a.access b.access then
+    levels @ [ (0, eq_prefix c) ]
+  else levels
+
+(* Formula version of A(i) << B(j). *)
+let order_before_formula t a b : Presburger.t =
+  Presburger.or_
+    (List.map
+       (fun (_, cs) -> Presburger.and_ (List.map Presburger.atom cs))
+       (order_before t a b))
+
+(* Variables of an instantiation, for quantification. *)
+let inst_vars (i : inst) : Var.t list =
+  Array.to_list i.ivars
+  @ List.map snd i.opq_vals
+  @ List.concat_map snd i.opq_args
+
+let sym_vars t = List.map snd t.syms

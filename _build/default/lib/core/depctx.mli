@@ -1,0 +1,60 @@
+(** Building Omega problems from IR accesses.
+
+    An {!inst} is an instantiation of an access: fresh integer variables
+    for its loop counters (the iteration vector), plus variables for the
+    value and arguments of each opaque (non-affine) term it mentions.
+    Opaque value variables are the "different symbolic variable for each
+    appearance" of section 5. *)
+
+open Omega
+
+type t = {
+  prog : Ir.program;
+  syms : (string * Var.t) list;  (** symbolic constants *)
+  ranges : (string * (Linexpr.t * Linexpr.t) list) list;
+      (** declared array ranges over the symbolic constants *)
+}
+
+type inst = {
+  access : Ir.access;
+  tag : string;  (** prefix of the generated variable names: i, j, k *)
+  ivars : Var.t array;  (** iteration variables, outermost first *)
+  opq_vals : (int * Var.t) list;  (** opaque id -> value variable *)
+  opq_args : (int * Var.t list) list;  (** opaque id -> argument variables *)
+}
+
+val create : Ir.program -> t
+
+val sym_var : t -> string -> Var.t
+(** @raise Invalid_argument on an undeclared symbolic constant. *)
+
+val affine_syms : t -> Ir.affine -> Linexpr.t
+(** Translation of an affine form over symbolic constants only. *)
+
+val instantiate : t -> Ir.access -> tag:string -> inst
+
+val affine : t -> inst -> Ir.affine -> Linexpr.t
+(** Translation of an affine form over the instance's variables. *)
+
+val domain : ?in_bounds:bool -> t -> inst -> Constr.t list
+(** [i in \[A\]]: loop bounds of the nest, defining constraints of opaque
+    arguments, and (with [in_bounds]) in-bounds assertions for subscripts
+    and index-array values/arguments. *)
+
+val subs_equal : t -> inst -> inst -> Constr.t list
+(** The two instances touch the same array element. *)
+
+val assumes : t -> Constr.t list
+(** User assumptions, over the symbolic constants. *)
+
+val order_before : t -> inst -> inst -> (int * Constr.t list) list
+(** [A(i) << B(j)] as a disjunction, one conjunction per carried level
+    (1-based); level 0 is the loop-independent case, present only when
+    the first access is textually before the second. *)
+
+val order_before_formula : t -> inst -> inst -> Presburger.t
+
+val inst_vars : inst -> Var.t list
+(** All variables of an instantiation, for quantification. *)
+
+val sym_vars : t -> Var.t list

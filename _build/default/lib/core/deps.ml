@@ -1,0 +1,124 @@
+(* Standard (memory-based) dependence computation: for an ordered pair of
+   accesses to the same array, decide whether a dependence exists and
+   summarize it with direction/distance vectors, one analysis per carried
+   level. *)
+
+open Omega
+
+type kind = Flow | Anti | Output
+
+let kind_to_string = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+
+type dep = {
+  src : Ir.access;
+  dst : Ir.access;
+  kind : kind;
+  vectors : Dirvec.t list; (* forward vectors, one or more per level *)
+  levels : int list; (* satisfiable carried levels; 0 = loop-independent *)
+}
+
+(* The base problem of a pair: domains, subscript equality, user
+   assumptions (and optionally in-bounds assertions), plus distance
+   variables d_l = j_l - i_l for the common loops.  Returns the problem
+   builder and the distance variables. *)
+type pair = {
+  ctx : Depctx.t;
+  a : Depctx.inst;
+  b : Depctx.inst;
+  base : Problem.t; (* no ordering constraints *)
+  dvars : Var.t array;
+  common : int;
+}
+
+let make_pair ?(in_bounds = false) ctx (src : Ir.access) (dst : Ir.access) :
+    pair =
+  let a = Depctx.instantiate ctx src ~tag:"i" in
+  let b = Depctx.instantiate ctx dst ~tag:"j" in
+  let c = Ir.common_loops src dst in
+  let dvars =
+    Array.init c (fun l -> Var.fresh (Printf.sprintf "d%d" (l + 1)))
+  in
+  let dconstrs =
+    List.init c (fun l ->
+        (* d_l = j_l - i_l *)
+        Constr.eq2
+          (Linexpr.var dvars.(l))
+          (Linexpr.sub (Linexpr.var b.Depctx.ivars.(l))
+             (Linexpr.var a.Depctx.ivars.(l))))
+  in
+  let base =
+    Problem.of_list
+      (Depctx.domain ~in_bounds ctx a
+      @ Depctx.domain ~in_bounds ctx b
+      @ Depctx.subs_equal ctx a b
+      @ Depctx.assumes ctx
+      @ dconstrs)
+  in
+  { ctx; a; b; base; dvars; common = c }
+
+(* Problem for one ordering level of the pair. *)
+let level_problem (p : pair) (level, constrs) =
+  ignore level;
+  Problem.add_list constrs p.base
+
+(* Compute the dependence (if any) from [src] to [dst]. *)
+let compute ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access)
+    ~(kind : kind) : dep option =
+  let p = make_pair ~in_bounds ctx src dst in
+  let levels = Depctx.order_before ctx p.a p.b in
+  let results =
+    List.filter_map
+      (fun (lvl, constrs) ->
+        let prob = Problem.add_list constrs p.base in
+        let vecs = Dirvec.vectors_of_level prob p.dvars ~carried:lvl in
+        if vecs = [] then None else Some (lvl, vecs))
+      levels
+  in
+  if results = [] then None
+  else begin
+    let vectors =
+      List.concat_map snd results
+      |> List.sort_uniq Dirvec.compare
+    in
+    Some { src; dst; kind; vectors; levels = List.map fst results }
+  end
+
+(* Does any dependence (ignoring direction refinement) exist at all? *)
+let exists ctx ~src ~dst : bool =
+  let p = make_pair ctx src dst in
+  List.exists
+    (fun lc -> Elim.satisfiable (level_problem p lc))
+    (Depctx.order_before ctx p.a p.b)
+
+(* All dependences of a given kind in a program. *)
+let all ?(in_bounds = false) ctx (kind : kind) : dep list =
+  let prog = ctx.Depctx.prog in
+  let writes = Ir.writes prog and reads = Ir.reads prog in
+  let srcs, dsts =
+    match kind with
+    | Flow -> (writes, reads)
+    | Anti -> (reads, writes)
+    | Output -> (writes, writes)
+  in
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun dst ->
+          if src.Ir.array <> dst.Ir.array then None
+          else if
+            kind = Output && src.Ir.acc_id = dst.Ir.acc_id
+            && Ir.depth src = 0
+          then None (* a single unlooped write cannot depend on itself *)
+          else compute ~in_bounds ctx ~src ~dst ~kind)
+        dsts)
+    srcs
+
+let dep_to_string (d : dep) =
+  Printf.sprintf "%s --%s--> %s %s"
+    (Ir.access_to_string d.src)
+    (kind_to_string d.kind)
+    (Ir.access_to_string d.dst)
+    (String.concat " " (List.map Dirvec.to_string d.vectors))

@@ -1,0 +1,48 @@
+(** Standard (memory-based) dependence computation: for an ordered pair
+    of accesses to the same array, decide whether a dependence exists and
+    summarize it with direction/distance vectors, one analysis per
+    carried level. *)
+
+open Omega
+
+type kind = Flow | Anti | Output
+
+val kind_to_string : kind -> string
+
+type dep = {
+  src : Ir.access;
+  dst : Ir.access;
+  kind : kind;
+  vectors : Dirvec.t list;  (** forward vectors (possibly several) *)
+  levels : int list;  (** satisfiable carried levels; 0 = loop-independent *)
+}
+
+type pair = {
+  ctx : Depctx.t;
+  a : Depctx.inst;
+  b : Depctx.inst;
+  base : Problem.t;  (** domains, subscript equality, assumptions,
+                         distance-variable definitions; no ordering *)
+  dvars : Var.t array;  (** one distance variable per common loop *)
+  common : int;
+}
+
+val make_pair : ?in_bounds:bool -> Depctx.t -> Ir.access -> Ir.access -> pair
+
+val level_problem : pair -> int * Constr.t list -> Problem.t
+
+val compute :
+  ?in_bounds:bool ->
+  Depctx.t ->
+  src:Ir.access ->
+  dst:Ir.access ->
+  kind:kind ->
+  dep option
+(** The dependence from [src] to [dst], or [None] when none exists. *)
+
+val exists : Depctx.t -> src:Ir.access -> dst:Ir.access -> bool
+
+val all : ?in_bounds:bool -> Depctx.t -> kind -> dep list
+(** All dependences of one kind in the program. *)
+
+val dep_to_string : dep -> string

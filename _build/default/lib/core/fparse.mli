@@ -1,0 +1,23 @@
+(** A small textual front end for Presburger formulas (the omega_calc
+    input language):
+
+    {v
+     formula := "forall" ids ":" formula
+              | "exists" ids ":" formula
+              | disj [ "=>" formula ]
+     disj    := conj { "or" conj }
+     conj    := chained comparisons separated by "and"
+    v}
+
+    e.g. ["forall x: 0 <= x and x <= 10 => exists y: x = 2*y or x = 2*y + 1"]. *)
+
+open Omega
+
+exception Error of string
+
+val formula_of_string : string -> Presburger.t
+(** @raise Error on malformed input. *)
+
+val problem_of_string : string -> Problem.t * (string * Var.t) list
+(** A bare conjunction as a problem, with the variable bindings created
+    for its names. *)

@@ -1,0 +1,23 @@
+(** Induction-variable recognition for scalar accumulators (section 5,
+    Example 11 / loop s141 of the vectorizing-compiler study).
+
+    A scalar (zero-dimensional array) written only by [x := x + e] with
+    [e >= 1] provable under the write's loop bounds and assumptions is a
+    strictly increasing accumulator; feeding that fact to the symbolic
+    dependence machinery (as {!Symbolic.array_property.Accumulator})
+    eliminates the loop-carried dependences on arrays it subscripts. *)
+
+type accumulator = {
+  scalar : string;
+  increment : Ir.access;  (** the write access of the [x := x + e] statement *)
+}
+
+val split_increment : string -> Ast.expr -> Ast.expr option
+(** [rhs] as [x + e]: exactly one positive top-level additive occurrence
+    of the scalar; returns [e]. *)
+
+val increment_positive : Depctx.t -> Ir.access -> Ast.expr -> bool
+(** Is the increment provably [>= 1] whenever the write executes? *)
+
+val detect : Depctx.t -> accumulator list
+(** All strictly increasing accumulators of the program. *)

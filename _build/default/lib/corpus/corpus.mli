@@ -1,0 +1,36 @@
+(** The bundled program corpus: the paper's Examples 1-11, the CHOLSKY
+    kernel of Figure 2 (translated statement-for-statement, with the
+    paper's own forward-substitution and loop normalization), and
+    tiny-distribution-style kernels (Cholesky, LU, wavefronts, stencils,
+    contrived kill/cover programs) used by the tests, examples and the
+    Figure 6/7 timing population. *)
+
+val example1 : string
+val example1m : assert_m:bool -> string
+(** The [a(m)] variant of Example 1; with [assert_m] the program carries
+    the assertion [n <= m <= n+10] that makes the kill verifiable. *)
+
+val example2 : string
+val example3 : string
+val example4 : string
+val example5 : string
+val example6 : string
+
+val example7 : ?assumes:string -> unit -> string
+(** Symbolic analysis example; [assumes] defaults to the paper's
+    [50 <= n <= 100]. *)
+
+val example8 : string
+val example9 : string
+val example10 : string
+val example11 : string
+val cholsky : string
+
+val all : (string * string) list
+(** Every corpus program, by name. *)
+
+val find : string -> string
+(** @raise Invalid_argument on an unknown name. *)
+
+val timing_population : string list
+(** The programs swept by the Figure 6/7 benches. *)

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Ast Format Hashtbl Ir List Option Sema String

@@ -1,0 +1,1 @@
+lib/lang/ir.ml: Array Ast Format List String

@@ -1,0 +1,1 @@
+lib/lang/sema.ml: Array Ast Format Ir List Parser Printf

@@ -1,0 +1,134 @@
+(* Surface syntax of the "petit" mini-language, our stand-in for Michael
+   Wolfe's tiny tool: nested for-loops over arrays with affine subscripts,
+   symbolic constants, and user assertions.
+
+   Grammar sketch:
+
+     program  := decl* stmt*
+     decl     := "symbolic" id ("," id)* ";"
+               | "real" id "[" range ("," range)* "]" ("," ...)* ";"
+               | "assume" cond ("," cond)* ";"
+     range    := expr ":" expr
+     stmt     := [label ":"] access ":=" expr ";"
+               | "for" id ":=" expr "to" expr "do" stmt* "endfor"
+     access   := id "(" expr ("," expr)* ")"  |  id "[" ... "]"
+     expr     := affine arithmetic over ids and literals, plus
+                 max(e,e) / min(e,e) in loop bounds and array reads
+     cond     := expr relop expr ("and" ...)                               *)
+
+type pos = { line : int; col : int }
+
+type expr =
+  | Int of int
+  | Name of string
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Max of expr * expr
+  | Min of expr * expr
+  | Ref of string * expr list (* array read: a(i), a(i,j), Q[i] *)
+
+type relop = Eq | Ne | Le | Lt | Ge | Gt
+
+type cond = { left : expr; op : relop; right : expr }
+
+type stmt =
+  | Assign of { label : string option; lhs : string * expr list; rhs : expr; pos : pos }
+  | For of {
+      var : string;
+      lo : expr;
+      hi : expr;
+      step : int; (* non-zero; negative counts down (normalized by sema) *)
+      body : stmt list;
+      pos : pos;
+    }
+
+type decl =
+  | Symbolic of string list
+  | Array of (string * (expr * expr) list) list
+  | Assume of cond list
+
+type program = { decls : decl list; stmts : stmt list }
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_expr fmt = function
+  | Int n -> Format.pp_print_int fmt n
+  | Name s -> Format.pp_print_string fmt s
+  | Neg e -> Format.fprintf fmt "-%a" pp_atom e
+  | Add (a, b) -> Format.fprintf fmt "%a + %a" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf fmt "%a - %a" pp_expr a pp_atom b
+  | Mul (a, b) -> Format.fprintf fmt "%a*%a" pp_atom a pp_atom b
+  | Max (a, b) -> Format.fprintf fmt "max(%a, %a)" pp_expr a pp_expr b
+  | Min (a, b) -> Format.fprintf fmt "min(%a, %a)" pp_expr a pp_expr b
+  | Ref (a, []) -> Format.pp_print_string fmt a
+  | Ref (a, subs) ->
+    Format.fprintf fmt "%s(%a)" a
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+         pp_expr)
+      subs
+
+and pp_atom fmt e =
+  match e with
+  | Int n when n < 0 -> Format.fprintf fmt "(%d)" n
+  | Int _ | Name _ | Ref _ | Max _ | Min _ -> pp_expr fmt e
+  | Neg _ | Add _ | Sub _ | Mul _ -> Format.fprintf fmt "(%a)" pp_expr e
+
+let string_of_relop = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Le -> "<="
+  | Lt -> "<"
+  | Ge -> ">="
+  | Gt -> ">"
+
+let pp_cond fmt c =
+  Format.fprintf fmt "%a %s %a" pp_expr c.left (string_of_relop c.op) pp_expr
+    c.right
+
+let rec pp_stmt ~indent fmt s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Assign { label; lhs = a, subs; rhs; _ } ->
+    Format.fprintf fmt "%s%s%a := %a;@." pad
+      (match label with Some l -> l ^ ": " | None -> "")
+      pp_expr (Ref (a, subs)) pp_expr rhs
+  | For { var; lo; hi; step; body; _ } ->
+    if step = 1 then
+      Format.fprintf fmt "%sfor %s := %a to %a do@." pad var pp_expr lo
+        pp_expr hi
+    else
+      Format.fprintf fmt "%sfor %s := %a to %a by %d do@." pad var pp_expr lo
+        pp_expr hi step;
+    List.iter (pp_stmt ~indent:(indent + 2) fmt) body;
+    Format.fprintf fmt "%sendfor@." pad
+
+let pp_program fmt p =
+  List.iter
+    (function
+      | Symbolic names ->
+        Format.fprintf fmt "symbolic %s;@." (String.concat ", " names)
+      | Array arrays ->
+        Format.fprintf fmt "real %s;@."
+          (String.concat ", "
+             (List.map
+                (fun (name, ranges) ->
+                  Format.asprintf "%s[%s]" name
+                    (String.concat ", "
+                       (List.map
+                          (fun (lo, hi) ->
+                            Format.asprintf "%a:%a" pp_expr lo pp_expr hi)
+                          ranges)))
+                arrays))
+      | Assume conds ->
+        Format.fprintf fmt "assume %s;@."
+          (String.concat ", "
+             (List.map (Format.asprintf "%a" pp_cond) conds)))
+    p.decls;
+  List.iter (pp_stmt ~indent:0 fmt) p.stmts
+
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,259 @@
+(* Reference interpreter for petit programs.
+
+   Executes the loop nest with concrete symbolic-constant values and
+   records every array read and write, instance by instance.  From the
+   trace we derive the *dynamic* dependences:
+
+   - value-based flow dependences (read <- its last writer): the ground
+     truth that the paper's live flow dependences must cover;
+   - memory-based flow/anti/output dependences (all ordered pairs touching
+     the same location): what standard dependence analysis reports.
+
+   The difference between memory-based and value-based flow dependences is
+   exactly the set of dead dependences the paper's techniques eliminate. *)
+
+type loc = string * int list
+
+type instance = {
+  acc : Ir.access;
+  iters : int list; (* values of the enclosing loop variables, outermost first *)
+}
+
+type event = { ev_instance : instance; ev_loc : loc; ev_write : bool }
+
+type trace = { events : event list (* in execution order *) }
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  syms : (string * int) list;
+  (* innermost first: variable -> (surface value, normalized counter) *)
+  mutable loops : (string * (int * int)) list;
+  memory : (loc, int) Hashtbl.t;
+  init : string -> int list -> int;
+  mutable rev_events : event list;
+  (* read accesses of the current statement, queued in evaluation order *)
+  mutable pending_reads : Ir.access list;
+}
+
+let lookup st name =
+  match List.assoc_opt name st.loops with
+  | Some (v, _) -> v
+  | None -> (
+    match List.assoc_opt name st.syms with
+    | Some v -> v
+    | None -> error "unbound variable %s at run time" name)
+
+let read_mem st loc =
+  match Hashtbl.find_opt st.memory loc with
+  | Some v -> v
+  | None -> st.init (fst loc) (snd loc)
+
+let current_iters st (a : Ir.access) =
+  (* normalized counters of a's enclosing loops, outermost first (these are
+     what the static analysis's iteration variables denote) *)
+  List.map
+    (fun (l : Ir.loop) ->
+      match List.assoc_opt l.Ir.lvar st.loops with
+      | Some (_, k) -> k
+      | None -> error "loop variable %s not active" l.Ir.lvar)
+    a.Ir.loops
+
+(* Binary nodes evaluate left before right (explicit lets: OCaml's operator
+   argument order is right-to-left, which would desynchronize the queued
+   read accesses). *)
+let rec eval st (e : Ast.expr) : int =
+  match e with
+  | Ast.Int n -> n
+  | Ast.Name s -> lookup st s
+  | Ast.Neg a -> -eval st a
+  | Ast.Add (a, b) ->
+    let x = eval st a in
+    let y = eval st b in
+    x + y
+  | Ast.Sub (a, b) ->
+    let x = eval st a in
+    let y = eval st b in
+    x - y
+  | Ast.Mul (a, b) ->
+    let x = eval st a in
+    let y = eval st b in
+    x * y
+  | Ast.Max (a, b) ->
+    let x = eval st a in
+    let y = eval st b in
+    max x y
+  | Ast.Min (a, b) ->
+    let x = eval st a in
+    let y = eval st b in
+    min x y
+  | Ast.Ref (name, subs) ->
+    let idx =
+      List.fold_left (fun acc s -> eval st s :: acc) [] subs |> List.rev
+    in
+    let loc = (name, idx) in
+    let v = read_mem st loc in
+    (* pop the matching queued read access and log the event *)
+    (match st.pending_reads with
+     | acc :: rest ->
+       assert (acc.Ir.array = name);
+       st.pending_reads <- rest;
+       st.rev_events <-
+         { ev_instance = { acc; iters = current_iters st acc }; ev_loc = loc;
+           ev_write = false }
+         :: st.rev_events
+     | [] -> error "interpreter out of sync: unexpected read of %s" name);
+    v
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec exec st (s : Ir.istmt) =
+  match s with
+  | Ir.IFor { var; lo; hi; step; body; _ } ->
+    let l = eval st lo and h = eval st hi in
+    let continue_ v = if step > 0 then v <= h else v >= h in
+    let rec iterate v k =
+      if continue_ v then begin
+        st.loops <- (var, (v, k)) :: st.loops;
+        List.iter (exec st) body;
+        st.loops <- List.tl st.loops;
+        iterate (v + step) (k + 1)
+      end
+    in
+    iterate l 0
+  | Ir.IAssign { write; reads; lhs = array, subs_ast; rhs; _ } ->
+    (* reads fire in evaluation order: RHS first, then LHS subscripts *)
+    let rhs_read_count =
+      List.length (List.rev (Sema.collect_reads rhs []))
+    in
+    let rhs_reads, lhs_reads =
+      let rec split n l =
+        if n = 0 then ([], l)
+        else
+          match l with
+          | x :: r ->
+            let a, b = split (n - 1) r in
+            (x :: a, b)
+          | [] -> ([], [])
+      in
+      split rhs_read_count reads
+    in
+    st.pending_reads <- rhs_reads;
+    let value = eval st rhs in
+    (if st.pending_reads <> [] then
+       error "interpreter out of sync: leftover RHS reads");
+    st.pending_reads <- lhs_reads;
+    let idx =
+      List.fold_left (fun acc s -> eval st s :: acc) [] subs_ast |> List.rev
+    in
+    (if st.pending_reads <> [] then
+       error "interpreter out of sync: leftover LHS reads");
+    let loc = (array, idx) in
+    Hashtbl.replace st.memory loc value;
+    st.rev_events <-
+      { ev_instance = { acc = write; iters = current_iters st write };
+        ev_loc = loc; ev_write = true }
+      :: st.rev_events
+
+let run ?(init = fun _ _ -> 0) (p : Ir.program) ~syms : trace =
+  let st =
+    {
+      syms;
+      loops = [];
+      memory = Hashtbl.create 64;
+      init;
+      rev_events = [];
+      pending_reads = [];
+    }
+  in
+  List.iter (exec st) p.Ir.stmts;
+  { events = List.rev st.rev_events }
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic dependences                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type dep = { src : instance; dst : instance }
+
+(* Value-based flow dependences: each read paired with its most recent
+   writer.  These are the dependences along which data actually flows. *)
+let value_flow_deps (t : trace) : dep list =
+  let last_writer : (loc, instance) Hashtbl.t = Hashtbl.create 64 in
+  List.fold_left
+    (fun acc ev ->
+      if ev.ev_write then begin
+        Hashtbl.replace last_writer ev.ev_loc ev.ev_instance;
+        acc
+      end
+      else
+        match Hashtbl.find_opt last_writer ev.ev_loc with
+        | Some w -> { src = w; dst = ev.ev_instance } :: acc
+        | None -> acc)
+    [] t.events
+  |> List.rev
+
+(* Memory-based dependences: every ordered pair of accesses to the same
+   location where at least one is a write.  [`Flow]: write then read;
+   [`Anti]: read then write; [`Output]: write then write. *)
+let memory_deps (t : trace) (kind : [ `Flow | `Anti | `Output ]) : dep list =
+  let writers : (loc, instance list) Hashtbl.t = Hashtbl.create 64 in
+  let readers : (loc, instance list) Hashtbl.t = Hashtbl.create 64 in
+  let get tbl loc = Option.value (Hashtbl.find_opt tbl loc) ~default:[] in
+  List.fold_left
+    (fun acc ev ->
+      let loc = ev.ev_loc and me = ev.ev_instance in
+      let acc =
+        if ev.ev_write then begin
+          let acc =
+            match kind with
+            | `Output ->
+              List.fold_left
+                (fun acc w -> { src = w; dst = me } :: acc)
+                acc (get writers loc)
+            | `Anti ->
+              List.fold_left
+                (fun acc r -> { src = r; dst = me } :: acc)
+                acc (get readers loc)
+            | `Flow -> acc
+          in
+          Hashtbl.replace writers loc (me :: get writers loc);
+          acc
+        end
+        else begin
+          let acc =
+            match kind with
+            | `Flow ->
+              List.fold_left
+                (fun acc w -> { src = w; dst = me } :: acc)
+                acc (get writers loc)
+            | `Anti | `Output -> acc
+          in
+          Hashtbl.replace readers loc (me :: get readers loc);
+          acc
+        end
+      in
+      acc)
+    [] t.events
+  |> List.rev
+
+(* Dependence distance on the common loops of the two accesses. *)
+let distance (d : dep) : int list =
+  let c = Ir.common_loops d.src.acc d.dst.acc in
+  let rec take n l = if n = 0 then [] else match l with [] -> [] | x :: r -> x :: take (n - 1) r in
+  let a = take c d.src.iters and b = take c d.dst.iters in
+  List.map2 (fun x y -> y - x) a b
+
+let pp_instance fmt i =
+  Format.fprintf fmt "%s@@(%s)" (Ir.access_to_string i.acc)
+    (String.concat "," (List.map string_of_int i.iters))
+
+let pp_dep fmt d =
+  Format.fprintf fmt "%a -> %a" pp_instance d.src pp_instance d.dst

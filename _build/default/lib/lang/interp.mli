@@ -1,0 +1,39 @@
+(** Reference interpreter for petit programs.
+
+    Executes the loop nest with concrete symbolic-constant values and
+    records every array read and write, instance by instance.  From the
+    trace come the {e dynamic} dependences used as a testing oracle:
+    value-based flow dependences (each read paired with its last writer -
+    the dependences along which data actually flows) and memory-based
+    dependences (what standard dependence analysis reports).  Their
+    difference is exactly the set of dead dependences the paper
+    eliminates. *)
+
+type loc = string * int list
+
+type instance = {
+  acc : Ir.access;
+  iters : int list;  (** enclosing loop variable values, outermost first *)
+}
+
+type event = { ev_instance : instance; ev_loc : loc; ev_write : bool }
+type trace = { events : event list (** in execution order *) }
+
+exception Runtime_error of string
+
+val run :
+  ?init:(string -> int list -> int) -> Ir.program -> syms:(string * int) list -> trace
+(** Execute with the given symbolic-constant values; [init] supplies the
+    initial array contents (default all zero) - used to seed index
+    arrays. *)
+
+type dep = { src : instance; dst : instance }
+
+val value_flow_deps : trace -> dep list
+val memory_deps : trace -> [ `Flow | `Anti | `Output ] -> dep list
+
+val distance : dep -> int list
+(** Dependence distance on the common loops of the two accesses. *)
+
+val pp_instance : Format.formatter -> instance -> unit
+val pp_dep : Format.formatter -> dep -> unit

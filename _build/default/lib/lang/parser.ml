@@ -1,0 +1,362 @@
+(* Recursive-descent parser for the petit language. *)
+
+open Ast
+
+exception Error of string * Ast.pos
+
+let error pos msg = raise (Error (msg, pos))
+
+let expect lx tok =
+  let t, p = Lexer.next lx in
+  if t <> tok then
+    error p
+      (Printf.sprintf "expected %s but found %s" (Lexer.token_to_string tok)
+         (Lexer.token_to_string t))
+
+let expect_ident lx =
+  match Lexer.next lx with
+  | Lexer.IDENT s, _ -> s
+  | t, p ->
+    error p
+      (Printf.sprintf "expected an identifier but found %s"
+         (Lexer.token_to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr lx =
+  let lhs = parse_term lx in
+  parse_expr_rest lx lhs
+
+and parse_expr_rest lx lhs =
+  match Lexer.peek lx with
+  | Lexer.PLUS, _ ->
+    ignore (Lexer.next lx);
+    let rhs = parse_term lx in
+    parse_expr_rest lx (Add (lhs, rhs))
+  | Lexer.MINUS, _ ->
+    ignore (Lexer.next lx);
+    let rhs = parse_term lx in
+    parse_expr_rest lx (Sub (lhs, rhs))
+  | _ -> lhs
+
+and parse_term lx =
+  let lhs = parse_factor lx in
+  parse_term_rest lx lhs
+
+and parse_term_rest lx lhs =
+  match Lexer.peek lx with
+  | Lexer.STAR, _ ->
+    ignore (Lexer.next lx);
+    let rhs = parse_factor lx in
+    parse_term_rest lx (Mul (lhs, rhs))
+  | _ -> lhs
+
+and parse_factor lx =
+  match Lexer.next lx with
+  | Lexer.INT n, _ -> Int n
+  | Lexer.MINUS, _ -> Neg (parse_factor lx)
+  | Lexer.LPAREN, _ ->
+    let e = parse_expr lx in
+    expect lx Lexer.RPAREN;
+    e
+  | Lexer.KW_MAX, _ ->
+    expect lx Lexer.LPAREN;
+    let a = parse_expr lx in
+    expect lx Lexer.COMMA;
+    let b = parse_expr lx in
+    expect lx Lexer.RPAREN;
+    Max (a, b)
+  | Lexer.KW_MIN, _ ->
+    expect lx Lexer.LPAREN;
+    let a = parse_expr lx in
+    expect lx Lexer.COMMA;
+    let b = parse_expr lx in
+    expect lx Lexer.RPAREN;
+    Min (a, b)
+  | Lexer.IDENT name, _ -> (
+    match Lexer.peek lx with
+    | Lexer.LPAREN, _ ->
+      ignore (Lexer.next lx);
+      let subs = parse_args lx Lexer.RPAREN in
+      Ref (name, subs)
+    | Lexer.LBRACK, _ ->
+      ignore (Lexer.next lx);
+      let subs = parse_args lx Lexer.RBRACK in
+      Ref (name, subs)
+    | _ -> Name name)
+  | t, p ->
+    error p
+      (Printf.sprintf "expected an expression but found %s"
+         (Lexer.token_to_string t))
+
+and parse_args lx closing =
+  let rec go acc =
+    let e = parse_expr lx in
+    match Lexer.next lx with
+    | Lexer.COMMA, _ -> go (e :: acc)
+    | t, p ->
+      if t = closing then List.rev (e :: acc)
+      else
+        error p
+          (Printf.sprintf "expected ',' or %s but found %s"
+             (Lexer.token_to_string closing)
+             (Lexer.token_to_string t))
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let relop_of_token = function
+  | Lexer.EQ -> Some Eq
+  | Lexer.NE -> Some Ne
+  | Lexer.LE -> Some Le
+  | Lexer.LT -> Some Lt
+  | Lexer.GE -> Some Ge
+  | Lexer.GT -> Some Gt
+  | _ -> None
+
+(* A condition, allowing chained comparisons: 1 <= x <= 50 becomes two
+   conjoined conditions. *)
+let parse_cond_chain lx =
+  let first = parse_expr lx in
+  let rec go left acc =
+    match Lexer.peek lx with
+    | tok, p -> (
+      match relop_of_token tok with
+      | Some op ->
+        ignore (Lexer.next lx);
+        let right = parse_expr lx in
+        go right ({ left; op; right } :: acc)
+      | None ->
+        if acc = [] then error p "expected a comparison operator"
+        else List.rev acc)
+  in
+  go first []
+
+let parse_conds lx =
+  let rec go acc =
+    let cs = parse_cond_chain lx in
+    match Lexer.peek lx with
+    | Lexer.KW_AND, _ | Lexer.COMMA, _ ->
+      ignore (Lexer.next lx);
+      go (List.rev_append cs acc)
+    | _ -> List.rev (List.rev_append cs acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Statements and declarations                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt lx : stmt =
+  match Lexer.peek lx with
+  | Lexer.KW_FOR, pos ->
+    ignore (Lexer.next lx);
+    let var = expect_ident lx in
+    expect lx Lexer.ASSIGN;
+    let lo = parse_expr lx in
+    expect lx Lexer.KW_TO;
+    let hi = parse_expr lx in
+    let step =
+      match Lexer.peek lx with
+      | Lexer.KW_BY, _ -> (
+        ignore (Lexer.next lx);
+        let negate, p =
+          match Lexer.peek lx with
+          | Lexer.MINUS, p ->
+            ignore (Lexer.next lx);
+            (true, p)
+          | _, p -> (false, p)
+        in
+        match Lexer.next lx with
+        | Lexer.INT 0, _ -> error p "loop step cannot be 0"
+        | Lexer.INT n, _ -> if negate then -n else n
+        | t, p ->
+          error p
+            (Printf.sprintf "expected an integer step but found %s"
+               (Lexer.token_to_string t)))
+      | _ -> 1
+    in
+    expect lx Lexer.KW_DO;
+    let body = parse_stmts lx in
+    expect lx Lexer.KW_ENDFOR;
+    (match Lexer.peek lx with
+     | Lexer.SEMI, _ -> ignore (Lexer.next lx)
+     | _ -> ());
+    For { var; lo; hi; step; body; pos }
+  | Lexer.INT n, pos ->
+    (* numeric statement label, as in the CHOLSKY listing *)
+    ignore (Lexer.next lx);
+    expect lx Lexer.COLON;
+    parse_assign lx ~label:(Some (string_of_int n)) ~pos
+  | Lexer.IDENT _, pos -> (
+    (* could be "label : lhs := ..." or "lhs := ..." *)
+    let name = expect_ident lx in
+    match Lexer.peek lx with
+    | Lexer.COLON, _ ->
+      ignore (Lexer.next lx);
+      parse_assign lx ~label:(Some name) ~pos
+    | Lexer.LPAREN, _ | Lexer.LBRACK, _ ->
+      parse_assign_with_array lx ~label:None ~pos name
+    | Lexer.ASSIGN, _ ->
+      (* scalar assignment: k := e *)
+      ignore (Lexer.next lx);
+      let rhs = parse_expr lx in
+      expect lx Lexer.SEMI;
+      Assign { label = None; lhs = (name, []); rhs; pos }
+    | t, p ->
+      error p
+        (Printf.sprintf "expected ':', ':=', '(' or '[' after %s but found %s"
+           name
+           (Lexer.token_to_string t)))
+  | t, p ->
+    error p
+      (Printf.sprintf "expected a statement but found %s"
+         (Lexer.token_to_string t))
+
+and parse_assign lx ~label ~pos =
+  let name = expect_ident lx in
+  parse_assign_with_array lx ~label ~pos name
+
+and parse_assign_with_array lx ~label ~pos name =
+  let subs =
+    match Lexer.peek lx with
+    | Lexer.LPAREN, _ ->
+      ignore (Lexer.next lx);
+      parse_args lx Lexer.RPAREN
+    | Lexer.LBRACK, _ ->
+      ignore (Lexer.next lx);
+      parse_args lx Lexer.RBRACK
+    | Lexer.ASSIGN, _ -> [] (* scalar assignment *)
+    | t, p ->
+      error p
+        (Printf.sprintf "expected array subscripts or ':=' but found %s"
+           (Lexer.token_to_string t))
+  in
+  expect lx Lexer.ASSIGN;
+  let rhs = parse_expr lx in
+  expect lx Lexer.SEMI;
+  Assign { label; lhs = (name, subs); rhs; pos }
+
+and parse_stmts lx : stmt list =
+  let rec go acc =
+    match Lexer.peek lx with
+    | Lexer.KW_FOR, _ | Lexer.IDENT _, _ | Lexer.INT _, _ ->
+      go (parse_stmt lx :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_decl lx : decl option =
+  match Lexer.peek lx with
+  | Lexer.KW_SYMBOLIC, _ ->
+    ignore (Lexer.next lx);
+    let rec names acc =
+      let n = expect_ident lx in
+      match Lexer.next lx with
+      | Lexer.COMMA, _ -> names (n :: acc)
+      | Lexer.SEMI, _ -> List.rev (n :: acc)
+      | t, p ->
+        error p
+          (Printf.sprintf "expected ',' or ';' but found %s"
+             (Lexer.token_to_string t))
+    in
+    Some (Symbolic (names []))
+  | Lexer.KW_REAL, _ ->
+    ignore (Lexer.next lx);
+    let parse_array () =
+      let name = expect_ident lx in
+      let ranges =
+        match Lexer.peek lx with
+        | Lexer.LBRACK, _ | Lexer.LPAREN, _ ->
+          let closing =
+            match Lexer.next lx with
+            | Lexer.LBRACK, _ -> Lexer.RBRACK
+            | _ -> Lexer.RPAREN
+          in
+          let rec go acc =
+            let lo = parse_expr lx in
+            expect lx Lexer.COLON;
+            let hi = parse_expr lx in
+            match Lexer.next lx with
+            | Lexer.COMMA, _ -> go ((lo, hi) :: acc)
+            | t, p ->
+              if t = closing then List.rev ((lo, hi) :: acc)
+              else
+                error p
+                  (Printf.sprintf "expected ',' or closing bracket, found %s"
+                     (Lexer.token_to_string t))
+          in
+          go []
+        | _ -> []
+      in
+      (name, ranges)
+    in
+    let rec arrays acc =
+      let a = parse_array () in
+      match Lexer.next lx with
+      | Lexer.COMMA, _ -> arrays (a :: acc)
+      | Lexer.SEMI, _ -> List.rev (a :: acc)
+      | t, p ->
+        error p
+          (Printf.sprintf "expected ',' or ';' but found %s"
+             (Lexer.token_to_string t))
+    in
+    Some (Array (arrays []))
+  | Lexer.KW_ASSUME, _ ->
+    ignore (Lexer.next lx);
+    let conds = parse_conds lx in
+    expect lx Lexer.SEMI;
+    Some (Assume conds)
+  | _ -> None
+
+let parse_program_lx lx : program =
+  let rec decls acc =
+    match parse_decl lx with None -> List.rev acc | Some d -> decls (d :: acc)
+  in
+  let decls = decls [] in
+  let stmts = parse_stmts lx in
+  (* trailing assumes are also allowed *)
+  let rec trailing acc =
+    match parse_decl lx with
+    | None -> List.rev acc
+    | Some d -> trailing (d :: acc)
+  in
+  let decls = decls @ trailing [] in
+  (match Lexer.peek lx with
+   | Lexer.EOF, _ -> ()
+   | t, p ->
+     error p
+       (Printf.sprintf "unexpected %s at top level" (Lexer.token_to_string t)));
+  { decls; stmts }
+
+let parse_string src : program =
+  let lx = Lexer.create src in
+  try parse_program_lx lx
+  with Lexer.Error (msg, pos) -> raise (Error (msg, pos))
+
+(* Parse a bare conjunction of (possibly chained) comparisons, e.g.
+   "0 <= x <= 5 and y < x": used by the omega_calc front end. *)
+let parse_conds_string src : cond list =
+  let lx = Lexer.create src in
+  try
+    let conds = parse_conds lx in
+    (match Lexer.peek lx with
+     | Lexer.EOF, _ -> ()
+     | t, p ->
+       error p
+         (Printf.sprintf "unexpected %s after conditions"
+            (Lexer.token_to_string t)));
+    conds
+  with Lexer.Error (msg, pos) -> raise (Error (msg, pos))
+
+let parse_file path : program =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse_string src

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the petit language (grammar in
+    {!Ast}). *)
+
+exception Error of string * Ast.pos
+
+val parse_string : string -> Ast.program
+(** @raise Error with a position on malformed input. *)
+
+val parse_file : string -> Ast.program
+
+val parse_conds_string : string -> Ast.cond list
+(** A bare conjunction of (possibly chained) comparisons, e.g.
+    ["0 <= x <= 5 and y < x"]: the omega_calc input language. *)

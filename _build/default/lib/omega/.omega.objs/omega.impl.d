@@ -1,0 +1,1 @@
+lib/omega/omega.ml: Constr Elim Gist Linexpr List Presburger Problem Var Zint

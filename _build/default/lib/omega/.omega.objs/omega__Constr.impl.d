@@ -1,0 +1,1 @@
+lib/omega/constr.ml: Format Linexpr Zint

@@ -1,0 +1,1 @@
+lib/omega/constr.mli: Format Linexpr Var Zint

@@ -1,0 +1,1 @@
+lib/omega/elim.ml: Constr Linexpr List Option Problem Var Zint

@@ -1,0 +1,1 @@
+lib/omega/elim.mli: Problem Var

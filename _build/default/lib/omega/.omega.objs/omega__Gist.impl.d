@@ -1,0 +1,1 @@
+lib/omega/gist.ml: Constr Elim Linexpr List Problem Var Zint

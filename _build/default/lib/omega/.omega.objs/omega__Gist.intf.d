@@ -1,0 +1,1 @@
+lib/omega/gist.mli: Constr Problem Var

@@ -1,0 +1,1 @@
+lib/omega/linexpr.ml: Format Var Zint

@@ -1,0 +1,1 @@
+lib/omega/linexpr.mli: Format Var Zint

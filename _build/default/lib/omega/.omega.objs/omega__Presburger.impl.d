@@ -1,0 +1,1 @@
+lib/omega/presburger.ml: Constr Elim Format Linexpr List Problem String Var Zint

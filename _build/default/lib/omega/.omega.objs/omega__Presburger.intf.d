@@ -1,0 +1,1 @@
+lib/omega/presburger.mli: Constr Format Linexpr Problem Var Zint

@@ -1,0 +1,1 @@
+lib/omega/problem.ml: Constr Format Linexpr List Map Var Zint

@@ -1,0 +1,1 @@
+lib/omega/problem.mli: Constr Format Linexpr Var Zint

@@ -1,0 +1,1 @@
+lib/omega/var.ml: Format Map Printf Set

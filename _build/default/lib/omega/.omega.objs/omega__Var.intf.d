@@ -1,0 +1,1 @@
+lib/omega/var.mli: Format Map Set

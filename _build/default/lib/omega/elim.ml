@@ -1,0 +1,444 @@
+(* The Omega test engine: exact elimination of variables from conjunctions
+   of linear constraints.
+
+   Two phases per problem:
+
+   1. Equality elimination.  Equalities involving eliminable variables are
+      removed exactly: a variable with a unit coefficient is substituted
+      away; otherwise Pugh's "mod-hat" step introduces a fresh wildcard and
+      shrinks the equality's coefficients until a unit coefficient appears.
+      Equalities whose eliminable variables occur nowhere else collapse into
+      congruences (a single wildcard with coefficient >= 2) or disappear.
+
+   2. Fourier-Motzkin elimination of the remaining eliminable variables,
+      which by then occur only in inequalities.  Each pair of a lower and an
+      upper bound combines into a *real shadow* constraint; the *dark
+      shadow* tightens it by (a-1)(b-1), guaranteeing an integer witness.
+      When the two differ, the exact projection is the dark shadow together
+      with finitely many *splinters* (copies of the problem with the
+      variable pinned near a lower bound), per [Pug91]. *)
+
+type keep = Var.t -> bool
+
+let elim_fuel = 100_000
+
+exception Contradiction
+
+(* ------------------------------------------------------------------ *)
+(* Equality elimination                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Solve an equality for a variable [v] with coefficient +-1: returns the
+   defining expression for [v]. *)
+let solve_for v (e : Linexpr.t) =
+  let c = Linexpr.coeff e v in
+  assert (Zint.is_one (Zint.abs c));
+  let rest = Linexpr.set_coeff e v Zint.zero in
+  if Zint.is_one c then Linexpr.neg rest else rest
+
+(* An equality is an inert congruence when its only eliminable variable is
+   a wildcard with |coeff| >= 2 occurring nowhere else in the problem. *)
+let eliminable_vars ~(keep : keep) e =
+  Var.Set.filter (fun v -> Var.is_wild v || not (keep v)) (Linexpr.vars e)
+
+let occurrences_excluding p c v =
+  List.fold_left
+    (fun n c' -> if c' != c && Constr.mentions c' v then n + 1 else n)
+    0 (Problem.constraints p)
+
+let is_inert ~keep p (c : Constr.t) =
+  Constr.kind c = Constr.Eq
+  &&
+  let e = Constr.expr c in
+  match Var.Set.elements (eliminable_vars ~keep e) with
+  | [ v ] ->
+    Var.is_wild v
+    && Zint.(Zint.abs (Linexpr.coeff e v) >= Zint.two)
+    && occurrences_excluding p c v = 0
+  | _ -> false
+
+(* mod-hat reduction step on equality [c]: used when the equality entangles
+   at least two eliminable variables, none with a unit coefficient.
+   Introduces a fresh wildcard [sigma] via Pugh's symmetric-residue
+   equation; the target variable [k] (the eliminable variable with the
+   smallest coefficient) has a unit coefficient there, so it can be
+   substituted away globally.  Repetition shrinks the eliminable
+   coefficients, guaranteeing termination [Pug91]. *)
+let mod_hat_step ~keep p (c : Constr.t) =
+  let e = Constr.expr c in
+  let eliminable v = Var.is_wild v || not (keep v) in
+  (* k = eliminable variable with the smallest |coefficient| *)
+  let k, ak =
+    Linexpr.fold_terms
+      (fun v cv acc ->
+        if not (eliminable v) then acc
+        else
+          match acc with
+          | Some (_, best) when Zint.(Zint.abs best <= Zint.abs cv) -> acc
+          | _ -> Some (v, cv))
+      e None
+    |> Option.get
+  in
+  let m = Zint.succ (Zint.abs ak) in
+  let sigma = Var.fresh_wild () in
+  (* star: sum_i mod_hat(a_i, m) x_i + mod_hat(const, m) - m sigma = 0;
+     the coefficient of k in star is -sign(ak), a unit. *)
+  let star_expr =
+    let base = Linexpr.map_coeffs (fun a -> Zint.mod_hat a m) e in
+    Linexpr.add_term base (Zint.neg m) sigma
+  in
+  let def = solve_for k star_expr in
+  Problem.subst_colored k def (Constr.color c) p
+
+(* Scale-out step: equality [c] reads [m*v + r = 0] where [v] is its only
+   eliminable variable (with [r] over kept variables and the constant).
+   Any other constraint [a*v + s >= 0] can be multiplied by |m| > 0 (exact
+   for inequalities and equalities alike) and [m*v] replaced by [-r],
+   eliminating [v] from it without touching integrality.  Afterwards [v] is
+   local to [c], which then collapses to a congruence. *)
+let scale_out_step p (c : Constr.t) v =
+  let e = Constr.expr c in
+  let m = Linexpr.coeff e v in
+  let r = Linexpr.set_coeff e v Zint.zero in
+  let am = Zint.abs m in
+  let sm = Zint.of_int (Zint.sign m) in
+  Problem.map_constraints
+    (fun c' ->
+      if c' == c || not (Constr.mentions c' v) then c'
+      else begin
+        let e' = Constr.expr c' in
+        let a = Linexpr.coeff e' v in
+        let s = Linexpr.set_coeff e' v Zint.zero in
+        let expr =
+          Linexpr.add (Linexpr.scale am s)
+            (Linexpr.scale (Zint.neg (Zint.mul a sm)) r)
+        in
+        Constr.make
+          ~color:(Constr.combine_colors (Constr.color c) (Constr.color c'))
+          (Constr.kind c') expr
+      end)
+    p
+
+(* One pass of the equality phase; raises [Contradiction].  Returns
+   [`Progress p] when a step was taken, [`Done p] when every equality is
+   either purely over kept variables or an inert congruence. *)
+let eq_step ~keep (p : Problem.t) =
+  let cs = Problem.constraints p in
+  let rec find = function
+    | [] -> `Done p
+    | c :: rest when Constr.kind c <> Constr.Eq -> find rest
+    | c :: rest ->
+      let e = Constr.expr c in
+      let elims = eliminable_vars ~keep e in
+      if Var.Set.is_empty elims then find rest
+      else if is_inert ~keep p c then find rest
+      else begin
+        (* 1: substitute through a unit-coefficient eliminable variable *)
+        let unit_var =
+          let candidates =
+            Var.Set.filter
+              (fun v -> Zint.is_one (Zint.abs (Linexpr.coeff e v)))
+              elims
+          in
+          (* prefer wildcards to keep problems small *)
+          match Var.Set.elements (Var.Set.filter Var.is_wild candidates) with
+          | v :: _ -> Some v
+          | [] -> (
+            match Var.Set.elements candidates with
+            | v :: _ -> Some v
+            | [] -> None)
+        in
+        match unit_var with
+        | Some v ->
+          let def = solve_for v e in
+          let p' =
+            Problem.filter (fun c' -> c' != c) p
+            |> Problem.subst_colored v def (Constr.color c)
+          in
+          `Progress p'
+        | None ->
+          (* 2: all eliminable vars occur only in this equality: collapse
+             them into a congruence (or drop / refute) *)
+          let all_local =
+            Var.Set.for_all (fun v -> occurrences_excluding p c v = 0) elims
+          in
+          if all_local then begin
+            let g =
+              Var.Set.fold
+                (fun v acc -> Zint.gcd acc (Linexpr.coeff e v))
+                elims Zint.zero
+            in
+            let kept_part =
+              Var.Set.fold (fun v e -> Linexpr.set_coeff e v Zint.zero) elims e
+            in
+            let p_rest = Problem.filter (fun c' -> c' != c) p in
+            if Zint.is_one g then `Progress p_rest
+            else if Linexpr.is_const kept_part then
+              if Zint.divisible (Linexpr.constant kept_part) g then
+                `Progress p_rest
+              else raise Contradiction
+            else begin
+              (* kept_part + g * sigma = 0 for a fresh wildcard sigma *)
+              let sigma = Var.fresh_wild () in
+              let cong = Linexpr.add_term kept_part g sigma in
+              `Progress
+                (Problem.add (Constr.eq ~color:(Constr.color c) cong) p_rest)
+            end
+          end
+          else if Var.Set.cardinal elims = 1 then
+            (* 3: a single eliminable variable entangled with other
+               constraints: scale it out of them, making it local *)
+            `Progress (scale_out_step p c (Var.Set.choose elims))
+          else
+            (* 4: several entangled eliminable variables: mod-hat *)
+            `Progress (mod_hat_step ~keep p c)
+      end
+  in
+  find cs
+
+(* Run simplification and the equality phase to a fixed point. *)
+let rec eq_phase ~keep ~fuel (p : Problem.t) : Problem.t =
+  if fuel <= 0 then failwith "Elim.eq_phase: fuel exhausted";
+  match Problem.simplify p with
+  | Problem.Contra -> raise Contradiction
+  | Problem.Ok p -> (
+    match eq_step ~keep p with
+    | `Done p -> p
+    | `Progress p -> eq_phase ~keep ~fuel:(fuel - 1) p)
+
+(* ------------------------------------------------------------------ *)
+(* Fourier-Motzkin elimination of one variable from the inequalities   *)
+(* ------------------------------------------------------------------ *)
+
+type fm_result =
+  | Eliminated of Problem.t (* exact *)
+  | Split of {
+      dark : Problem.t;
+      real : Problem.t;
+      splinters : Problem.t list; (* each still contains the variable, with
+                                     an added equality pinning it *)
+    }
+
+(* Split the constraints of [p] around variable [v].
+   Lower bounds: cl*v + rl >= 0 with cl > 0.
+   Upper bounds: -cu*v + ru >= 0 with cu > 0 (stored as (cu, ru)). *)
+let bounds_on p v =
+  List.fold_left
+    (fun (lows, ups, others) c ->
+      if Constr.kind c = Constr.Eq || not (Constr.mentions c v) then
+        (lows, ups, c :: others)
+      else begin
+        let e = Constr.expr c in
+        let cv = Linexpr.coeff e v in
+        let rest = Linexpr.set_coeff e v Zint.zero in
+        if Zint.sign cv > 0 then ((cv, rest, c) :: lows, ups, others)
+        else ((lows, (Zint.neg cv, rest, c) :: ups, others))
+      end)
+    ([], [], []) (Problem.constraints p)
+
+(* Exactness of eliminating v: every lower/upper pair must have a unit
+   coefficient on at least one side. *)
+let fm_exact lows ups =
+  List.for_all (fun (cl, _, _) -> Zint.is_one cl) lows
+  || List.for_all (fun (cu, _, _) -> Zint.is_one cu) ups
+
+let fm_combine ~dark lows ups others =
+  let combos =
+    List.concat_map
+      (fun (cl, rl, lc) ->
+        List.map
+          (fun (cu, ru, uc) ->
+            (* cl*v >= -rl and cu*v <= ru:
+               real: cl*ru + cu*rl >= 0
+               dark: cl*ru + cu*rl - (cl-1)(cu-1) >= 0 *)
+            let e =
+              Linexpr.add (Linexpr.scale cl ru) (Linexpr.scale cu rl)
+            in
+            let e =
+              if dark then
+                Linexpr.add_const e
+                  (Zint.neg (Zint.mul (Zint.pred cl) (Zint.pred cu)))
+              else e
+            in
+            Constr.geq
+              ~color:(Constr.combine_colors (Constr.color lc) (Constr.color uc))
+              e)
+          ups)
+      lows
+  in
+  Problem.of_list (combos @ others)
+
+(* Number of splinters the Pugh construction would create. *)
+let splinter_count lows ups =
+  let amax =
+    List.fold_left (fun acc (cu, _, _) -> Zint.max acc cu) Zint.one ups
+  in
+  List.fold_left
+    (fun acc (cl, _, _) ->
+      (* floor((amax*cl - amax - cl) / amax) + 1 splinters for this bound *)
+      let kmax =
+        Zint.fdiv
+          (Zint.sub (Zint.mul amax cl) (Zint.add amax cl))
+          amax
+      in
+      if Zint.sign kmax < 0 then acc
+      else acc + Zint.to_int kmax + 1)
+    0 lows
+
+(* Pugh's splinter construction: an integer solution outside the dark
+   shadow must satisfy [cl*v + rl = k] for some lower bound and some
+   [0 <= k <= (amax*cl - amax - cl) / amax], where [amax] is the largest
+   upper-bound coefficient of [v]. *)
+let make_splinters v p lows ups =
+  let amax =
+    List.fold_left (fun acc (cu, _, _) -> Zint.max acc cu) Zint.one ups
+  in
+  List.concat_map
+    (fun (cl, rl, _) ->
+      let kmax =
+        Zint.fdiv (Zint.sub (Zint.mul amax cl) (Zint.add amax cl)) amax
+      in
+      let rec go k acc =
+        if Zint.(k > kmax) then List.rev acc
+        else begin
+          (* pin cl*v + rl - k = 0 *)
+          let pin_expr =
+            Linexpr.add_term (Linexpr.add_const rl (Zint.neg k)) cl v
+          in
+          go (Zint.succ k) (Problem.add (Constr.eq pin_expr) p :: acc)
+        end
+      in
+      go Zint.zero [])
+    lows
+
+let fm_eliminate p v : fm_result =
+  let lows, ups, others = bounds_on p v in
+  match lows, ups with
+  | [], _ | _, [] -> Eliminated (Problem.of_list others)
+  | _ ->
+    if fm_exact lows ups then Eliminated (fm_combine ~dark:true lows ups others)
+    else begin
+      let dark = fm_combine ~dark:true lows ups others in
+      let real = fm_combine ~dark:false lows ups others in
+      Split { dark; real; splinters = make_splinters v p lows ups }
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Variable choice                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Pick the eliminable variable whose elimination is cheapest: free
+   (one-sided bounds) first, then exact eliminations with the fewest
+   combinations, then the fewest splinters. *)
+let pick_var ~keep p =
+  let candidates =
+    Var.Set.filter
+      (fun v -> Var.is_wild v || not (keep v))
+      (Problem.vars p)
+  in
+  (* variables still in equalities are inert congruence wildcards: skip *)
+  let in_eq v =
+    List.exists
+      (fun c -> Constr.kind c = Constr.Eq && Constr.mentions c v)
+      (Problem.constraints p)
+  in
+  let score v =
+    if in_eq v then None
+    else begin
+      let lows, ups, _ = bounds_on p v in
+      match lows, ups with
+      | [], [] -> None (* does not occur in inequalities either *)
+      | [], _ | _, [] -> Some (v, 0)
+      | _ ->
+        if fm_exact lows ups then
+          Some (v, 1 + (List.length lows * List.length ups))
+        else Some (v, 1000 + splinter_count lows ups)
+    end
+  in
+  Var.Set.fold
+    (fun v best ->
+      match score v with
+      | None -> best
+      | Some (_, s) as cand -> (
+        match best with
+        | Some (_, s') when s' <= s -> best
+        | _ -> cand))
+    candidates None
+  |> Option.map fst
+
+(* ------------------------------------------------------------------ *)
+(* Drivers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact projection: returns a list of problems whose union (reading
+   wildcards existentially) equals the projection of [p] onto the kept
+   variables.  An empty list means the problem is unsatisfiable.
+   [splintered] (when provided) is set when any elimination was not exact
+   (so the result may rest on dark shadows even if a single problem comes
+   back). *)
+let rec project_list ~keep ~fuel ?splintered (p : Problem.t) : Problem.t list
+    =
+  if fuel <= 0 then failwith "Elim.project: fuel exhausted";
+  match eq_phase ~keep ~fuel p with
+  | exception Contradiction -> []
+  | p -> (
+    match pick_var ~keep p with
+    | None -> [ p ]
+    | Some v -> (
+      match fm_eliminate p v with
+      | Eliminated p' -> project_list ~keep ~fuel:(fuel - 1) ?splintered p'
+      | Split { dark; splinters; _ } ->
+        (match splintered with Some r -> r := true | None -> ());
+        project_list ~keep ~fuel:(fuel - 1) ?splintered dark
+        @ List.concat_map
+            (project_list ~keep ~fuel:(fuel - 1) ?splintered)
+            splinters))
+
+let project ?splintered ~keep p =
+  project_list ~keep ~fuel:elim_fuel ?splintered p
+
+(* Approximate projection: single problem.  [`Dark] under-approximates
+   (every point of the result is in the true projection), [`Real]
+   over-approximates. *)
+let rec project_approx ~mode ~keep ~fuel (p : Problem.t) :
+    [ `Contra | `Ok of Problem.t ] =
+  if fuel <= 0 then failwith "Elim.project_approx: fuel exhausted";
+  match eq_phase ~keep ~fuel p with
+  | exception Contradiction -> `Contra
+  | p -> (
+    match pick_var ~keep p with
+    | None -> `Ok p
+    | Some v -> (
+      match fm_eliminate p v with
+      | Eliminated p' -> project_approx ~mode ~keep ~fuel:(fuel - 1) p'
+      | Split { dark; real; _ } ->
+        let next = match mode with `Dark -> dark | `Real -> real in
+        project_approx ~mode ~keep ~fuel:(fuel - 1) next))
+
+let project_dark ~keep p = project_approx ~mode:`Dark ~keep ~fuel:elim_fuel p
+let project_real ~keep p = project_approx ~mode:`Real ~keep ~fuel:elim_fuel p
+
+let keep_none : keep = fun _ -> false
+
+(* Conservative satisfiability via real shadows only: [false] is definite,
+   [true] is "maybe". *)
+let sat_real p =
+  match project_real ~keep:keep_none p with `Contra -> false | `Ok _ -> true
+
+(* Exact integer satisfiability. *)
+let rec satisfiable_fuel ~fuel (p : Problem.t) : bool =
+  if fuel <= 0 then failwith "Elim.satisfiable: fuel exhausted";
+  match eq_phase ~keep:keep_none ~fuel p with
+  | exception Contradiction -> false
+  | p -> (
+    match pick_var ~keep:keep_none p with
+    | None -> true
+    | Some v -> (
+      match fm_eliminate p v with
+      | Eliminated p' -> satisfiable_fuel ~fuel:(fuel - 1) p'
+      | Split { dark; real; splinters } ->
+        satisfiable_fuel ~fuel:(fuel - 1) dark
+        || (sat_real real
+            && List.exists (satisfiable_fuel ~fuel:(fuel - 1)) splinters)))
+
+let satisfiable p = satisfiable_fuel ~fuel:elim_fuel p

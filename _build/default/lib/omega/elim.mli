@@ -1,0 +1,35 @@
+(** The Omega test engine: exact elimination of variables from
+    conjunctions of linear constraints [Pug91], extended with exact
+    projection as used by the PLDI'92 paper.
+
+    Equalities are eliminated exactly (unit-coefficient substitution,
+    collapse to congruences, scale-out of a lone entangled variable, or
+    Pugh's mod-hat reduction).  Remaining variables are eliminated by
+    Fourier-Motzkin: each lower/upper bound pair combines into a {e real
+    shadow} constraint, tightened by [(a-1)(b-1)] into the {e dark
+    shadow}; when the two differ, the exact projection is the dark shadow
+    together with finitely many {e splinters}. *)
+
+type keep = Var.t -> bool
+(** Which variables to keep (protect) during projection.  Wildcards are
+    always eliminable regardless of [keep]. *)
+
+exception Contradiction
+
+val satisfiable : Problem.t -> bool
+(** Exact integer satisfiability. *)
+
+val project : ?splintered:bool ref -> keep:keep -> Problem.t -> Problem.t list
+(** Exact projection: the union of the returned problems (reading their
+    wildcards existentially) has exactly the same integer solutions for
+    the kept variables as the input.  The empty list means the input is
+    unsatisfiable.  [splintered] is set when some elimination was inexact
+    (the union then mixes dark-shadow pieces and pinned copies). *)
+
+val project_dark : keep:keep -> Problem.t -> [ `Contra | `Ok of Problem.t ]
+(** Dark-shadow projection: a single problem under-approximating the true
+    projection (every point of the result has an integer witness). *)
+
+val project_real : keep:keep -> Problem.t -> [ `Contra | `Ok of Problem.t ]
+(** Real-shadow projection: a single problem over-approximating the true
+    projection. *)

@@ -1,0 +1,36 @@
+(** Gist computation and implication testing (section 3.3 of the paper).
+
+    [gist p ~given:q] is a conjunction of a minimal subset of the
+    constraints of [p] such that [(gist p given q) && q  ==  p && q]: the
+    "new information" in [p] for someone who already knows [q]. *)
+
+type result =
+  | Tautology  (** [q] already implies [p]: the gist is [True]. *)
+  | False  (** [p] and [q] are inconsistent. *)
+  | Gist of Problem.t
+
+val gist : ?fast:bool -> Problem.t -> given:Problem.t -> result
+(** [fast] (default true) enables the paper's screening checks:
+    single-constraint implications and the "no positively-correlated
+    normal" must-keep test.  Disabling it falls back to the naive
+    satisfiability-test-per-constraint algorithm (exposed for the
+    ablation bench); both satisfy the defining property. *)
+
+val implies : Problem.t -> Problem.t -> bool
+(** [implies p q]: is [p => q] a tautology?  (Section 3.3.1: each
+    constraint of [q] is checked against [p], with a parallel-constraint
+    screen before the satisfiability test.) *)
+
+(**/**)
+
+val negate_disjuncts : Constr.t -> Constr.t list
+(** The negation of one constraint as a list of alternatives (exposed for
+    tests): an inequality negates to one inequality, an equality to two,
+    an inert congruence to the other residues. *)
+
+val gist_project :
+  keep:(Var.t -> bool) -> Problem.t -> given:Problem.t -> result
+(** [gist_project ~keep p ~given:q] is
+    [gist (project ~keep (p && q)) ~given:(project ~keep q)] computed with
+    a single red/black joint elimination (section 3.3.2), falling back to
+    dark-shadow projections when the joint projection splinters. *)

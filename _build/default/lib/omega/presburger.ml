@@ -1,0 +1,264 @@
+(* A decision procedure for Presburger formulas (section 3.2).
+
+   The paper combines projection (existential elimination), satisfiability
+   and implication tests to decide the formulas dependence analysis needs.
+   We implement the general recursive procedure: quantifier elimination by
+   exact projection over a DNF, with congruence atoms ([m] divides [e])
+   closing the language under negation of projected formulas.  This decides
+   all of Presburger arithmetic (with the usual non-elementary worst case);
+   the dependence analyses mostly go through the efficient special cases
+   (dark-shadow implication, gists), falling back to this when needed. *)
+
+exception Too_large
+(* Raised when DNF expansion exceeds the work budget.  Callers that use
+   the decision procedure to *prove* facts (kill/cover/refinement tests)
+   catch it and conservatively report "not proved". *)
+
+let max_disjuncts = 2048
+
+type t =
+  | True
+  | False
+  | Atom of Constr.t
+  | Cong of Zint.t * Linexpr.t (* m | e, with m >= 2 *)
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Exists of Var.t list * t
+  | Forall of Var.t list * t
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tt = True
+let ff = False
+let atom c = Atom c
+let ge e1 e2 = Atom (Constr.ge e1 e2)
+let gt e1 e2 = Atom (Constr.gt e1 e2)
+let le e1 e2 = Atom (Constr.le e1 e2)
+let lt e1 e2 = Atom (Constr.lt e1 e2)
+let eq e1 e2 = Atom (Constr.eq2 e1 e2)
+let geq0 e = Atom (Constr.geq e)
+let eq0 e = Atom (Constr.eq e)
+
+let and_ fs =
+  let fs =
+    List.concat_map (function And gs -> gs | True -> [] | f -> [ f ]) fs
+  in
+  if List.mem False fs then False
+  else match fs with [] -> True | [ f ] -> f | fs -> And fs
+
+let or_ fs =
+  let fs =
+    List.concat_map (function Or gs -> gs | False -> [] | f -> [ f ]) fs
+  in
+  if List.mem True fs then True
+  else match fs with [] -> False | [ f ] -> f | fs -> Or fs
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let exists vs f =
+  match vs, f with
+  | [], _ -> f
+  | _, True -> True
+  | _, False -> False
+  | _ -> Exists (vs, f)
+
+let forall vs f =
+  match vs, f with
+  | [], _ -> f
+  | _, True -> True
+  | _, False -> False
+  | _ -> Forall (vs, f)
+
+let implies_ f g = or_ [ not_ f; g ]
+
+let cong m e =
+  let m = Zint.abs m in
+  if Zint.is_zero m then eq0 e
+  else if Zint.is_one m then True
+  else Cong (m, e)
+
+(* ------------------------------------------------------------------ *)
+(* Problem <-> formula                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Inert congruence equalities come back from projection as equalities
+   mentioning a wildcard; convert them to [Cong] atoms so the formula layer
+   never sees wildcards. *)
+let of_constr (c : Constr.t) : t =
+  match Constr.kind c with
+  | Constr.Geq -> Atom c
+  | Constr.Eq -> (
+    let e = Constr.expr c in
+    match
+      Var.Set.choose_opt (Var.Set.filter Var.is_wild (Linexpr.vars e))
+    with
+    | None -> Atom c
+    | Some w ->
+      let g = Zint.abs (Linexpr.coeff e w) in
+      let rest = Linexpr.set_coeff e w Zint.zero in
+      cong g rest)
+
+let of_problem (p : Problem.t) : t =
+  and_ (List.map of_constr (Problem.constraints p))
+
+let problem_of_conjuncts (atoms : t list) : Problem.t =
+  let constr_of = function
+    | Atom c -> c
+    | Cong (m, e) ->
+      let sigma = Var.fresh_wild () in
+      Constr.eq (Linexpr.add_term e m sigma)
+    | _ -> invalid_arg "Presburger.problem_of_conjuncts: not an atom"
+  in
+  Problem.of_list (List.map constr_of atoms)
+
+(* ------------------------------------------------------------------ *)
+(* Negation of quantifier-free formulas                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec neg_qf = function
+  | True -> False
+  | False -> True
+  | Atom c -> (
+    match Constr.kind c with
+    | Constr.Geq -> Atom (Constr.negate_geq c)
+    | Constr.Eq ->
+      let e = Constr.expr c in
+      or_
+        [
+          geq0 (Linexpr.add_const (Linexpr.neg e) Zint.minus_one);
+          geq0 (Linexpr.add_const e Zint.minus_one);
+        ])
+  | Cong (m, e) ->
+    (* not (m | e)  ==  m | e - r for some 1 <= r < m *)
+    let rec residues r acc =
+      if Zint.(r >= m) then acc
+      else
+        residues (Zint.succ r)
+          (cong m (Linexpr.add_const e (Zint.neg r)) :: acc)
+    in
+    or_ (residues Zint.one [])
+  | And fs -> or_ (List.map neg_qf fs)
+  | Or fs -> and_ (List.map neg_qf fs)
+  | Not f -> f
+  | Exists _ | Forall _ ->
+    invalid_arg "Presburger.neg_qf: quantified formula"
+
+(* ------------------------------------------------------------------ *)
+(* DNF of quantifier-free formulas                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Each disjunct is a list of atoms ([Atom]/[Cong]).  Contradictory
+   disjuncts are pruned with the cheap simplifier. *)
+let dnf (f : t) : t list list =
+  let rec go f : t list list =
+    match f with
+    | True -> [ [] ]
+    | False -> []
+    | Atom _ | Cong _ -> [ [ f ] ]
+    | Not g -> go (neg_qf g)
+    | Or fs -> List.concat_map go fs
+    | And fs ->
+      List.fold_left
+        (fun acc g ->
+          let dg = go g in
+          let next =
+            List.concat_map
+              (fun conj -> List.map (fun conj' -> conj @ conj') dg)
+              acc
+          in
+          (* prune contradictory conjuncts as we go and keep the expansion
+             bounded *)
+          let next =
+            List.filter
+              (fun conj ->
+                match Problem.simplify (problem_of_conjuncts conj) with
+                | Problem.Contra -> false
+                | Problem.Ok _ -> true)
+              next
+          in
+          if List.length next > max_disjuncts then raise Too_large;
+          next)
+        [ [] ] fs
+    | Exists _ | Forall _ -> invalid_arg "Presburger.dnf: quantified formula"
+  in
+  go f
+  |> List.filter (fun conj ->
+         match Problem.simplify (problem_of_conjuncts conj) with
+         | Problem.Contra -> false
+         | Problem.Ok _ -> true)
+
+let problems_of_qf (f : t) : Problem.t list =
+  List.map problem_of_conjuncts (dnf f)
+
+(* ------------------------------------------------------------------ *)
+(* Quantifier elimination and decision                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Eliminate the quantifiers of [f]; the result is quantifier-free over the
+   free variables of [f] (plus [Cong] atoms). *)
+let rec qe (f : t) : t =
+  match f with
+  | True | False | Atom _ | Cong _ -> f
+  | And fs -> and_ (List.map qe fs)
+  | Or fs -> or_ (List.map qe fs)
+  | Not g -> neg_qf (qe g)
+  | Exists (vs, g) ->
+    let g = qe g in
+    let keep v = not (List.exists (Var.equal v) vs) in
+    (* drop integer-unsatisfiable disjuncts before projecting: pruning here
+       prevents the negation of the projected result from exploding *)
+    let problems =
+      List.filter Elim.satisfiable (problems_of_qf g)
+    in
+    let pieces =
+      List.concat_map (fun p -> Elim.project ~keep p) problems
+    in
+    if List.length pieces > max_disjuncts then raise Too_large;
+    or_ (List.map of_problem pieces)
+  | Forall (vs, g) -> neg_qf (qe (Exists (vs, neg_qf (qe g))))
+
+let satisfiable (f : t) : bool =
+  List.exists Elim.satisfiable (problems_of_qf (qe f))
+
+let valid (f : t) : bool = not (satisfiable (not_ f))
+
+let implies f g = valid (implies_ f g)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "TRUE"
+  | False -> Format.pp_print_string fmt "FALSE"
+  | Atom c -> Constr.pp fmt c
+  | Cong (m, e) -> Format.fprintf fmt "%a | (%a)" Zint.pp m Linexpr.pp e
+  | And fs -> pp_list fmt "&&" fs
+  | Or fs -> pp_list fmt "||" fs
+  | Not f -> Format.fprintf fmt "!(%a)" pp f
+  | Exists (vs, f) ->
+    Format.fprintf fmt "(exists %s: %a)"
+      (String.concat ", " (List.map Var.name vs))
+      pp f
+  | Forall (vs, f) ->
+    Format.fprintf fmt "(forall %s: %a)"
+      (String.concat ", " (List.map Var.name vs))
+      pp f
+
+and pp_list fmt op fs =
+  Format.pp_print_string fmt "(";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Format.fprintf fmt " %s " op;
+      pp fmt f)
+    fs;
+  Format.pp_print_string fmt ")"
+
+let to_string f = Format.asprintf "%a" pp f

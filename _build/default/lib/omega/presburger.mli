@@ -1,0 +1,84 @@
+(** A decision procedure for Presburger formulas (section 3.2).
+
+    Quantifier elimination by exact projection over a DNF; congruence
+    atoms ([m] divides [e]) close the language under negation of projected
+    formulas, so the procedure is complete for all of Presburger
+    arithmetic (with the usual worst-case blowup).  The dependence
+    analyses use it as the fallback behind the paper's efficient special
+    cases (dark-shadow implication and gists). *)
+
+exception Too_large
+(** Raised when DNF expansion exceeds the internal work budget.  Callers
+    using the procedure to {e prove} a fact should catch it and report
+    "not proved" (which is conservative for elimination queries). *)
+
+type t =
+  | True
+  | False
+  | Atom of Constr.t
+  | Cong of Zint.t * Linexpr.t  (** [Cong (m, e)]: [m] divides [e]. *)
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Exists of Var.t list * t
+  | Forall of Var.t list * t
+
+(** {1 Smart constructors} (they simplify on the fly) *)
+
+val tt : t
+val ff : t
+val atom : Constr.t -> t
+val ge : Linexpr.t -> Linexpr.t -> t
+val gt : Linexpr.t -> Linexpr.t -> t
+val le : Linexpr.t -> Linexpr.t -> t
+val lt : Linexpr.t -> Linexpr.t -> t
+val eq : Linexpr.t -> Linexpr.t -> t
+val geq0 : Linexpr.t -> t
+val eq0 : Linexpr.t -> t
+val and_ : t list -> t
+val or_ : t list -> t
+val not_ : t -> t
+val exists : Var.t list -> t -> t
+val forall : Var.t list -> t -> t
+val implies_ : t -> t -> t
+val cong : Zint.t -> Linexpr.t -> t
+
+(** {1 Conversions} *)
+
+val of_constr : Constr.t -> t
+(** Inert congruence equalities become [Cong] atoms, so the formula layer
+    never sees wildcards. *)
+
+val of_problem : Problem.t -> t
+
+val problem_of_conjuncts : t list -> Problem.t
+(** The atoms (and only atoms) of one DNF disjunct as a problem;
+    congruences become fresh-wildcard equalities.
+    @raise Invalid_argument on non-atoms. *)
+
+val neg_qf : t -> t
+(** Negation of a quantifier-free formula, staying quantifier-free.
+    @raise Invalid_argument on quantified formulas. *)
+
+val dnf : t -> t list list
+(** Disjunctive normal form of a quantifier-free formula: a list of
+    conjunctions of atoms, with contradictory disjuncts pruned. *)
+
+val problems_of_qf : t -> Problem.t list
+
+(** {1 Decision} *)
+
+val qe : t -> t
+(** Quantifier elimination: the result is quantifier-free over the free
+    variables (plus [Cong] atoms). *)
+
+val satisfiable : t -> bool
+(** Satisfiability, free variables read existentially. *)
+
+val valid : t -> bool
+(** Validity, free variables read universally. *)
+
+val implies : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

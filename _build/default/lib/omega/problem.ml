@@ -1,0 +1,202 @@
+(* A problem is a conjunction of constraints, the basic object the Omega
+   test manipulates.
+
+   Semantics: a problem denotes the set of assignments to its non-wildcard
+   variables for which there exist integer values of the wildcard variables
+   satisfying every constraint.  After simplification and elimination,
+   wildcards appear only in "inert congruence" position: a wildcard [s]
+   occurring in exactly one equality [e + g*s = 0], which denotes the
+   congruence [e = 0 (mod g)]. *)
+
+type t = { cs : Constr.t list }
+
+type simplified = Contra | Ok of t
+
+let trivial = { cs = [] }
+let of_list cs = { cs }
+let constraints t = t.cs
+let is_trivial t = t.cs = []
+
+let add c t = { cs = c :: t.cs }
+let add_list cs t = { cs = cs @ t.cs }
+let conj a b = { cs = a.cs @ b.cs }
+
+let eqs t = List.filter (fun c -> Constr.kind c = Constr.Eq) t.cs
+let geqs t = List.filter (fun c -> Constr.kind c = Constr.Geq) t.cs
+
+let vars t =
+  List.fold_left (fun acc c -> Var.Set.union acc (Constr.vars c)) Var.Set.empty t.cs
+
+let map_constraints f t = { cs = List.map f t.cs }
+let filter f t = { cs = List.filter f t.cs }
+let exists f t = List.exists f t.cs
+let for_all f t = List.for_all f t.cs
+
+let subst v def t = { cs = List.map (fun c -> Constr.subst c v def) t.cs }
+
+(* Substitution driven by an equality of the given color: constraints that
+   actually mention the variable absorb that color (supports the red/black
+   combined projection + gist of section 3.3.2). *)
+let subst_colored v def color t =
+  {
+    cs =
+      List.map
+        (fun c ->
+          if Constr.mentions c v then
+            Constr.with_color
+              (Constr.combine_colors color (Constr.color c))
+              (Constr.subst c v def)
+          else c)
+        t.cs;
+  }
+
+(* Number of constraints mentioning [v]. *)
+let occurrences t v =
+  List.fold_left (fun n c -> if Constr.mentions c v then n + 1 else n) 0 t.cs
+
+let eval env t = List.for_all (Constr.eval env) t.cs
+
+(* ------------------------------------------------------------------ *)
+(* Simplification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Key for grouping constraints with parallel linear parts.  Two exprs get
+   the same key iff their linear parts are equal or opposite; [flipped]
+   tells which. *)
+module Termkey = struct
+  type key = (Var.t * Zint.t) list (* sorted by var, leading coeff > 0 *)
+
+  let canon (e : Linexpr.t) : key * bool =
+    (* bool: true when the sign was flipped to make the leading coefficient
+       positive *)
+    let bindings = Linexpr.fold_terms (fun v c acc -> (v, c) :: acc) e [] in
+    let bindings = List.sort (fun (a, _) (b, _) -> Var.compare a b) bindings in
+    match bindings with
+    | [] -> ([], false)
+    | (_, c0) :: _ ->
+      if Zint.sign c0 >= 0 then (bindings, false)
+      else (List.map (fun (v, c) -> (v, Zint.neg c)) bindings, true)
+
+  let compare_key (a : key) (b : key) =
+    let cmp (va, ca) (vb, cb) =
+      let c = Var.compare va vb in
+      if c <> 0 then c else Zint.compare ca cb
+    in
+    List.compare cmp a b
+end
+
+module KeyMap = Map.Make (struct
+  type t = Termkey.key
+
+  let compare = Termkey.compare_key
+end)
+
+(* Merge the constraints sharing a linear direction:
+   after canonicalization every constraint is [dir + c >= 0] (lower bound on
+   -dir), [-dir + c >= 0] (upper bound), or [dir + c = 0].  We keep the
+   tightest bounds, detect contradictions, and promote touching opposite
+   inequalities to equalities. *)
+type bucket = {
+  (* smallest c with dir + c >= 0 *)
+  mutable lo : (Zint.t * Constr.t) option;
+  (* smallest c with -dir + c >= 0 *)
+  mutable hi : (Zint.t * Constr.t) option;
+  (* equality dir + c = 0 *)
+  mutable eq : (Zint.t * Constr.t) option;
+  mutable contra : bool;
+}
+
+let simplify (t : t) : simplified =
+  let exception Bail in
+  let buckets : bucket KeyMap.t ref = ref KeyMap.empty in
+  let get_bucket key =
+    match KeyMap.find_opt key !buckets with
+    | Some b -> b
+    | None ->
+      let b = { lo = None; hi = None; eq = None; contra = false } in
+      buckets := KeyMap.add key b !buckets;
+      b
+  in
+  let consider c0 =
+    match Constr.normalize c0 with
+    | Constr.Tauto -> ()
+    | Constr.Contra -> raise Bail
+    | Constr.Ok c ->
+      let e = Constr.expr c in
+      let key, flipped = Termkey.canon e in
+      let b = get_bucket key in
+      let cst = Linexpr.constant e in
+      (match Constr.kind c with
+       | Constr.Eq ->
+         (* normalize equality constant to the unflipped direction *)
+         let cst = if flipped then Zint.neg cst else cst in
+         (match b.eq with
+          | Some (c', _) when not (Zint.equal c' cst) -> b.contra <- true
+          | Some _ -> ()
+          | None -> b.eq <- Some (cst, c))
+       | Constr.Geq ->
+         let slot_is_lo = not flipped in
+         let update slot =
+           match slot with
+           | Some (c', _) when Zint.(cst < c') -> Some (cst, c)
+           | None -> Some (cst, c)
+           | some -> some
+         in
+         if slot_is_lo then b.lo <- update b.lo else b.hi <- update b.hi)
+  in
+  match List.iter consider t.cs with
+  | exception Bail -> Contra
+  | () ->
+    let out = ref [] in
+    let emit c = out := c :: !out in
+    let check_bucket _key b =
+      if b.contra then raise Bail;
+      match b.eq with
+      | Some (ceq, c) ->
+        (* equality dir = -ceq; bounds dir >= -clo, dir <= chi must agree *)
+        (match b.lo with
+         | Some (clo, _) when Zint.(Zint.neg ceq < Zint.neg clo) -> raise Bail
+         | _ -> ());
+        (match b.hi with
+         | Some (chi, _) when Zint.(Zint.neg ceq > chi) -> raise Bail
+         | _ -> ());
+        emit c
+      | None ->
+        (match b.lo, b.hi with
+         | Some (clo, cl), Some (chi, ch) ->
+           (* -clo <= dir <= chi *)
+           if Zint.(chi < Zint.neg clo) then raise Bail
+           else if Zint.equal chi (Zint.neg clo) then
+             (* touching bounds: dir = chi, an equality *)
+             emit
+               (Constr.eq
+                  ~color:(Constr.combine_colors (Constr.color cl) (Constr.color ch))
+                  (Constr.expr cl))
+           else begin
+             emit cl;
+             emit ch
+           end
+         | Some (_, cl), None -> emit cl
+         | None, Some (_, ch) -> emit ch
+         | None, None -> ())
+    in
+    (match KeyMap.iter check_bucket !buckets with
+     | exception Bail -> Contra
+     | () -> Ok { cs = List.rev !out })
+
+let pp fmt t =
+  let open Format in
+  if t.cs = [] then pp_print_string fmt "TRUE"
+  else begin
+    pp_print_string fmt "{ ";
+    let first = ref true in
+    List.iter
+      (fun c ->
+        if not !first then pp_print_string fmt " && ";
+        first := false;
+        Constr.pp fmt c)
+      t.cs;
+    pp_print_string fmt " }"
+  end
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,43 @@
+(* Variables of Omega problems.
+
+   Three kinds, mirroring the roles in the paper:
+   - [Input]: iteration variables and other named problem variables.
+   - [Sym]: symbolic constants (loop-invariant scalars, the [Sym] set of the
+     paper's notation table).
+   - [Wild]: existentially quantified wildcards introduced by exact equality
+     elimination and splintering; never visible to clients. *)
+
+type kind = Input | Sym | Wild
+
+type t = { id : int; name : string; kind : kind }
+
+let counter = ref 0
+
+let fresh ?(kind = Input) name =
+  incr counter;
+  { id = !counter; name; kind }
+
+let fresh_wild () =
+  incr counter;
+  { id = !counter; name = Printf.sprintf "_w%d" !counter; kind = Wild }
+
+let id t = t.id
+let name t = t.name
+let kind t = t.kind
+let is_wild t = t.kind = Wild
+let is_sym t = t.kind = Sym
+
+let compare a b = compare a.id b.id
+let equal a b = a.id = b.id
+let hash t = t.id
+
+let pp fmt t = Format.pp_print_string fmt t.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

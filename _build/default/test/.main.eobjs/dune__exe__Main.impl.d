@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_depend Test_e2e Test_lang Test_misc Test_omega Test_zint

@@ -1,0 +1,1 @@
+test/oracle.ml: Array Constr Linexpr List Omega Printf Problem QCheck Seq Var Zint

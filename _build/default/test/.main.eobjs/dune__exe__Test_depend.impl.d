@@ -1,0 +1,1 @@
+test/test_depend.ml: Alcotest Analyses Corpus Depctx Depend Deps Dirvec Driver Induction Lang List Omega Symbolic Zint

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Ast Depend Deps Dirvec Driver Interp Ir Lang List Printf QCheck QCheck_alcotest Sema

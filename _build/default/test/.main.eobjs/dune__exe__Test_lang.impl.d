@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Corpus Depend Interp Ir Lang List Parser Printexc Printf QCheck QCheck_alcotest Sema

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Constr Corpus Depctx Depend Dirvec Driver Fparse Lang Linexpr List Omega Presburger Printf Symbolic Var

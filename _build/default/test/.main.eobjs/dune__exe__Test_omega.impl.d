@@ -1,0 +1,1 @@
+test/test_omega.ml: Alcotest Constr Elim Gist Linexpr List Omega Oracle Presburger Printf Problem QCheck QCheck_alcotest Seq Var Zint

@@ -1,0 +1,10 @@
+let () =
+  Alcotest.run "odep"
+    [
+      Test_zint.suite;
+      Test_omega.suite;
+      Test_lang.suite;
+      Test_depend.suite;
+      Test_e2e.suite;
+      Test_misc.suite;
+    ]

@@ -1,0 +1,103 @@
+(* An independent brute-force oracle for small Omega problems.
+
+   Problems are evaluated over an explicit box of integer assignments.  The
+   generators below always conjoin the box constraints into the problems
+   they build, so "satisfiable anywhere" and "satisfiable in the box"
+   coincide and the Omega test can be checked exactly against enumeration.
+
+   Wildcard variables are handled only in the inert-congruence position
+   that projection outputs guarantee (each wildcard in exactly one
+   equality): such an equality holds for some integer wildcard value iff
+   the gcd of the wildcard coefficients divides the rest. *)
+
+open Omega
+
+let holds_at (env : Zint.t Var.Map.t) (p : Problem.t) : bool =
+  List.for_all
+    (fun c ->
+      let e = Constr.expr c in
+      let wilds = Var.Set.filter Var.is_wild (Linexpr.vars e) in
+      if Var.Set.is_empty wilds then
+        Constr.eval (fun v -> Var.Map.find v env) c
+      else begin
+        assert (Constr.kind c = Constr.Eq);
+        let g =
+          Var.Set.fold
+            (fun w acc -> Zint.gcd acc (Linexpr.coeff e w))
+            wilds Zint.zero
+        in
+        let residual =
+          Linexpr.fold_terms
+            (fun v cv acc ->
+              if Var.is_wild v then acc
+              else Zint.add acc (Zint.mul cv (Var.Map.find v env)))
+            e (Linexpr.constant e)
+        in
+        Zint.divisible residual g
+      end)
+    (Problem.constraints p)
+
+(* All assignments of [vars] to values in [lo..hi]. *)
+let rec assignments vars lo hi : Zint.t Var.Map.t Seq.t =
+  match vars with
+  | [] -> Seq.return Var.Map.empty
+  | v :: rest ->
+    Seq.concat_map
+      (fun env ->
+        Seq.map
+          (fun x -> Var.Map.add v (Zint.of_int x) env)
+          (Seq.init (hi - lo + 1) (fun i -> lo + i)))
+      (assignments rest lo hi)
+
+let exists_solution vars lo hi p =
+  Seq.exists (fun env -> holds_at env p) (assignments vars lo hi)
+
+(* ------------------------------------------------------------------ *)
+(* Random problem generation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixed pool of variables reused across generated problems. *)
+let pool = Array.init 4 (fun i -> Var.fresh (Printf.sprintf "v%d" i))
+
+let box_constraints vars lo hi =
+  List.concat_map
+    (fun v ->
+      [
+        Constr.ge (Linexpr.var v) (Linexpr.of_int lo);
+        Constr.le (Linexpr.var v) (Linexpr.of_int hi);
+      ])
+    vars
+
+let gen_linexpr ~nvars ~max_coeff ~max_const =
+  QCheck.Gen.(
+    let* const = int_range (-max_const) max_const in
+    let* coeffs =
+      array_size (return nvars) (int_range (-max_coeff) max_coeff)
+    in
+    return
+      (Array.to_seqi coeffs
+      |> Seq.fold_left
+           (fun e (i, c) -> Linexpr.add_term e (Zint.of_int c) pool.(i))
+           (Linexpr.of_int const)))
+
+let gen_constr ~nvars ~max_coeff ~max_const =
+  QCheck.Gen.(
+    let* e = gen_linexpr ~nvars ~max_coeff ~max_const in
+    let* k = int_range 0 4 in
+    return (if k = 0 then Constr.eq e else Constr.geq e))
+
+(* A random problem over the first [nvars] pool variables, boxed to
+   [lo..hi]. *)
+let gen_problem ?(nvars = 3) ?(ncons = 3) ?(lo = -5) ?(hi = 5)
+    ?(max_coeff = 3) ?(max_const = 8) () =
+  QCheck.Gen.(
+    let* cs = list_size (int_range 1 ncons) (gen_constr ~nvars ~max_coeff ~max_const) in
+    let vars = Array.to_list (Array.sub pool 0 nvars) in
+    return (Problem.of_list (cs @ box_constraints vars lo hi), vars, lo, hi))
+
+let problem_print (p, _, _, _) = Problem.to_string p
+
+let arb_problem ?nvars ?ncons ?lo ?hi ?max_coeff ?max_const () =
+  QCheck.make
+    ~print:problem_print
+    (gen_problem ?nvars ?ncons ?lo ?hi ?max_coeff ?max_const ())

@@ -1,0 +1,140 @@
+(* Assorted unit tests: direction-vector rendering, Presburger work
+   budget, lexer details. *)
+
+open Omega
+open Depend
+
+let unit_tests =
+  [
+    Alcotest.test_case "dirvec entry rendering" `Quick (fun () ->
+        let e sign lo hi = { Dirvec.sign; lo; hi } in
+        Alcotest.(check string) "exact" "3"
+          (Dirvec.entry_to_string (e Dirvec.Pos (Some 3) (Some 3)));
+        Alcotest.(check string) "range" "0:1"
+          (Dirvec.entry_to_string (e Dirvec.NonNeg (Some 0) (Some 1)));
+        Alcotest.(check string) "plus" "+"
+          (Dirvec.entry_to_string (e Dirvec.Pos (Some 1) None));
+        Alcotest.(check string) "star" "*"
+          (Dirvec.entry_to_string (e Dirvec.Any None None));
+        Alcotest.(check string) "nonneg" "0+"
+          (Dirvec.entry_to_string (e Dirvec.NonNeg None None));
+        Alcotest.(check string) "vector" "(0,1,-1,0)"
+          (Dirvec.to_string
+             [ Dirvec.exact 0; Dirvec.exact 1; Dirvec.exact (-1); Dirvec.exact 0 ]));
+    Alcotest.test_case "dirvec zero predicates" `Quick (fun () ->
+        Alcotest.(check bool) "loop independent" true
+          (Dirvec.is_loop_independent [ Dirvec.exact 0; Dirvec.exact 0 ]);
+        Alcotest.(check bool) "not loop independent" false
+          (Dirvec.is_loop_independent [ Dirvec.exact 0; Dirvec.exact 1 ]);
+        Alcotest.(check bool) "allows all zero" true
+          (Dirvec.allows_all_zero
+             [
+               Dirvec.exact 0;
+               { Dirvec.sign = Dirvec.NonNeg; lo = Some 0; hi = None };
+             ]);
+        Alcotest.(check bool) "plus excludes zero" false
+          (Dirvec.allows_all_zero
+             [ { Dirvec.sign = Dirvec.Pos; lo = Some 1; hi = None } ]));
+    Alcotest.test_case "presburger budget raises Too_large" `Quick (fun () ->
+        (* a conjunction of many 2-way disjunctions: 2^k disjuncts *)
+        let vars = Array.init 14 (fun i -> Var.fresh (Printf.sprintf "b%d" i)) in
+        let f =
+          Presburger.and_
+            (Array.to_list
+               (Array.map
+                  (fun v ->
+                    Presburger.or_
+                      [
+                        Presburger.eq (Linexpr.var v) (Linexpr.of_int 0);
+                        Presburger.eq (Linexpr.var v) (Linexpr.of_int 1);
+                      ])
+                  vars))
+        in
+        match Presburger.dnf f with
+        | exception Presburger.Too_large -> ()
+        | ds ->
+          (* acceptable if pruning kept it under budget, but with 2^14
+             satisfiable disjuncts it cannot *)
+          Alcotest.fail
+            (Printf.sprintf "expected Too_large, got %d disjuncts"
+               (List.length ds)));
+    Alcotest.test_case "kill test survives a Too_large fallback" `Quick
+      (fun () ->
+        (* a program whose kill test needs the general procedure with
+           coefficient-2 subscripts: must terminate and stay conservative *)
+        let prog =
+          Lang.Sema.parse_and_analyze
+            {|
+symbolic n;
+real a[-300:300], x[-300:300, -300:300];
+for i0 := 1 to n do
+  for i1 := 2 to n do
+    s0: a(-2 - i1) := a(-2 + 2*i0) + 1;
+    s1: a(1 - i0 + 2*i1) := a(-i1) + 1;
+  endfor
+endfor
+|}
+        in
+        let result = Driver.analyze prog in
+        (* no hang, and flows classified one way or the other *)
+        Alcotest.(check bool) "has flows" true (result.Driver.flows <> []));
+    Alcotest.test_case "lexer: comments and operators" `Quick (fun () ->
+        let p =
+          Lang.Parser.parse_string
+            "// a comment line\nreal a[0:3];\ns: a(0) := 1; // trailing\n"
+        in
+        Alcotest.(check int) "one stmt" 1 (List.length p.Lang.Ast.stmts));
+    Alcotest.test_case "lexer: double negation is not a comment" `Quick
+      (fun () ->
+        let p = Lang.Parser.parse_string "real a[0:3];\ns: a(0) := - -3;\n" in
+        match p.Lang.Ast.stmts with
+        | [ Lang.Ast.Assign { rhs = Lang.Ast.Neg (Lang.Ast.Neg (Lang.Ast.Int 3)); _ } ] -> ()
+        | _ -> Alcotest.fail "expected Neg (Neg 3)");
+    Alcotest.test_case "constraint colors combine" `Quick (fun () ->
+        Alcotest.(check bool) "red wins" true
+          (Constr.combine_colors Constr.Red Constr.Black = Constr.Red);
+        Alcotest.(check bool) "black stays" true
+          (Constr.combine_colors Constr.Black Constr.Black = Constr.Black));
+    Alcotest.test_case "restraint constraints match signs" `Quick (fun () ->
+        let prog = Lang.Sema.parse_and_analyze (Corpus.find "example3") in
+        let ctx = Depctx.create prog in
+        let w = List.hd (Lang.Ir.writes prog) in
+        let a = Depctx.instantiate ctx w ~tag:"i" in
+        let b = Depctx.instantiate ctx w ~tag:"j" in
+        Alcotest.(check int) "(+,0) gives two constraints" 2
+          (List.length
+             (Symbolic.restraint_constraints a b [ Dirvec.Pos; Dirvec.Zero ]));
+        Alcotest.(check int) "(*,*) gives none" 0
+          (List.length
+             (Symbolic.restraint_constraints a b [ Dirvec.Any; Dirvec.Any ])));
+  ]
+
+let fparse_tests =
+  [
+    Alcotest.test_case "fparse: section 3.2 formulas" `Quick (fun () ->
+        let valid s = Presburger.valid (Fparse.formula_of_string s) in
+        let sat s = Presburger.satisfiable (Fparse.formula_of_string s) in
+        Alcotest.(check bool) "parity cover" true
+          (valid
+             "forall x: 0 <= x and x <= 10 => exists y: x = 2*y or x = 2*y + 1");
+        Alcotest.(check bool) "evens only" false
+          (valid "forall x: 0 <= x and x <= 10 => exists y: x = 2*y");
+        Alcotest.(check bool) "forall-exists" true
+          (valid "forall x: exists y: y >= x and y <= x");
+        Alcotest.(check bool) "contradictory conj" false
+          (sat "exists y: x = 2*y and x = 2*y + 1");
+        Alcotest.(check bool) "free vars existential in sat" true
+          (sat "x >= 3 and x <= 5");
+        (* shadowing: the inner x is a different variable *)
+        Alcotest.(check bool) "quantifier shadowing" true
+          (valid "forall x: x <= 0 or exists x: x >= 1"));
+    Alcotest.test_case "fparse: errors" `Quick (fun () ->
+        (match Fparse.formula_of_string "forall : x >= 0" with
+         | exception Fparse.Error _ -> ()
+         | _ -> Alcotest.fail "expected an error");
+        match Fparse.formula_of_string "exists y: x*y = 3" with
+        | exception Fparse.Error _ -> ()
+        | _ -> Alcotest.fail "expected non-linear error");
+  ]
+
+let suite = ("misc", unit_tests @ fparse_tests)

@@ -1,0 +1,519 @@
+(* Tests for the Omega test core: satisfiability, projection (real/dark
+   shadows, splintering), gists, implication, Presburger decisions. *)
+
+open Omega
+
+let v name = Var.fresh name
+let x = v "x"
+let y = v "y"
+let z = v "z"
+
+let i n = Linexpr.of_int n
+let vx = Linexpr.var x
+let vy = Linexpr.var y
+let vz = Linexpr.var z
+
+(* c1 * var + c0 *)
+let lin c1 var c0 = Linexpr.add_term (i c0) (Zint.of_int c1) var
+
+let sat cs = Elim.satisfiable (Problem.of_list cs)
+
+let unit_tests =
+  [
+    Alcotest.test_case "trivial problems" `Quick (fun () ->
+        Alcotest.(check bool) "empty sat" true (sat []);
+        Alcotest.(check bool) "0 >= 0" true (sat [ Constr.geq (i 0) ]);
+        Alcotest.(check bool) "-1 >= 0" false (sat [ Constr.geq (i (-1)) ]);
+        Alcotest.(check bool) "1 = 0" false (sat [ Constr.eq (i 1) ]));
+    Alcotest.test_case "single variable intervals" `Quick (fun () ->
+        (* 5x >= 6 and 5x <= 9: no integer *)
+        Alcotest.(check bool) "5x in [6,9]" false
+          (sat [ Constr.ge (lin 5 x 0) (i 6); Constr.le (lin 5 x 0) (i 9) ]);
+        (* 5x >= 6 and 5x <= 10: x = 2 *)
+        Alcotest.(check bool) "5x in [6,10]" true
+          (sat [ Constr.ge (lin 5 x 0) (i 6); Constr.le (lin 5 x 0) (i 10) ]));
+    Alcotest.test_case "equality elimination with gcd" `Quick (fun () ->
+        (* 2x + 4y = 5 has no integer solutions *)
+        Alcotest.(check bool) "2x+4y=5" false
+          (sat [ Constr.eq2 (Linexpr.add (lin 2 x 0) (lin 4 y 0)) (i 5) ]);
+        (* 2x + 3y = 5 does *)
+        Alcotest.(check bool) "2x+3y=5" true
+          (sat [ Constr.eq2 (Linexpr.add (lin 2 x 0) (lin 3 y 0)) (i 5) ]));
+    Alcotest.test_case "mod-hat elimination (non-unit equality)" `Quick
+      (fun () ->
+        (* 7x + 12y = 1, 0 <= x <= 100, 0 <= y: solvable? 7*7+12*(-4)=1;
+           force positivity: 7x + 12y = 1 with x,y >= 0 has no small...
+           7x = 1 - 12y; y=0 -> 7x=1 no; need x = 7+12k, y = -4-7k <= ...
+           y >= 0 requires k <= -1 -> x = 7-12 < 0.  So unsat. *)
+        Alcotest.(check bool) "7x+12y=1, x,y>=0" false
+          (sat
+             [
+               Constr.eq2 (Linexpr.add (lin 7 x 0) (lin 12 y 0)) (i 1);
+               Constr.ge vx (i 0);
+               Constr.ge vy (i 0);
+             ]);
+        Alcotest.(check bool) "7x+12y=1 free" true
+          (sat [ Constr.eq2 (Linexpr.add (lin 7 x 0) (lin 12 y 0)) (i 1) ]));
+    Alcotest.test_case "paper projection example" `Quick (fun () ->
+        (* projecting {0 <= a <= 5; b < a <= 5b} onto a gives {2 <= a <= 5} *)
+        let p =
+          Problem.of_list
+            [
+              Constr.ge vx (i 0);
+              Constr.le vx (i 5);
+              Constr.lt vy vx;
+              Constr.le vx (lin 5 y 0);
+            ]
+        in
+        let keep u = Var.equal u x in
+        let pieces = Elim.project ~keep p in
+        (* membership for a = 0..6 must be exactly {2,3,4,5} *)
+        for a = 0 to 6 do
+          let member =
+            List.exists
+              (fun q ->
+                Oracle.holds_at (Var.Map.singleton x (Zint.of_int a)) q)
+              pieces
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "a=%d" a)
+            (a >= 2 && a <= 5) member
+        done);
+    Alcotest.test_case "projection produces congruences" `Quick (fun () ->
+        (* project {x = 2y} onto x: x must be even *)
+        let p = Problem.of_list [ Constr.eq2 vx (lin 2 y 0) ] in
+        let keep u = Var.equal u x in
+        let pieces = Elim.project ~keep p in
+        List.iter
+          (fun a ->
+            let member =
+              List.exists
+                (fun q ->
+                  Oracle.holds_at (Var.Map.singleton x (Zint.of_int a)) q)
+                pieces
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "x=%d" a)
+              (a mod 2 = 0) member)
+          [ -3; -2; -1; 0; 1; 2; 3; 4 ]);
+    Alcotest.test_case "dark shadow misses, splinter catches" `Quick
+      (fun () ->
+        (* 2y <= x, x <= 2y + 1, 3 <= x <= 3: x=3 needs y=1 (2<=3<=3). *)
+        Alcotest.(check bool) "splinter case sat" true
+          (sat
+             [
+               Constr.le (lin 2 y 0) vx;
+               Constr.le vx (lin 2 y 1);
+               Constr.eq2 vx (i 3);
+             ]);
+        (* Classic: 2 <= 3y - 2x and 3y - 2x <= 3 and ... craft unsat via
+           parity: x = 2y and x = 2z + 1 *)
+        Alcotest.(check bool) "parity conflict" false
+          (sat [ Constr.eq2 vx (lin 2 y 0); Constr.eq2 vx (lin 2 z 1) ]));
+    Alcotest.test_case "implies" `Quick (fun () ->
+        let p =
+          Problem.of_list [ Constr.ge vx (i 2); Constr.le vx (i 5) ]
+        in
+        let q1 = Problem.of_list [ Constr.ge vx (i 0) ] in
+        let q2 = Problem.of_list [ Constr.ge vx (i 3) ] in
+        Alcotest.(check bool) "2<=x<=5 => x>=0" true (Gist.implies p q1);
+        Alcotest.(check bool) "2<=x<=5 => x>=3" false (Gist.implies p q2));
+    Alcotest.test_case "gist basics" `Quick (fun () ->
+        (* gist {x >= 0 && x <= 5} given {x >= 3} = {x <= 5} *)
+        let p = Problem.of_list [ Constr.ge vx (i 0); Constr.le vx (i 5) ] in
+        let q = Problem.of_list [ Constr.ge vx (i 3) ] in
+        (match Gist.gist p ~given:q with
+         | Gist.Gist g ->
+           Alcotest.(check int) "one constraint" 1
+             (List.length (Problem.constraints g));
+           (* the surviving constraint is x <= 5 *)
+           let c = List.hd (Problem.constraints g) in
+           Alcotest.(check bool) "is x<=5" true
+             (Constr.equal c
+                (match Constr.normalize (Constr.le vx (i 5)) with
+                 | Constr.Ok c -> c
+                 | _ -> assert false))
+         | Gist.Tautology -> Alcotest.fail "expected a gist, got tautology"
+         | Gist.False -> Alcotest.fail "expected a gist, got false");
+        (* gist of implied constraints is True *)
+        (match
+           Gist.gist
+             (Problem.of_list [ Constr.ge vx (i 1) ])
+             ~given:(Problem.of_list [ Constr.ge vx (i 4) ])
+         with
+         | Gist.Tautology -> ()
+         | _ -> Alcotest.fail "expected tautology"));
+    Alcotest.test_case "paper kill example as implication" `Quick (fun () ->
+        (* Example 1: k = n  =>  n <= k <= n+10 *)
+        let n = v "n" in
+        let k = v "k" in
+        let vk = Linexpr.var k and vn = Linexpr.var n in
+        let p = Problem.of_list [ Constr.eq2 vk vn ] in
+        let q =
+          Problem.of_list
+            [ Constr.ge vk vn; Constr.le vk (Linexpr.add_const vn (Zint.of_int 10)) ]
+        in
+        Alcotest.(check bool) "kill verified" true (Gist.implies p q);
+        (* with k = m instead, and n <= k <= n+20, the kill fails *)
+        let m = v "m" in
+        let p' =
+          Problem.of_list
+            [
+              Constr.eq2 vk (Linexpr.var m);
+              Constr.ge vk vn;
+              Constr.le vk (Linexpr.add_const vn (Zint.of_int 20));
+            ]
+        in
+        Alcotest.(check bool) "kill not verified" false (Gist.implies p' q);
+        (* asserting n <= m <= n+10 restores it *)
+        let p'' =
+          Problem.add_list
+            [
+              Constr.ge (Linexpr.var m) vn;
+              Constr.le (Linexpr.var m) (Linexpr.add_const vn (Zint.of_int 10));
+            ]
+            p'
+        in
+        Alcotest.(check bool) "kill with assertion" true (Gist.implies p'' q));
+    Alcotest.test_case "minimize/maximize" `Quick (fun () ->
+        let p =
+          Problem.of_list
+            [
+              Constr.ge (lin 2 x 0) (i 3) (* x >= 1.5 -> x >= 2 *);
+              Constr.le vx (i 9);
+            ]
+        in
+        (match Omega.minimize p x with
+         | `Min m -> Alcotest.(check int) "min" 2 (Zint.to_int m)
+         | _ -> Alcotest.fail "expected min");
+        (match Omega.maximize p x with
+         | `Max m -> Alcotest.(check int) "max" 9 (Zint.to_int m)
+         | _ -> Alcotest.fail "expected max");
+        (match
+           Omega.minimize (Problem.of_list [ Constr.le vx (i 9) ]) x
+         with
+         | `Unbounded -> ()
+         | _ -> Alcotest.fail "expected unbounded");
+        (match Omega.minimize (Problem.of_list [ Constr.eq (i 1) ]) x with
+         | `Unsat -> ()
+         | _ -> Alcotest.fail "expected unsat"));
+    Alcotest.test_case "minimize with congruence" `Quick (fun () ->
+        (* x = 3y, x >= 4: minimum is 6 *)
+        let p =
+          Problem.of_list [ Constr.eq2 vx (lin 3 y 0); Constr.ge vx (i 4) ]
+        in
+        match Omega.minimize p x with
+        | `Min m -> Alcotest.(check int) "min" 6 (Zint.to_int m)
+        | _ -> Alcotest.fail "expected min");
+    Alcotest.test_case "presburger: forall-exists" `Quick (fun () ->
+        let open Presburger in
+        (* forall x, 0 <= x <= 10 => exists y. x = 2y or x = 2y+1 *)
+        let f =
+          forall [ x ]
+            (implies_
+               (and_ [ ge vx (i 0); le vx (i 10) ])
+               (exists [ y ] (or_ [ eq vx (lin 2 y 0); eq vx (lin 2 y 1) ])))
+        in
+        Alcotest.(check bool) "parity cover" true (valid f);
+        (* forall x, 0 <= x <= 10 => exists y. x = 2y : false *)
+        let g =
+          forall [ x ]
+            (implies_
+               (and_ [ ge vx (i 0); le vx (i 10) ])
+               (exists [ y ] (eq vx (lin 2 y 0))))
+        in
+        Alcotest.(check bool) "evens only" false (valid g));
+    Alcotest.test_case "presburger: congruence negation" `Quick (fun () ->
+        let open Presburger in
+        (* not (2 | x) and not (2 | x + 1) is unsatisfiable *)
+        let f =
+          and_
+            [
+              not_ (cong Zint.two vx);
+              not_ (cong Zint.two (Linexpr.add_const vx Zint.one));
+            ]
+        in
+        Alcotest.(check bool) "both parities excluded" false (satisfiable f));
+  ]
+
+(* -------------------------------------------------------------------- *)
+(* Property tests against the brute-force oracle                         *)
+(* -------------------------------------------------------------------- *)
+
+let prop_tests =
+  [
+    QCheck.Test.make ~name:"satisfiable matches brute force" ~count:300
+      (Oracle.arb_problem ())
+      (fun (p, vars, lo, hi) ->
+        Elim.satisfiable p = Oracle.exists_solution vars lo hi p);
+    QCheck.Test.make ~name:"satisfiable matches brute force (harder)"
+      ~count:150
+      (Oracle.arb_problem ~nvars:3 ~ncons:4 ~max_coeff:5 ~max_const:12 ())
+      (fun (p, vars, lo, hi) ->
+        Elim.satisfiable p = Oracle.exists_solution vars lo hi p);
+    QCheck.Test.make ~name:"exact projection = brute-force projection"
+      ~count:200
+      (Oracle.arb_problem ~nvars:3 ())
+      (fun (p, vars, lo, hi) ->
+        match vars with
+        | vx :: rest ->
+          let keep u = Var.equal u vx in
+          let pieces = Elim.project ~keep p in
+          let ok = ref true in
+          for a = lo to hi do
+            let env = Var.Map.singleton vx (Zint.of_int a) in
+            let projected =
+              List.exists (fun q -> Oracle.holds_at env q) pieces
+            in
+            let actual =
+              Oracle.exists_solution rest lo hi
+                (Problem.subst vx (Linexpr.const (Zint.of_int a)) p)
+            in
+            if projected <> actual then ok := false
+          done;
+          !ok
+        | [] -> true);
+    QCheck.Test.make ~name:"dark subset exact subset real" ~count:200
+      (Oracle.arb_problem ~nvars:3 ())
+      (fun (p, vars, lo, hi) ->
+        match vars with
+        | vx :: _ ->
+          let keep u = Var.equal u vx in
+          let pieces = Elim.project ~keep p in
+          let dark = Elim.project_dark ~keep p in
+          let real = Elim.project_real ~keep p in
+          let ok = ref true in
+          for a = lo to hi do
+            let env = Var.Map.singleton vx (Zint.of_int a) in
+            let in_exact =
+              List.exists (fun q -> Oracle.holds_at env q) pieces
+            in
+            let in_dark =
+              match dark with
+              | `Contra -> false
+              | `Ok d -> Oracle.holds_at env d
+            in
+            let in_real =
+              match real with
+              | `Contra -> false
+              | `Ok r -> Oracle.holds_at env r
+            in
+            if in_dark && not in_exact then ok := false;
+            if in_exact && not in_real then ok := false
+          done;
+          !ok
+        | [] -> true);
+    QCheck.Test.make ~name:"implies matches brute force" ~count:200
+      (QCheck.pair (Oracle.arb_problem ()) (Oracle.arb_problem ()))
+      (fun ((p, vars, lo, hi), (q, _, _, _)) ->
+        let imp = Gist.implies p q in
+        let brute =
+          Seq.for_all
+            (fun env ->
+              (not (Oracle.holds_at env p)) || Oracle.holds_at env q)
+            (Oracle.assignments vars lo hi)
+        in
+        imp = brute);
+    QCheck.Test.make ~name:"gist defining property" ~count:150
+      (QCheck.pair (Oracle.arb_problem ()) (Oracle.arb_problem ()))
+      (fun ((p, vars, lo, hi), (q, _, _, _)) ->
+        match Gist.gist p ~given:q with
+        | Gist.False ->
+          (* p && q must be unsatisfiable *)
+          not (Elim.satisfiable (Problem.conj p q))
+        | Gist.Tautology ->
+          (* gist = True means q => p *)
+          Seq.for_all
+            (fun env ->
+              (not (Oracle.holds_at env q)) || Oracle.holds_at env p)
+            (Oracle.assignments vars lo hi)
+        | Gist.Gist g ->
+          Seq.for_all
+            (fun env ->
+              let lhs = Oracle.holds_at env g && Oracle.holds_at env q in
+              let rhs = Oracle.holds_at env p && Oracle.holds_at env q in
+              lhs = rhs)
+            (Oracle.assignments vars lo hi));
+    QCheck.Test.make ~name:"gist fast checks agree with naive" ~count:100
+      (QCheck.pair (Oracle.arb_problem ()) (Oracle.arb_problem ()))
+      (fun ((p, vars, lo, hi), (q, _, _, _)) ->
+        (* both must satisfy the defining property; they may differ in which
+           minimal subset they choose *)
+        let check = function
+          | Gist.False -> not (Elim.satisfiable (Problem.conj p q))
+          | Gist.Tautology ->
+            Seq.for_all
+              (fun env ->
+                (not (Oracle.holds_at env q)) || Oracle.holds_at env p)
+              (Oracle.assignments vars lo hi)
+          | Gist.Gist g ->
+            Seq.for_all
+              (fun env ->
+                (Oracle.holds_at env g && Oracle.holds_at env q)
+                = (Oracle.holds_at env p && Oracle.holds_at env q))
+              (Oracle.assignments vars lo hi)
+        in
+        check (Gist.gist ~fast:true p ~given:q)
+        && check (Gist.gist ~fast:false p ~given:q));
+    QCheck.Test.make ~name:"red/black gist_project defining property"
+      ~count:60
+      (QCheck.pair
+         (Oracle.arb_problem ~max_coeff:2 ~ncons:2 ())
+         (Oracle.arb_problem ~max_coeff:2 ~ncons:2 ()))
+      (fun ((p, vars, lo, hi), (q, _, _, _)) ->
+        match vars with
+        | v0 :: v1 :: rest ->
+          let keep v = Var.equal v v0 || Var.equal v v1 in
+          (* the defining property is exact only when the joint projection
+             does not splinter (the paper's own proviso); the splintered
+             fallback is a dark-shadow approximation *)
+          let splintered = ref false in
+          ignore (Elim.project ~splintered ~keep (Problem.conj p q));
+          QCheck.assume (not !splintered);
+          let r = Gist.gist_project ~keep p ~given:q in
+          (* brute-force projections over the box *)
+          let proj pb x0 x1 =
+            Oracle.exists_solution rest lo hi
+              (Problem.subst v0 (Linexpr.const (Zint.of_int x0))
+                 (Problem.subst v1 (Linexpr.const (Zint.of_int x1)) pb))
+          in
+          let ok = ref true in
+          for x0 = lo to hi do
+            for x1 = lo to hi do
+              let env =
+                Var.Map.add v0 (Zint.of_int x0)
+                  (Var.Map.singleton v1 (Zint.of_int x1))
+              in
+              let r_holds =
+                match r with
+                | Gist.Tautology -> true
+                | Gist.False -> false
+                | Gist.Gist g -> Oracle.holds_at env g
+              in
+              let lhs = r_holds && proj q x0 x1 in
+              let rhs = proj (Problem.conj p q) x0 x1 in
+              if lhs <> rhs then ok := false
+            done
+          done;
+          !ok
+        | _ -> true);
+    QCheck.Test.make ~name:"minimize matches brute force" ~count:200
+      (Oracle.arb_problem ~nvars:2 ())
+      (fun (p, vars, lo, hi) ->
+        match vars with
+        | vx :: _ ->
+          let brute =
+            Seq.fold_left
+              (fun acc env ->
+                if Oracle.holds_at env p then
+                  let x = Var.Map.find vx env in
+                  Some (match acc with None -> x | Some m -> Zint.min m x)
+                else acc)
+              None
+              (Oracle.assignments vars lo hi)
+          in
+          (match Omega.minimize p vx, brute with
+           | `Min m, Some b -> Zint.equal m b
+           | `Unsat, None -> true
+           | _ -> false)
+        | [] -> true);
+  ]
+
+let presburger_tests =
+  [
+    QCheck.Test.make ~name:"presburger satisfiable matches brute force"
+      ~count:100
+      (QCheck.pair (Oracle.arb_problem ~ncons:2 ()) (Oracle.arb_problem ~ncons:2 ()))
+      (fun ((p, vars, lo, hi), (q, _, _, _)) ->
+        (* f = p or (not q): free vars existential *)
+        let open Presburger in
+        let f = or_ [ of_problem p; not_ (of_problem q) ] in
+        let brute =
+          Seq.exists
+            (fun env ->
+              Oracle.holds_at env p || not (Oracle.holds_at env q))
+            (Oracle.assignments vars lo hi)
+        in
+        (* the formula is unconstrained outside the box for the (not q)
+           branch, which the brute force cannot see; restrict to the box by
+           conjoining p's box... instead check only the implication
+           direction that is box-complete: if brute finds a witness, the
+           decision procedure must agree *)
+        (not brute) || satisfiable f);
+    QCheck.Test.make ~name:"presburger qe preserves truth" ~count:60
+      (Oracle.arb_problem ~ncons:2 ())
+      (fun (p, vars, lo, hi) ->
+        match vars with
+        | vz :: rest ->
+          (* f = exists vz. p;  qe f must hold exactly where a witness is *)
+          let open Presburger in
+          let f = exists [ vz ] (of_problem p) in
+          let g = qe f in
+          let disjuncts = problems_of_qf g in
+          Seq.for_all
+            (fun env ->
+              let lhs =
+                List.exists (fun pb -> Oracle.holds_at env pb) disjuncts
+              in
+              let rhs =
+                Seq.exists
+                  (fun vzval ->
+                    Oracle.holds_at (Var.Map.add vz (Var.Map.find vz vzval) env) p)
+                  (Oracle.assignments [ vz ] lo hi)
+              in
+              lhs = rhs)
+            (Oracle.assignments rest lo hi)
+        | [] -> true);
+    QCheck.Test.make ~name:"presburger validity of implication is sound"
+      ~count:80
+      (QCheck.pair (Oracle.arb_problem ~ncons:2 ()) (Oracle.arb_problem ~ncons:2 ()))
+      (fun ((p, vars, lo, hi), (q, _, _, _)) ->
+        let open Presburger in
+        let imp = valid (implies_ (of_problem p) (of_problem q)) in
+        let brute =
+          Seq.for_all
+            (fun env ->
+              (not (Oracle.holds_at env p)) || Oracle.holds_at env q)
+            (Oracle.assignments vars lo hi)
+        in
+        imp = brute);
+    QCheck.Test.make ~name:"problem simplify preserves solutions" ~count:200
+      (Oracle.arb_problem ())
+      (fun (p, vars, lo, hi) ->
+        match Problem.simplify p with
+        | Problem.Contra ->
+          not (Oracle.exists_solution vars lo hi p)
+        | Problem.Ok p' ->
+          Seq.for_all
+            (fun env -> Oracle.holds_at env p = Oracle.holds_at env p')
+            (Oracle.assignments vars lo hi));
+    QCheck.Test.make ~name:"constraint normalize preserves solutions"
+      ~count:300
+      (Oracle.arb_problem ~ncons:1 ())
+      (fun (p, vars, lo, hi) ->
+        List.for_all
+          (fun c ->
+            match Constr.normalize c with
+            | Constr.Tauto ->
+              Seq.for_all
+                (fun env -> Oracle.holds_at env (Problem.of_list [ c ]))
+                (Oracle.assignments vars lo hi)
+            | Constr.Contra ->
+              Seq.for_all
+                (fun env ->
+                  not (Oracle.holds_at env (Problem.of_list [ c ])))
+                (Oracle.assignments vars lo hi)
+            | Constr.Ok c' ->
+              Seq.for_all
+                (fun env ->
+                  Oracle.holds_at env (Problem.of_list [ c ])
+                  = Oracle.holds_at env (Problem.of_list [ c' ]))
+                (Oracle.assignments vars lo hi))
+          (Problem.constraints p));
+  ]
+
+let suite =
+  ( "omega",
+    unit_tests
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+        (prop_tests @ presburger_tests) )

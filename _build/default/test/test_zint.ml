@@ -1,0 +1,166 @@
+(* Tests for the arbitrary-precision integer substrate. *)
+
+let z = Zint.of_int
+let zs = Zint.of_string
+
+let check_z msg expected actual =
+  Alcotest.(check string) msg (Zint.to_string expected) (Zint.to_string actual)
+
+let unit_tests =
+  [
+    Alcotest.test_case "of_int/to_int roundtrip" `Quick (fun () ->
+        List.iter
+          (fun n -> Alcotest.(check int) "roundtrip" n (Zint.to_int (z n)))
+          [ 0; 1; -1; 42; max_int; min_int; max_int - 1; min_int + 1 ]);
+    Alcotest.test_case "add promotes on overflow" `Quick (fun () ->
+        let s = Zint.add (z max_int) (z max_int) in
+        Alcotest.(check bool) "not small" false (Zint.is_small s);
+        check_z "value" (zs "9223372036854775806") s;
+        check_z "back down" (z max_int) (Zint.sub s (z max_int)));
+    Alcotest.test_case "sub promotes on overflow" `Quick (fun () ->
+        let s = Zint.sub (z min_int) Zint.one in
+        check_z "value" (zs "-4611686018427387905") s);
+    Alcotest.test_case "neg min_int" `Quick (fun () ->
+        let m = Zint.neg (z min_int) in
+        check_z "value" (zs "4611686018427387904") m;
+        check_z "double neg" (z min_int) (Zint.neg m));
+    Alcotest.test_case "mul promotes" `Quick (fun () ->
+        let p = Zint.mul (z max_int) (z max_int) in
+        (* (2^62 - 1)^2 = 2^124 - 2^63 + 1 *)
+        check_z "value" (zs "21267647932558653957237540927630737409") p);
+    Alcotest.test_case "string roundtrip big" `Quick (fun () ->
+        let s = "123456789012345678901234567890123456789" in
+        Alcotest.(check string) "roundtrip" s (Zint.to_string (zs s));
+        Alcotest.(check string) "neg roundtrip" ("-" ^ s)
+          (Zint.to_string (zs ("-" ^ s))));
+    Alcotest.test_case "big division" `Quick (fun () ->
+        let a = zs "123456789012345678901234567890" in
+        let b = zs "9876543210" in
+        let q = Zint.tdiv a b and r = Zint.trem a b in
+        check_z "reconstruct" a (Zint.add (Zint.mul q b) r);
+        Alcotest.(check bool) "0 <= r" true Zint.(zero <= r);
+        Alcotest.(check bool) "r < b" true Zint.(r < b));
+    Alcotest.test_case "fdiv/cdiv signs" `Quick (fun () ->
+        check_z "fdiv 7 2" (z 3) (Zint.fdiv (z 7) (z 2));
+        check_z "fdiv -7 2" (z (-4)) (Zint.fdiv (z (-7)) (z 2));
+        check_z "fdiv 7 -2" (z (-4)) (Zint.fdiv (z 7) (z (-2)));
+        check_z "fdiv -7 -2" (z 3) (Zint.fdiv (z (-7)) (z (-2)));
+        check_z "cdiv 7 2" (z 4) (Zint.cdiv (z 7) (z 2));
+        check_z "cdiv -7 2" (z (-3)) (Zint.cdiv (z (-7)) (z 2));
+        check_z "cdiv 7 -2" (z (-3)) (Zint.cdiv (z 7) (z (-2)));
+        check_z "cdiv -7 -2" (z 4) (Zint.cdiv (z (-7)) (z (-2))));
+    Alcotest.test_case "gcd/lcm" `Quick (fun () ->
+        check_z "gcd 12 18" (z 6) (Zint.gcd (z 12) (z 18));
+        check_z "gcd -12 18" (z 6) (Zint.gcd (z (-12)) (z 18));
+        check_z "gcd 0 5" (z 5) (Zint.gcd Zint.zero (z 5));
+        check_z "gcd 0 0" Zint.zero (Zint.gcd Zint.zero Zint.zero);
+        check_z "lcm 4 6" (z 12) (Zint.lcm (z 4) (z 6));
+        check_z "lcm 0 6" Zint.zero (Zint.lcm Zint.zero (z 6)));
+    Alcotest.test_case "mod_hat" `Quick (fun () ->
+        (* mod_hat a b lies in (-b/2, b/2] and is congruent to a mod b *)
+        for a = -20 to 20 do
+          for b = 1 to 7 do
+            let m = Zint.mod_hat (z a) (z b) in
+            let mi = Zint.to_int m in
+            Alcotest.(check bool)
+              (Printf.sprintf "range %d mod^ %d = %d" a b mi)
+              true
+              (2 * mi <= b && 2 * mi > -b);
+            Alcotest.(check int)
+              (Printf.sprintf "congruent %d mod^ %d" a b)
+              (((a - mi) mod b + b) mod b)
+              0
+          done
+        done);
+    Alcotest.test_case "compare mixed sizes" `Quick (fun () ->
+        let big = zs "99999999999999999999999999" in
+        Alcotest.(check bool) "small < big" true Zint.(z 5 < big);
+        Alcotest.(check bool) "-big < small" true Zint.(Zint.neg big < z (-5));
+        Alcotest.(check bool) "big = big" true Zint.(big = zs "99999999999999999999999999"));
+    Alcotest.test_case "divisible/divexact" `Quick (fun () ->
+        Alcotest.(check bool) "12/3" true (Zint.divisible (z 12) (z 3));
+        Alcotest.(check bool) "12/5" false (Zint.divisible (z 12) (z 5));
+        Alcotest.(check bool) "0/0" true (Zint.divisible Zint.zero Zint.zero);
+        Alcotest.(check bool) "5/0" false (Zint.divisible (z 5) Zint.zero);
+        check_z "divexact" (z (-4)) (Zint.divexact (z 12) (z (-3))));
+  ]
+
+(* -------------------------------------------------------------------- *)
+(* Property tests: cross-check against native int arithmetic on ranges  *)
+(* where it cannot overflow, and cross-check the Small and Big paths.   *)
+(* -------------------------------------------------------------------- *)
+
+let small_int = QCheck.int_range (-1_000_000) 1_000_000
+
+(* Build the same mathematical value through the bignum path by splitting
+   into two halves, so Small-path results can be checked against Big-path
+   machinery. *)
+let via_big n =
+  let h = n / 2 in
+  let sq x = Zint.mul (z x) (z x) in
+  (* (h + (n-h)) computed after bouncing through values too big for ints *)
+  let bump = Zint.mul (sq max_int) (z 4) in
+  Zint.sub (Zint.add (Zint.add (z h) bump) (z (n - h))) bump
+
+let prop_tests =
+  [
+    QCheck.Test.make ~name:"add matches int" ~count:1000
+      QCheck.(pair small_int small_int)
+      (fun (a, b) -> Zint.to_int (Zint.add (z a) (z b)) = a + b);
+    QCheck.Test.make ~name:"mul matches int" ~count:1000
+      QCheck.(pair small_int small_int)
+      (fun (a, b) -> Zint.to_int (Zint.mul (z a) (z b)) = a * b);
+    QCheck.Test.make ~name:"fdiv matches floor" ~count:1000
+      QCheck.(pair small_int small_int)
+      (fun (a, b) ->
+        QCheck.assume (b <> 0);
+        let q = Zint.to_int (Zint.fdiv (z a) (z b)) in
+        let f = int_of_float (floor (float_of_int a /. float_of_int b)) in
+        q = f);
+    QCheck.Test.make ~name:"f/c/t div-rem laws" ~count:1000
+      QCheck.(pair small_int small_int)
+      (fun (a, b) ->
+        QCheck.assume (b <> 0);
+        let za = z a and zb = z b in
+        let fq = Zint.fdiv za zb and fr = Zint.frem za zb in
+        let tq = Zint.tdiv za zb and tr = Zint.trem za zb in
+        Zint.(equal za (add (mul fq zb) fr))
+        && Zint.(equal za (add (mul tq zb) tr))
+        && (Zint.is_zero fr || Zint.sign fr = Zint.sign zb)
+        && (Zint.is_zero tr || Zint.sign tr = Zint.sign za)
+        && Zint.(abs fr < abs zb));
+    QCheck.Test.make ~name:"big path agrees with small path" ~count:500
+      QCheck.(pair small_int small_int)
+      (fun (a, b) ->
+        Zint.equal (via_big a) (z a)
+        && Zint.equal (Zint.add (via_big a) (via_big b)) (z (a + b))
+        && Zint.equal (Zint.mul (via_big a) (z b)) (Zint.mul (z a) (z b)));
+    QCheck.Test.make ~name:"gcd divides and is maximal" ~count:500
+      QCheck.(pair (int_range (-10000) 10000) (int_range (-10000) 10000))
+      (fun (a, b) ->
+        let g = Zint.gcd (z a) (z b) in
+        if a = 0 && b = 0 then Zint.is_zero g
+        else
+          Zint.sign g > 0
+          && Zint.divisible (z a) g
+          && Zint.divisible (z b) g
+          &&
+          (* g is the largest divisor: check against the int gcd *)
+          let rec ig a b = if b = 0 then abs a else ig b (a mod b) in
+          Zint.to_int g = ig a b);
+    QCheck.Test.make ~name:"string roundtrip" ~count:500
+      QCheck.(pair small_int small_int)
+      (fun (a, b) ->
+        let v = Zint.mul (Zint.mul (z a) (z b)) (Zint.mul (z max_int) (z a)) in
+        Zint.equal v (Zint.of_string (Zint.to_string v)));
+    QCheck.Test.make ~name:"compare is a total order consistent with sub" ~count:500
+      QCheck.(pair small_int small_int)
+      (fun (a, b) ->
+        let c = Zint.compare (via_big a) (via_big b) in
+        let s = Zint.sign (Zint.sub (z a) (z b)) in
+        (c > 0) = (s > 0) && (c < 0) = (s < 0) && (c = 0) = (s = 0));
+  ]
+
+let suite =
+  ( "zint",
+    unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) prop_tests )
