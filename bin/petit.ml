@@ -4,6 +4,8 @@
    Subcommands:
      analyze FILE      full dependence analysis (Figures 3/4 style tables)
      deps FILE         standard dependences only (flow/anti/output)
+     parallelize FILE  doall legality per loop, standard vs extended
+     graph FILE        statement dependence graph (DOT or JSON)
      run FILE -s n=4   execute the program and print dynamic dependences
      corpus [NAME]     list bundled corpus programs / print one *)
 
@@ -47,6 +49,7 @@ let analyze_cmd =
   let run file in_bounds =
     with_errors @@ fun () ->
     let prog = Lang.Sema.analyze (load file) in
+    Analyses.Stats.reset ();
     let result = Driver.analyze ~in_bounds prog in
     print_string "Live flow dependences:\n";
     print_string (Driver.render_flow_table (Driver.live_flows result));
@@ -59,7 +62,17 @@ let analyze_cmd =
     Printf.printf "\nAnti dependences:\n";
     List.iter
       (fun d -> Printf.printf "  %s\n" (Deps.dep_to_string d))
-      result.Driver.antis
+      result.Driver.antis;
+    (* the section 4.5 / 4.7 claim, visible on every run: most kill, cover
+       and refinement questions are settled without consulting the Omega
+       test *)
+    let s = Analyses.Stats.stats in
+    Printf.printf
+      "\nscreens: %d quick-screen hits (no Omega test), %d Omega-test \
+       invocations (%d dark-shadow fast path, %d general Presburger)\n"
+      s.Analyses.Stats.quick_screen_hits
+      (s.Analyses.Stats.fast_path_hits + s.Analyses.Stats.general_calls)
+      s.Analyses.Stats.fast_path_hits s.Analyses.Stats.general_calls
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -67,6 +80,92 @@ let analyze_cmd =
          "Full analysis: flow dependences classified live/dead with \
           refinement, covering and killing.")
     Term.(const run $ file_arg $ in_bounds_arg)
+
+let parallelize_cmd =
+  let oracle_arg =
+    Arg.(
+      value & flag
+      & info [ "oracle" ]
+          ~doc:
+            "Execute the program and confirm every extended-analysis doall \
+             claim against the dynamic dependences.")
+  in
+  let syms_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string int) []
+      & info [ "s"; "sym" ] ~docv:"NAME=VALUE"
+          ~doc:
+            "Symbolic-constant value for the oracle run (repeatable; \
+             defaults to an automatic search).")
+  in
+  let run file in_bounds oracle syms =
+    with_errors @@ fun () ->
+    let prog = Lang.Sema.analyze (load file) in
+    let g = Xform.Graph.build ~in_bounds prog in
+    let vs = Xform.Parallel.analyze g in
+    print_string (Xform.Parallel.render_report vs);
+    print_newline ();
+    print_string (Xform.Emit.annotate g vs);
+    if oracle then begin
+      let syms = if syms = [] then None else Some syms in
+      match Xform.Oracle.check ?syms g vs with
+      | Xform.Oracle.No_assignment ->
+        prerr_endline
+          "oracle: no symbolic-constant assignment satisfies the assumptions";
+        exit 1
+      | Xform.Oracle.Not_executable msg ->
+        Printf.printf "\noracle: program not executable (%s)\n" msg
+      | Xform.Oracle.Report r ->
+        Printf.printf
+          "\noracle: %d doall claim(s) checked against %d events (%s): %s\n"
+          r.Xform.Oracle.o_checked r.Xform.Oracle.o_events
+          (if r.Xform.Oracle.o_syms = [] then "no symbolics"
+           else
+             String.concat ", "
+               (List.map
+                  (fun (s, v) -> Printf.sprintf "%s=%d" s v)
+                  r.Xform.Oracle.o_syms))
+          (if r.Xform.Oracle.o_violations = [] then "confirmed"
+           else "VIOLATED");
+        List.iter
+          (fun (v : Xform.Oracle.violation) ->
+            Printf.printf "  loop %s: %s\n"
+              (Xform.Parallel.loop_path v.Xform.Oracle.o_loop)
+              v.Xform.Oracle.o_what)
+          r.Xform.Oracle.o_violations;
+        if r.Xform.Oracle.o_violations <> [] then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "parallelize"
+       ~doc:
+         "Per-loop doall legality, standard vs extended analysis, with the \
+          annotated program.")
+    Term.(const run $ file_arg $ in_bounds_arg $ oracle_arg $ syms_arg)
+
+let graph_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("dot", `Dot); ("json", `Json) ]) `Dot
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: dot or json.")
+  in
+  let run file in_bounds format =
+    with_errors @@ fun () ->
+    let prog = Lang.Sema.analyze (load file) in
+    let g = Xform.Graph.build ~in_bounds prog in
+    print_string
+      (match format with
+      | `Dot -> Xform.Graph.to_dot g
+      | `Json -> Xform.Graph.to_json g)
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Statement-level dependence graph with live/dead edges, as DOT or \
+          JSON.")
+    Term.(const run $ file_arg $ in_bounds_arg $ format_arg)
 
 let deps_cmd =
   let run file in_bounds =
@@ -257,4 +356,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; deps_cmd; run_cmd; symbolic_cmd; corpus_cmd ]))
+          [
+            analyze_cmd;
+            parallelize_cmd;
+            graph_cmd;
+            deps_cmd;
+            run_cmd;
+            symbolic_cmd;
+            corpus_cmd;
+          ]))

@@ -210,6 +210,40 @@ let analyze (ast : Ast.program) : Ir.program =
       in
       take !(env.opaques)
     in
+    (* opaque terms in the enclosing loop bounds (index-array bounds like
+       b(i) in example 9) belong to the access's constraint system too:
+       the dependence domain mentions them, so Depctx must be able to
+       instantiate them.  Close transitively over opaque arguments. *)
+    let bound_opaques =
+      let opq_ids_of (a : Ir.affine) =
+        List.filter_map
+          (function Ir.Opq id, _ -> Some id | _ -> None)
+          a.Ir.terms
+      in
+      let seed =
+        List.concat_map
+          (fun (l : Ir.loop) -> List.concat_map opq_ids_of (l.Ir.lo @ l.Ir.hi))
+          loops
+      in
+      let table = !(env.opaques) in
+      let rec close acc frontier =
+        match frontier with
+        | [] -> acc
+        | id :: rest when List.mem id acc -> close acc rest
+        | id :: rest -> (
+          match List.find_opt (fun o -> o.Ir.opq_id = id) table with
+          | None -> close acc rest
+          | Some o ->
+            close (id :: acc) (List.concat_map opq_ids_of o.Ir.args @ rest))
+      in
+      let wanted = close [] seed in
+      List.filter
+        (fun (o : Ir.opaque) ->
+          List.mem o.Ir.opq_id wanted
+          && not (List.exists (fun n -> n.Ir.opq_id = o.Ir.opq_id) new_opaques))
+        table
+    in
+    let new_opaques = new_opaques @ bound_opaques in
     let id = !next_acc in
     incr next_acc;
     let a =

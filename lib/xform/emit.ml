@@ -1,0 +1,62 @@
+(* Annotated re-rendering: the IR statement tree (which carries the loop
+   node ids the verdicts are keyed by) printed back in surface syntax,
+   with doall / private / serial annotations. *)
+
+let find_verdict (vs : Parallel.verdict list) node_id =
+  List.find_opt
+    (fun (v : Parallel.verdict) -> v.Parallel.v_loop.Graph.l_node = node_id)
+    vs
+
+let expr_string e = Format.asprintf "%a" Ast.pp_expr e
+
+let annotate (g : Graph.t) (vs : Parallel.verdict list) : string =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* declarations, via the AST printer *)
+  Buffer.add_string buf
+    (Ast.program_to_string { g.Graph.prog.Ir.source with Ast.stmts = [] });
+  let rec emit indent (s : Ir.istmt) =
+    let pad = String.make indent ' ' in
+    match s with
+    | Ir.IFor { node_id; var; lo; hi; step; body; _ } ->
+      let head =
+        Printf.sprintf "%s %s := %s to %s%s do"
+          (match find_verdict vs node_id with
+           | Some v when v.Parallel.v_ext_doall -> "doall"
+           | _ -> "for")
+          var (expr_string lo) (expr_string hi)
+          (if step = 1 then "" else Printf.sprintf " by %d" step)
+      in
+      let note =
+        match find_verdict vs node_id with
+        | Some v when v.Parallel.v_ext_doall ->
+          if v.Parallel.v_private = [] then ""
+          else
+            Printf.sprintf "  // private(%s)"
+              (String.concat "; "
+                 (List.map Privatize.to_string v.Parallel.v_private))
+        | Some v ->
+          let shown = ref [] in
+          List.iter
+            (fun (b : Parallel.blocker) ->
+              if List.length !shown < 3 then
+                shown := Parallel.blocker_string b :: !shown)
+            v.Parallel.v_ext_blockers;
+          let extra =
+            List.length v.Parallel.v_ext_blockers - List.length !shown
+          in
+          Printf.sprintf "  // serial: %s%s"
+            (String.concat "; " (List.rev !shown))
+            (if extra > 0 then Printf.sprintf "; +%d more" extra else "")
+        | None -> ""
+      in
+      pf "%s%s%s\n" pad head note;
+      List.iter (emit (indent + 2)) body;
+      pf "%sendfor\n" pad
+    | Ir.IAssign { label; lhs = array, subs; rhs; _ } ->
+      pf "%s%s: %s := %s;\n" pad label
+        (expr_string (Ast.Ref (array, subs)))
+        (expr_string rhs)
+  in
+  List.iter (emit 0) g.Graph.prog.Ir.stmts;
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Re-render a program with the parallelization verdicts as
+    annotations: parallel loops become [doall], with their privatized
+    arrays in a [// private(...)] comment; serial loops keep [for] and
+    carry a comment naming what blocks them. *)
+
+val annotate : Graph.t -> Parallel.verdict list -> string
+(** The full program (declarations included).  Comments use the
+    language's [//] syntax, so stripping the [doall] keyword back to
+    [for] yields a parseable program. *)

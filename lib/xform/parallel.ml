@@ -1,0 +1,129 @@
+(* doall legality per loop, standard vs extended.
+
+   Standard side: every apparent dependence carried at the loop (under
+   its unrefined vectors) serializes it.
+
+   Extended side, in order of application:
+   - refinement can shrink the carried levels (a (0+,1) vector refined to
+     (0,1) no longer lets the outer loop carry the dependence);
+   - dead flow dependences (killed/covered) carry no value between
+     iterations and never block;
+   - live storage dependences on a privatizable array are discharged by
+     giving each iteration a private copy;
+   - everything else blocks. *)
+
+type blocker = { b_edge : Graph.edge; b_level : int }
+
+type verdict = {
+  v_loop : Graph.loop_info;
+  v_std_doall : bool;
+  v_std_blockers : blocker list;
+  v_ext_doall : bool;
+  v_ext_blockers : blocker list;
+  v_private : Privatize.priv list;
+}
+
+let verdict_of_loop (g : Graph.t) (l : Graph.loop_info) : verdict =
+  let node = l.Graph.l_node in
+  let carried use_std =
+    List.filter_map
+      (fun (e : Graph.edge) ->
+        match Graph.carrier e node with
+        | Some k
+          when List.mem k
+                 (if use_std then e.Graph.e_std_levels else e.Graph.e_levels)
+          -> Some { b_edge = e; b_level = k }
+        | _ -> None)
+      g.Graph.edges
+  in
+  let std_blockers = carried true in
+  let privs = Privatize.analyze g l in
+  let priv_arrays = List.map (fun p -> p.Privatize.p_array) privs in
+  let discharged (e : Graph.edge) =
+    let on_private = List.mem e.Graph.e_src.Ir.array priv_arrays in
+    match (e.Graph.e_status, e.Graph.e_kind) with
+    | Graph.Live, Deps.Flow -> false
+    | Graph.Live, (Deps.Anti | Deps.Output) -> on_private
+    | Graph.Dead _, _ ->
+      (* dead dependences carry no value; the dynamic memory conflict
+         they still denote must be removed by privatizing the array
+         (always possible here: a dead carried flow means no live
+         carried flow on the array, unless another live flow edge blocks
+         the loop anyway) *)
+      on_private || Privatize.privatizable g l e.Graph.e_src.Ir.array
+  in
+  let ext_blockers =
+    List.filter (fun b -> not (discharged b.b_edge)) (carried false)
+  in
+  (* privatizations count only when they discharge something *)
+  let used =
+    List.filter
+      (fun p ->
+        List.exists
+          (fun (e : Graph.edge) ->
+            e.Graph.e_src.Ir.array = p.Privatize.p_array
+            && Graph.carried_at ~use_std:false e node)
+          g.Graph.edges)
+      privs
+  in
+  {
+    v_loop = l;
+    v_std_doall = std_blockers = [];
+    v_std_blockers = std_blockers;
+    v_ext_doall = ext_blockers = [];
+    v_ext_blockers = ext_blockers;
+    v_private = used;
+  }
+
+let analyze (g : Graph.t) : verdict list =
+  List.map (verdict_of_loop g) g.Graph.loops
+
+let count_doall (vs : verdict list) =
+  let n f = List.length (List.filter f vs) in
+  (n (fun v -> v.v_std_doall), n (fun v -> v.v_ext_doall))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let loop_path (l : Graph.loop_info) =
+  String.concat "/" (l.Graph.l_outer @ [ l.Graph.l_var ])
+
+let blocker_string (b : blocker) =
+  let e = b.b_edge in
+  Printf.sprintf "%s %s->%s %s@%d%s"
+    (Graph.kind_string e.Graph.e_kind)
+    e.Graph.e_src.Ir.label e.Graph.e_dst.Ir.label
+    (Graph.vectors_string e.Graph.e_vectors)
+    b.b_level
+    (Graph.status_label e.Graph.e_status)
+
+let render_report (vs : verdict list) : string =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "%-18s %-6s %-22s %-22s %s\n" "loop" "depth" "standard" "extended"
+    "private";
+  List.iter
+    (fun v ->
+      let side doall blockers =
+        if doall then "doall"
+        else Printf.sprintf "serial (%d carried)" (List.length blockers)
+      in
+      pf "%-18s %-6d %-22s %-22s %s\n" (loop_path v.v_loop)
+        v.v_loop.Graph.l_depth
+        (side v.v_std_doall v.v_std_blockers)
+        (side v.v_ext_doall v.v_ext_blockers)
+        (String.concat ", " (List.map Privatize.to_string v.v_private)))
+    vs;
+  let serial_ext = List.filter (fun v -> not v.v_ext_doall) vs in
+  if serial_ext <> [] then begin
+    pf "\nblockers (extended analysis):\n";
+    List.iter
+      (fun v ->
+        pf "  %s:\n" (loop_path v.v_loop);
+        List.iter
+          (fun b -> pf "    %s\n" (blocker_string b))
+          v.v_ext_blockers)
+      serial_ext
+  end;
+  Buffer.contents buf

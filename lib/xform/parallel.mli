@@ -1,0 +1,45 @@
+(** Per-loop [doall] legality, side by side for the standard and the
+    extended analysis - the paper's headline claim made executable.
+
+    A loop can run its iterations in parallel ([doall]) when no
+    dependence forces an order between two different iterations, i.e. no
+    dependence is {e carried} by the loop:
+
+    - under the {b standard} analysis every apparent dependence (flow,
+      anti, output) must be respected, carried at the levels its
+      unrefined direction vectors admit;
+    - under the {b extended} analysis only {e live} dependences
+      constrain the loop (dead flow dependences carry no value, and dead
+      storage dependences are transitively enforced through their
+      killers), carried at the levels the {e refined} vectors admit; a
+      carried {e storage} (anti/output) dependence on a privatizable
+      array is discharged by privatizing that array
+      (see {!Privatize}). *)
+
+type blocker = {
+  b_edge : Graph.edge;
+  b_level : int;  (** the level at which the loop carries the edge *)
+}
+
+type verdict = {
+  v_loop : Graph.loop_info;
+  v_std_doall : bool;
+  v_std_blockers : blocker list;  (** apparent dependences carried *)
+  v_ext_doall : bool;
+  v_ext_blockers : blocker list;
+      (** live carried dependences not discharged by privatization *)
+  v_private : Privatize.priv list;
+      (** privatizations used to reach the extended verdict *)
+}
+
+val analyze : Graph.t -> verdict list
+(** One verdict per loop of the program, in textual order. *)
+
+val count_doall : verdict list -> int * int
+(** [(standard, extended)] numbers of parallelizable loops. *)
+
+val render_report : verdict list -> string
+(** The side-by-side table, with blocker details for serial loops. *)
+
+val loop_path : Graph.loop_info -> string
+val blocker_string : blocker -> string

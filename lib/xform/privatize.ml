@@ -1,0 +1,129 @@
+(* Array privatization over the dependence graph.
+
+   Soundness: "no live flow dependence on [a] carried by [L]" is exactly
+   "no value flows between two different iterations of [L] through [a]"
+   (the e2e property tests check live flows cover all dynamic value
+   flows).  So each iteration's reads of [a] are produced inside the same
+   iteration or come from before the loop; a per-iteration private copy
+   with copy-in preserves every read, and per-element last-write
+   finalization reproduces the sequential final state. *)
+
+type priv = {
+  p_array : string;
+  p_loop : Graph.loop_info;
+  p_dead_carried : Graph.edge list;
+  p_copy_in : bool;
+  p_finalize : bool;
+}
+
+let accesses_of_array (g : Graph.t) array =
+  Array.to_list g.Graph.prog.Ir.accesses
+  |> List.filter (fun (a : Ir.access) -> a.Ir.array = array)
+
+let written_in (g : Graph.t) (l : Graph.loop_info) array =
+  List.exists
+    (fun (a : Ir.access) ->
+      a.Ir.kind = Ir.Write && Graph.under_loop a l.Graph.l_node)
+    (accesses_of_array g array)
+
+let carried_edges_on (g : Graph.t) (l : Graph.loop_info) array =
+  List.filter
+    (fun (e : Graph.edge) ->
+      e.Graph.e_src.Ir.array = array
+      && Graph.carried_at ~use_std:false e l.Graph.l_node)
+    g.Graph.edges
+
+let privatizable (g : Graph.t) (l : Graph.loop_info) array =
+  written_in g l array
+  && not
+       (List.exists
+          (fun (e : Graph.edge) ->
+            e.Graph.e_kind = Deps.Flow && Graph.live e)
+          (carried_edges_on g l array))
+
+(* A read is upward-exposed when no write covers it from inside the loop:
+   approximated as "fed by a live flow dependence whose source is outside
+   the loop, or fed by no flow dependence at all" (the latter covers
+   reads of never-written elements). *)
+let copy_in_needed (g : Graph.t) (l : Graph.loop_info) array =
+  let reads =
+    List.filter
+      (fun (a : Ir.access) ->
+        a.Ir.kind = Ir.Read && Graph.under_loop a l.Graph.l_node)
+      (accesses_of_array g array)
+  in
+  List.exists
+    (fun (r : Ir.access) ->
+      let feeders =
+        List.filter
+          (fun (e : Graph.edge) ->
+            e.Graph.e_kind = Deps.Flow
+            && e.Graph.e_dst.Ir.acc_id = r.Ir.acc_id
+            && Graph.live e)
+          g.Graph.edges
+      in
+      feeders = []
+      || List.exists
+           (fun (e : Graph.edge) ->
+             not (Graph.under_loop e.Graph.e_src l.Graph.l_node))
+           feeders)
+    reads
+
+(* The loop's values of the array may be observed later when something
+   after the loop reads it, or when nothing after the loop redefines it
+   (its final state then escapes the program). *)
+let finalize_needed (g : Graph.t) (l : Graph.loop_info) array =
+  let inside_writes =
+    List.filter
+      (fun (a : Ir.access) ->
+        a.Ir.kind = Ir.Write && Graph.under_loop a l.Graph.l_node)
+      (accesses_of_array g array)
+  in
+  let after (a : Ir.access) =
+    (not (Graph.under_loop a l.Graph.l_node))
+    && List.exists (fun w -> Ir.textually_before w a) inside_writes
+  in
+  let accs = accesses_of_array g array in
+  let reads_after =
+    List.exists (fun (a : Ir.access) -> a.Ir.kind = Ir.Read && after a) accs
+  in
+  let writes_after =
+    List.exists (fun (a : Ir.access) -> a.Ir.kind = Ir.Write && after a) accs
+  in
+  reads_after || not writes_after
+
+let analyze (g : Graph.t) (l : Graph.loop_info) : priv list =
+  let arrays =
+    List.filter_map
+      (fun (e : Graph.edge) ->
+        if Graph.carried_at ~use_std:false e l.Graph.l_node then
+          Some e.Graph.e_src.Ir.array
+        else None)
+      g.Graph.edges
+    |> List.sort_uniq Stdlib.compare
+  in
+  List.filter_map
+    (fun array ->
+      if not (privatizable g l array) then None
+      else
+        Some
+          {
+            p_array = array;
+            p_loop = l;
+            p_dead_carried =
+              List.filter
+                (fun (e : Graph.edge) ->
+                  e.Graph.e_kind = Deps.Flow && not (Graph.live e))
+                (carried_edges_on g l array);
+            p_copy_in = copy_in_needed g l array;
+            p_finalize = finalize_needed g l array;
+          })
+    arrays
+
+let to_string p =
+  let flags =
+    (if p.p_copy_in then [ "copy-in" ] else [])
+    @ if p.p_finalize then [ "finalize" ] else []
+  in
+  p.p_array
+  ^ match flags with [] -> "" | fs -> ": " ^ String.concat ", " fs

@@ -1,0 +1,43 @@
+(** Array privatization (the paper's section-1 motivation for eliminating
+    false dependences): an array is privatizable in a loop when every
+    flow dependence on it carried by that loop is dead (killed/covered)
+    under the extended analysis - no value actually flows between
+    iterations through the array, so each iteration can work on its own
+    copy.  Privatization removes the array's loop-carried storage (anti
+    and output) dependences, which is what unlocks [doall]
+    parallelization of loops the standard analysis must run serially.
+
+    Privatization here means array expansion with per-element last-write
+    finalization: each iteration writes a private copy, reads not
+    produced by the iteration come from the original array (copy-in),
+    and after the loop each element written by any iteration takes the
+    value of the textually-last iteration that wrote it (finalize) -
+    which equals the sequential result exactly because no value crosses
+    iterations. *)
+
+type priv = {
+  p_array : string;
+  p_loop : Graph.loop_info;
+  p_dead_carried : Graph.edge list;
+      (** the carried flow dependences the extended analysis killed -
+          the evidence that privatization is sound *)
+  p_copy_in : bool;
+      (** some read of the array inside the loop may be upward-exposed
+          (fed from outside the loop or uninitialized) *)
+  p_finalize : bool;
+      (** the array's final values may be observed after the loop, so the
+          per-element last write must be copied out *)
+}
+
+val privatizable : Graph.t -> Graph.loop_info -> string -> bool
+(** Is the array written inside the loop with no {e live} flow dependence
+    on it carried by the loop (under the extended analysis)? *)
+
+val analyze : Graph.t -> Graph.loop_info -> priv list
+(** The privatizable arrays of one loop that actually need privatization:
+    they have at least one dependence carried by the loop.  Arrays with a
+    live carried flow dependence are never returned (the value genuinely
+    crosses iterations); arrays without carried dependences need no
+    privatization. *)
+
+val to_string : priv -> string

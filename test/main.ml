@@ -6,5 +6,6 @@ let () =
       Test_lang.suite;
       Test_depend.suite;
       Test_e2e.suite;
+      Test_xform.suite;
       Test_misc.suite;
     ]
