@@ -533,8 +533,182 @@ let bechamel_benches () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Speedup suite: execute every kernel serial / std-plan / ext-plan    *)
+(* ------------------------------------------------------------------ *)
 
-let () =
+(* The paper's payoff, measured: each corpus kernel runs three ways at
+   scaled trip counts - serially, with the standard analysis's doall
+   loops parallelized over domains, and with the extended analysis's
+   (privatization included).  Every parallel final state is checked
+   bit-identical to the serial one, so a reported speedup is also a
+   soundness certificate for the plan that produced it. *)
+
+(* Deterministic nonzero contents so value propagation is observable. *)
+let speedup_init _ idx = List.fold_left (fun h i -> (h * 31) + i + 17) 7 idx
+
+type speedup_row = {
+  sp_name : string;
+  sp_syms : (string * int) list;
+  sp_loops : int;
+  sp_std_doall : int;
+  sp_ext_doall : int;
+  sp_serial : float;
+  sp_std : float;
+  sp_ext : float;
+  sp_std_regions : int;
+  sp_ext_regions : int;
+  sp_identical : bool;
+}
+
+let json_of_speedup ~domains ~smoke (rows : speedup_row list) =
+  let jf x = Printf.sprintf "%.6f" x in
+  let row r =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"syms\":{%s},\"loops\":%d,\"std_doall\":%d,\
+       \"ext_doall\":%d,\"serial_ms\":%s,\"std_ms\":%s,\"ext_ms\":%s,\
+       \"std_speedup\":%s,\"ext_speedup\":%s,\"std_regions\":%d,\
+       \"ext_regions\":%d,\"ext_beats_std\":%b,\"identical\":%b}"
+      r.sp_name
+      (String.concat ","
+         (List.map (fun (s, v) -> Printf.sprintf "\"%s\":%d" s v) r.sp_syms))
+      r.sp_loops r.sp_std_doall r.sp_ext_doall
+      (jf (ms r.sp_serial)) (jf (ms r.sp_std)) (jf (ms r.sp_ext))
+      (jf (r.sp_serial /. r.sp_std))
+      (jf (r.sp_serial /. r.sp_ext))
+      r.sp_std_regions r.sp_ext_regions
+      (r.sp_ext < r.sp_std)
+      r.sp_identical
+  in
+  Printf.sprintf
+    "{\n\"domains\":%d,\n\"smoke\":%b,\n\"all_identical\":%b,\n\
+     \"ext_beats_std\":[%s],\n\"kernels\":[\n%s\n]\n}\n"
+    domains smoke
+    (List.for_all (fun r -> r.sp_identical) rows)
+    (String.concat ","
+       (List.filter_map
+          (fun r ->
+            if r.sp_ext < r.sp_std then Some ("\"" ^ r.sp_name ^ "\"")
+            else None)
+          rows))
+    (String.concat ",\n" (List.map row rows))
+
+let speedup_suite ~smoke ~domains ~out () =
+  let pool = Xform.Exec.create_pool ?size:domains () in
+  let domains = Xform.Exec.pool_size pool in
+  section
+    (Printf.sprintf
+       "Speedup: serial vs std-plan vs ext-plan parallel execution (%d \
+        domain%s%s)"
+       domains
+       (if domains = 1 then "" else "s")
+       (if smoke then ", smoke" else ""));
+  let target = if smoke then 8_000 else 150_000 in
+  let reps = if smoke then 1 else 2 in
+  let best f =
+    let rec go best k =
+      if k = 0 then best
+      else
+        let _, t = time f in
+        go (min best t) (k - 1)
+    in
+    go infinity reps
+  in
+  Printf.printf "%-18s %-18s %9s %9s %9s %7s %7s %5s %s\n" "kernel" "syms"
+    "serial" "std(ms)" "ext(ms)" "std-x" "ext-x" "ident" "regions s/e";
+  let rows =
+    List.filter_map
+      (fun name ->
+        let prog = Lang.Sema.parse_and_analyze (Corpus.find name) in
+        let g = Xform.Graph.build prog in
+        let vs = Xform.Parallel.analyze g in
+        let nloops = List.length vs in
+        let std_doall, ext_doall = Xform.Parallel.count_doall vs in
+        let depth =
+          List.fold_left
+            (fun d (l : Xform.Graph.loop_info) -> max d l.Xform.Graph.l_depth)
+            1 g.Xform.Graph.loops
+        in
+        let scale =
+          max 4 (int_of_float (float_of_int target ** (1. /. float_of_int depth)))
+        in
+        match
+          Xform.Oracle.pick_syms
+            ~candidates:[ scale; scale / 2; 100; 50; 10; 8; 6; 5; 4; 3; 2; 1 ]
+            prog
+        with
+        | None -> None
+        | Some syms ->
+          (match Xform.Exec.run_serial ~init:speedup_init prog ~syms with
+          | exception Lang.Interp.Runtime_error _ -> None
+          | serial_mem ->
+            let t_serial =
+              best (fun () ->
+                  ignore (Xform.Exec.run_serial ~init:speedup_init prog ~syms))
+            in
+            let run side =
+              let pl = Xform.Exec.plan side vs in
+              let mem, stats =
+                Xform.Exec.run_parallel ~pool ~init:speedup_init pl prog ~syms
+              in
+              let t =
+                best (fun () ->
+                    ignore
+                      (Xform.Exec.run_parallel ~pool ~init:speedup_init pl
+                         prog ~syms))
+              in
+              (mem, stats, t)
+            in
+            let std_mem, std_stats, t_std = run Xform.Exec.Std in
+            let ext_mem, ext_stats, t_ext = run Xform.Exec.Ext in
+            let identical =
+              Xform.Exec.equal_mem serial_mem std_mem
+              && Xform.Exec.equal_mem serial_mem ext_mem
+            in
+            let row =
+              {
+                sp_name = name;
+                sp_syms = syms;
+                sp_loops = nloops;
+                sp_std_doall = std_doall;
+                sp_ext_doall = ext_doall;
+                sp_serial = t_serial;
+                sp_std = t_std;
+                sp_ext = t_ext;
+                sp_std_regions = std_stats.Xform.Exec.x_regions;
+                sp_ext_regions = ext_stats.Xform.Exec.x_regions;
+                sp_identical = identical;
+              }
+            in
+            Printf.printf
+              "%-18s %-18s %9.1f %9.1f %9.1f %7.2f %7.2f %5s %d/%d\n" name
+              (String.concat ","
+                 (List.map (fun (s, v) -> Printf.sprintf "%s=%d" s v) syms))
+              (ms t_serial) (ms t_std) (ms t_ext) (t_serial /. t_std)
+              (t_serial /. t_ext)
+              (if identical then "yes" else "NO")
+              std_stats.Xform.Exec.x_regions ext_stats.Xform.Exec.x_regions;
+            Some row))
+      Corpus.timing_population
+  in
+  Xform.Exec.shutdown pool;
+  let wins = List.filter (fun r -> r.sp_ext < r.sp_std) rows in
+  let plan_wins =
+    List.filter (fun r -> r.sp_ext_doall > r.sp_std_doall) rows
+  in
+  Printf.printf
+    "\n%d kernels; ext plan beats std plan wall-clock on %d; ext plan \
+     parallelizes more loops on %d; all final states identical to serial: %b\n"
+    (List.length rows) (List.length wins) (List.length plan_wins)
+    (List.for_all (fun r -> r.sp_identical) rows);
+  let oc = open_out out in
+  output_string oc (json_of_speedup ~domains ~smoke rows);
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  if not (List.for_all (fun r -> r.sp_identical) rows) then exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let full_run () =
   let t0 = Unix.gettimeofday () in
   examples_table ();
   cholsky_tables ();
@@ -547,3 +721,21 @@ let () =
   ablations ();
   bechamel_benches ();
   Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "speedup" :: rest ->
+    let smoke = List.mem "--smoke" rest in
+    let rec opt key = function
+      | k :: v :: _ when k = key -> Some v
+      | _ :: rest -> opt key rest
+      | [] -> None
+    in
+    let domains = Option.map int_of_string (opt "--domains" rest) in
+    let out = Option.value (opt "--out" rest) ~default:"BENCH_speedup.json" in
+    speedup_suite ~smoke ~domains ~out ()
+  | _ :: [] | [] -> full_run ()
+  | _ ->
+    prerr_endline
+      "usage: main.exe [speedup [--smoke] [--domains N] [--out FILE]]";
+    exit 2

@@ -99,7 +99,25 @@ let parallelize_cmd =
             "Symbolic-constant value for the oracle run (repeatable; \
              defaults to an automatic search).")
   in
-  let run file in_bounds oracle syms =
+  let exec_arg =
+    Arg.(
+      value & flag
+      & info [ "exec" ]
+          ~doc:
+            "Execute the program three ways (serial, standard-plan parallel, \
+             extended-plan parallel over OCaml domains), check the final \
+             array states are identical, and report wall-clock speedups.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Domain-pool size for --exec (default: \
+             Domain.recommended_domain_count).")
+  in
+  let run file in_bounds oracle exec domains syms =
     with_errors @@ fun () ->
     let prog = Lang.Sema.analyze (load file) in
     let g = Xform.Graph.build ~in_bounds prog in
@@ -107,6 +125,61 @@ let parallelize_cmd =
     print_string (Xform.Parallel.render_report vs);
     print_newline ();
     print_string (Xform.Emit.annotate g vs);
+    if exec then begin
+      let syms =
+        if syms <> [] then Some syms
+        else Xform.Oracle.pick_syms ~candidates:[ 60; 30; 10; 5; 4; 3; 2; 1 ] prog
+      in
+      match syms with
+      | None ->
+        prerr_endline
+          "exec: no symbolic-constant assignment satisfies the assumptions";
+        exit 1
+      | Some syms -> (
+        let init _ idx =
+          List.fold_left (fun h i -> (h * 31) + i + 17) 7 idx
+        in
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, (Unix.gettimeofday () -. t0) *. 1000.)
+        in
+        match time (fun () -> Xform.Exec.run_serial ~init prog ~syms) with
+        | exception Lang.Interp.Runtime_error msg ->
+          Printf.printf "\nexec: program not executable (%s)\n" msg
+        | serial, t_serial ->
+          Xform.Exec.with_pool ?size:domains @@ fun pool ->
+          Printf.printf "\nexec (%s; %d domain%s):\n"
+            (String.concat ", "
+               (List.map (fun (s, v) -> Printf.sprintf "%s=%d" s v) syms))
+            (Xform.Exec.pool_size pool)
+            (if Xform.Exec.pool_size pool = 1 then "" else "s");
+          Printf.printf "  serial    %8.2f ms\n" t_serial;
+          let mismatch = ref false in
+          List.iter
+            (fun (label, side) ->
+              let pl = Xform.Exec.plan side vs in
+              let (mem, stats), t =
+                time (fun () ->
+                    Xform.Exec.run_parallel ~pool ~init pl prog ~syms)
+              in
+              let ok = Xform.Exec.equal_mem serial mem in
+              if not ok then mismatch := true;
+              Printf.printf
+                "  %-9s %8.2f ms  (x%.2f, %d doall loop(s), %d region(s), \
+                 final state %s)\n"
+                label t
+                (t_serial /. t)
+                (Xform.Exec.doall_count pl)
+                stats.Xform.Exec.x_regions
+                (if ok then "identical" else "DIFFERS");
+              if not ok then
+                Printf.printf "    %s\n"
+                  (Xform.Exec.diff_string
+                     (Xform.Exec.diff_mem serial mem)))
+            [ ("std plan", Xform.Exec.Std); ("ext plan", Xform.Exec.Ext) ];
+          if !mismatch then exit 1)
+    end;
     if oracle then begin
       let syms = if syms = [] then None else Some syms in
       match Xform.Oracle.check ?syms g vs with
@@ -142,7 +215,9 @@ let parallelize_cmd =
        ~doc:
          "Per-loop doall legality, standard vs extended analysis, with the \
           annotated program.")
-    Term.(const run $ file_arg $ in_bounds_arg $ oracle_arg $ syms_arg)
+    Term.(
+      const run $ file_arg $ in_bounds_arg $ oracle_arg $ exec_arg
+      $ domains_arg $ syms_arg)
 
 let graph_cmd =
   let format_arg =

@@ -8,7 +8,12 @@
    the carried dependences on [t] are storage reuse only.  The standard
    analysis must run [i] serially; the extended analysis kills the
    carried flow, refines the rest, and privatizing [t] makes [i] a
-   doall. *)
+   doall.
+
+   The demo then actually runs both plans over a domain pool
+   (Xform.Exec) and checks each final state against serial execution:
+   the std plan gets one parallel region per [i] iteration (the inner
+   loops), the ext plan a single region over the whole [i] loop. *)
 
 let src =
   {|
@@ -41,5 +46,26 @@ let () =
   | Xform.Oracle.No_assignment -> print_endline "oracle: no assignment"
   | Xform.Oracle.Not_executable m ->
     Printf.printf "oracle: not executable (%s)\n" m);
+  print_newline ();
+  let syms = [ ("n", 40); ("m", 40) ] in
+  let init _ idx = List.fold_left (fun h i -> (h * 31) + i + 17) 7 idx in
+  let serial = Xform.Exec.run_serial ~init prog ~syms in
+  Xform.Exec.with_pool ~size:4 (fun pool ->
+      List.iter
+        (fun (label, side) ->
+          let pl = Xform.Exec.plan side vs in
+          let mem, stats =
+            Xform.Exec.run_parallel ~pool ~init pl prog ~syms
+          in
+          Printf.printf
+            "%s: %d doall loop(s) -> %d parallel region(s), %d chunk(s) on \
+             %d domains; final state %s\n"
+            label
+            (Xform.Exec.doall_count pl)
+            stats.Xform.Exec.x_regions stats.Xform.Exec.x_chunks
+            stats.Xform.Exec.x_domains
+            (if Xform.Exec.equal_mem serial mem then "identical to serial"
+             else "DIFFERS"))
+        [ ("std plan", Xform.Exec.Std); ("ext plan", Xform.Exec.Ext) ]);
   print_newline ();
   print_string (Xform.Graph.to_dot g)

@@ -403,6 +403,24 @@ for i := 1 to n do
 endfor
 |}
 
+(* Like temp_reuse, but one element of the temporary is written before
+   the loop and only read inside it: privatizing t is legal only with
+   copy-in (each iteration reads t(0) before ever writing it). *)
+let copyin =
+  {|
+symbolic n, m;
+real t[0:300], a[0:300, 0:300], x[0:300, 0:300];
+b: t(0) := 1;
+for i := 1 to n do
+  for j := 1 to m do
+    w: t(j) := a(i, j) + t(0);
+  endfor
+  for j := 1 to m do
+    r: x(i, j) := t(j) + t(0);
+  endfor
+endfor
+|}
+
 (* Further tiny-style kernels, used to widen the Figure 6/7 timing
    population. *)
 
@@ -639,6 +657,7 @@ let all : (string * string) list =
     ("triangle_cover", triangle_cover);
     ("independent_kill", independent_kill);
     ("temp_reuse", temp_reuse);
+    ("copyin", copyin);
     ("gauss_seidel", gauss_seidel);
     ("red_black", red_black);
     ("fib_like", fib_like);
@@ -670,7 +689,7 @@ let timing_population =
     "example6"; "cholsky"; "cholesky_tiny"; "lu"; "wavefront1"; "wavefront2";
     "wavefront3"; "sor"; "matmul"; "transpose_sum"; "kill_chain";
     "partial_kill"; "triangle_cover"; "independent_kill"; "temp_reuse";
-    "gauss_seidel"; "red_black"; "fib_like"; "running_sum"; "copy_shift";
+    "copyin"; "gauss_seidel"; "red_black"; "fib_like"; "running_sum"; "copy_shift";
     "stencil9"; "overwrite_rows"; "diag_init"; "strided"; "reverse_copy";
     "multi_kill"; "triangular_update"; "even_odd_phases"; "countdown_copy";
     "prefix_sum_scalar"; "banded";

@@ -26,6 +26,11 @@ val example10 : string
 val example11 : string
 val cholsky : string
 
+val copyin : string
+(** A [temp_reuse] variant whose temporary has one element written
+    before the loop and only read inside it: privatization is legal only
+    with copy-in. *)
+
 val all : (string * string) list
 (** Every corpus program, by name. *)
 

@@ -10,7 +10,11 @@
      the same location): what standard dependence analysis reports.
 
    The difference between memory-based and value-based flow dependences is
-   exactly the set of dead dependences the paper's techniques eliminate. *)
+   exactly the set of dead dependences the paper's techniques eliminate.
+
+   Memory is behind a pluggable [store] so the tracing interpreter, the
+   plain serial executor and the parallel doall executor (Xform.Exec)
+   share one evaluator and differ only in where reads and writes land. *)
 
 type loc = string * int list
 
@@ -28,39 +32,57 @@ exception Runtime_error of string
 let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
 
 (* ------------------------------------------------------------------ *)
+(* Stores                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type store = { ld : loc -> int; st : loc -> int -> unit }
+
+let hashtbl_store ?(init = fun _ _ -> 0) tbl =
+  {
+    ld =
+      (fun loc ->
+        match Hashtbl.find_opt tbl loc with
+        | Some v -> v
+        | None -> init (fst loc) (snd loc));
+    st = (fun loc v -> Hashtbl.replace tbl loc v);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Expression evaluation                                               *)
 (* ------------------------------------------------------------------ *)
 
-type state = {
-  syms : (string * int) list;
+type env = {
+  e_syms : (string * int) list;
   (* innermost first: variable -> (surface value, normalized counter) *)
-  mutable loops : (string * (int * int)) list;
-  memory : (loc, int) Hashtbl.t;
-  init : string -> int list -> int;
+  mutable e_loops : (string * (int * int)) list;
+  e_mem : store;
+}
+
+let make_env ~store ~syms = { e_syms = syms; e_loops = []; e_mem = store }
+
+(* Event recording, present only in tracing runs. *)
+type tracing = {
   mutable rev_events : event list;
   (* read accesses of the current statement, queued in evaluation order *)
   mutable pending_reads : Ir.access list;
 }
 
+type state = { env : env; tracing : tracing option }
+
 let lookup st name =
-  match List.assoc_opt name st.loops with
+  match List.assoc_opt name st.env.e_loops with
   | Some (v, _) -> v
   | None -> (
-    match List.assoc_opt name st.syms with
+    match List.assoc_opt name st.env.e_syms with
     | Some v -> v
     | None -> error "unbound variable %s at run time" name)
-
-let read_mem st loc =
-  match Hashtbl.find_opt st.memory loc with
-  | Some v -> v
-  | None -> st.init (fst loc) (snd loc)
 
 let current_iters st (a : Ir.access) =
   (* normalized counters of a's enclosing loops, outermost first (these are
      what the static analysis's iteration variables denote) *)
   List.map
     (fun (l : Ir.loop) ->
-      match List.assoc_opt l.Ir.lvar st.loops with
+      match List.assoc_opt l.Ir.lvar st.env.e_loops with
       | Some (_, k) -> k
       | None -> error "loop variable %s not active" l.Ir.lvar)
     a.Ir.loops
@@ -98,17 +120,20 @@ let rec eval st (e : Ast.expr) : int =
       List.fold_left (fun acc s -> eval st s :: acc) [] subs |> List.rev
     in
     let loc = (name, idx) in
-    let v = read_mem st loc in
+    let v = st.env.e_mem.ld loc in
     (* pop the matching queued read access and log the event *)
-    (match st.pending_reads with
-     | acc :: rest ->
-       assert (acc.Ir.array = name);
-       st.pending_reads <- rest;
-       st.rev_events <-
-         { ev_instance = { acc; iters = current_iters st acc }; ev_loc = loc;
-           ev_write = false }
-         :: st.rev_events
-     | [] -> error "interpreter out of sync: unexpected read of %s" name);
+    (match st.tracing with
+     | None -> ()
+     | Some t -> (
+       match t.pending_reads with
+       | acc :: rest ->
+         assert (acc.Ir.array = name);
+         t.pending_reads <- rest;
+         t.rev_events <-
+           { ev_instance = { acc; iters = current_iters st acc }; ev_loc = loc;
+             ev_write = false }
+           :: t.rev_events
+       | [] -> error "interpreter out of sync: unexpected read of %s" name));
     v
 
 (* ------------------------------------------------------------------ *)
@@ -122,60 +147,69 @@ let rec exec st (s : Ir.istmt) =
     let continue_ v = if step > 0 then v <= h else v >= h in
     let rec iterate v k =
       if continue_ v then begin
-        st.loops <- (var, (v, k)) :: st.loops;
+        st.env.e_loops <- (var, (v, k)) :: st.env.e_loops;
         List.iter (exec st) body;
-        st.loops <- List.tl st.loops;
+        st.env.e_loops <- List.tl st.env.e_loops;
         iterate (v + step) (k + 1)
       end
     in
     iterate l 0
-  | Ir.IAssign { write; reads; lhs = array, subs_ast; rhs; _ } ->
-    (* reads fire in evaluation order: RHS first, then LHS subscripts *)
-    let rhs_read_count =
-      List.length (List.rev (Sema.collect_reads rhs []))
-    in
-    let rhs_reads, lhs_reads =
-      let rec split n l =
-        if n = 0 then ([], l)
-        else
-          match l with
-          | x :: r ->
-            let a, b = split (n - 1) r in
-            (x :: a, b)
-          | [] -> ([], [])
+  | Ir.IAssign { write; reads; lhs = array, subs_ast; rhs; _ } -> (
+    match st.tracing with
+    | None ->
+      (* lean path: evaluate and write, no event bookkeeping *)
+      let value = eval st rhs in
+      let idx =
+        List.fold_left (fun acc s -> eval st s :: acc) [] subs_ast |> List.rev
       in
-      split rhs_read_count reads
-    in
-    st.pending_reads <- rhs_reads;
-    let value = eval st rhs in
-    (if st.pending_reads <> [] then
-       error "interpreter out of sync: leftover RHS reads");
-    st.pending_reads <- lhs_reads;
-    let idx =
-      List.fold_left (fun acc s -> eval st s :: acc) [] subs_ast |> List.rev
-    in
-    (if st.pending_reads <> [] then
-       error "interpreter out of sync: leftover LHS reads");
-    let loc = (array, idx) in
-    Hashtbl.replace st.memory loc value;
-    st.rev_events <-
-      { ev_instance = { acc = write; iters = current_iters st write };
-        ev_loc = loc; ev_write = true }
-      :: st.rev_events
+      st.env.e_mem.st (array, idx) value
+    | Some t ->
+      (* reads fire in evaluation order: RHS first, then LHS subscripts *)
+      let rhs_read_count =
+        List.length (List.rev (Sema.collect_reads rhs []))
+      in
+      let rhs_reads, lhs_reads =
+        let rec split n l =
+          if n = 0 then ([], l)
+          else
+            match l with
+            | x :: r ->
+              let a, b = split (n - 1) r in
+              (x :: a, b)
+            | [] -> ([], [])
+        in
+        split rhs_read_count reads
+      in
+      t.pending_reads <- rhs_reads;
+      let value = eval st rhs in
+      (if t.pending_reads <> [] then
+         error "interpreter out of sync: leftover RHS reads");
+      t.pending_reads <- lhs_reads;
+      let idx =
+        List.fold_left (fun acc s -> eval st s :: acc) [] subs_ast |> List.rev
+      in
+      (if t.pending_reads <> [] then
+         error "interpreter out of sync: leftover LHS reads");
+      let loc = (array, idx) in
+      st.env.e_mem.st loc value;
+      t.rev_events <-
+        { ev_instance = { acc = write; iters = current_iters st write };
+          ev_loc = loc; ev_write = true }
+        :: t.rev_events)
+
+(* Untraced entry points, used by Xform.Exec for both the serial baseline
+   and the per-chunk bodies of parallel regions. *)
+let eval_expr env e = eval { env; tracing = None } e
+let exec_stmt env s = exec { env; tracing = None } s
 
 let run ?(init = fun _ _ -> 0) (p : Ir.program) ~syms : trace =
-  let st =
-    {
-      syms;
-      loops = [];
-      memory = Hashtbl.create 64;
-      init;
-      rev_events = [];
-      pending_reads = [];
-    }
+  let env =
+    make_env ~store:(hashtbl_store ~init (Hashtbl.create 64)) ~syms
   in
+  let tracing = { rev_events = []; pending_reads = [] } in
+  let st = { env; tracing = Some tracing } in
   List.iter (exec st) p.Ir.stmts;
-  { events = List.rev st.rev_events }
+  { events = List.rev tracing.rev_events }
 
 (* ------------------------------------------------------------------ *)
 (* Dynamic dependences                                                 *)

@@ -21,6 +21,42 @@ type trace = { events : event list (** in execution order *) }
 
 exception Runtime_error of string
 
+(** {1 Pluggable stores}
+
+    Memory sits behind a [store] so the tracing interpreter, the plain
+    serial executor and the parallel doall executor ({!Xform.Exec})
+    share one evaluator and differ only in where reads and writes
+    land. *)
+
+type store = {
+  ld : loc -> int;  (** read one element *)
+  st : loc -> int -> unit;  (** write one element *)
+}
+
+val hashtbl_store :
+  ?init:(string -> int list -> int) -> (loc, int) Hashtbl.t -> store
+(** A store over one hash table; reads of unwritten locations fall back
+    to [init] (default all zero) without populating the table. *)
+
+type env = {
+  e_syms : (string * int) list;  (** symbolic-constant values *)
+  mutable e_loops : (string * (int * int)) list;
+      (** active loop bindings, innermost first:
+          variable -> (surface value, normalized counter) *)
+  e_mem : store;
+}
+
+val make_env : store:store -> syms:(string * int) list -> env
+
+val eval_expr : env -> Ast.expr -> int
+(** Evaluate an expression (array references read through the store);
+    no events are recorded. *)
+
+val exec_stmt : env -> Ir.istmt -> unit
+(** Execute a statement tree fully serially against the environment's
+    store; no events are recorded.  Mutates [env.e_loops] only
+    transiently (restored on return). *)
+
 val run :
   ?init:(string -> int list -> int) -> Ir.program -> syms:(string * int) list -> trace
 (** Execute with the given symbolic-constant values; [init] supplies the

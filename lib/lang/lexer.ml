@@ -50,7 +50,7 @@ let pos lx : Ast.pos = { line = lx.line; col = lx.off - lx.bol + 1 }
 let error lx msg = raise (Error (msg, pos lx))
 
 let keyword = function
-  | "for" -> Some KW_FOR
+  | "for" | "doall" -> Some KW_FOR
   | "to" -> Some KW_TO
   | "do" -> Some KW_DO
   | "by" -> Some KW_BY

@@ -27,6 +27,25 @@ let annotate (g : Graph.t) (vs : Parallel.verdict list) : string =
           var (expr_string lo) (expr_string hi)
           (if step = 1 then "" else Printf.sprintf " by %d" step)
       in
+      (* directive comment carrying the executor's plan for this loop in
+         machine-readable clauses; a comment so the program re-parses *)
+      (match find_verdict vs node_id with
+      | Some v when v.Parallel.v_ext_doall && v.Parallel.v_private <> [] ->
+        let clauses =
+          List.concat_map
+            (fun (p : Privatize.priv) ->
+              (Printf.sprintf "private(%s)" p.Privatize.p_array
+              :: (if p.Privatize.p_copy_in then
+                    [ Printf.sprintf "copyin(%s)" p.Privatize.p_array ]
+                  else []))
+              @
+              if p.Privatize.p_finalize then
+                [ Printf.sprintf "lastprivate(%s)" p.Privatize.p_array ]
+              else [])
+            v.Parallel.v_private
+        in
+        pf "%s// !$ doall %s\n" pad (String.concat " " clauses)
+      | _ -> ());
       let note =
         match find_verdict vs node_id with
         | Some v when v.Parallel.v_ext_doall ->

@@ -1,0 +1,334 @@
+(* Parallel doall executor over OCaml 5 domains.
+
+   Takes a plan derived from Parallel verdicts (which loops are legal
+   doalls, which arrays each one privatizes) and runs the program with
+   the chosen loops' iterations spread over a fixed domain pool.  The
+   evaluation code is Interp's, reached through its pluggable store.
+
+   Execution model of one parallel region (one dynamic instance of a
+   plan doall loop):
+
+   - the normalized iteration range is cut into contiguous chunks,
+     claimed dynamically by the pool's workers through an atomic
+     counter (so triangular inner work still balances);
+   - each chunk runs against an overlay store: writes land in a
+     chunk-private table, reads check the private table first and fall
+     through to the global store, which is frozen (read-only) for the
+     duration of the region.  For privatized arrays the fall-through IS
+     the runtime copy-in of first-read-before-write iterations; for
+     every other array the analysis guarantees no iteration reads
+     another iteration's write, so the overlay is a plain write buffer;
+   - after the region, chunk tables merge into the global store in
+     increasing iteration order, so each element ends with its
+     sequentially-last writer's value (last-writer finalization).
+
+   Soundness rests on the extended analysis: a read may cross chunks
+   only along a live carried flow, which doall legality excludes.  The
+   differential harness (test/test_exec.ml) checks the resulting final
+   state bit-for-bit against serial execution on the whole corpus and
+   on random programs. *)
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type side = Std | Ext
+
+type plan = {
+  pl_side : side;
+  pl_doall : (int * string list) list;
+      (* doall loop AST node -> arrays its verdict privatizes *)
+}
+
+let plan side (vs : Parallel.verdict list) : plan =
+  let doall (v : Parallel.verdict) =
+    match side with
+    | Std -> v.Parallel.v_std_doall
+    | Ext -> v.Parallel.v_ext_doall
+  in
+  {
+    pl_side = side;
+    pl_doall =
+      List.filter_map
+        (fun (v : Parallel.verdict) ->
+          if doall v then
+            Some
+              ( v.Parallel.v_loop.Graph.l_node,
+                (* the standard analysis has no privatization story *)
+                match side with
+                | Std -> []
+                | Ext ->
+                  List.map
+                    (fun p -> p.Privatize.p_array)
+                    v.Parallel.v_private )
+          else None)
+        vs;
+  }
+
+let doall_count pl = List.length pl.pl_doall
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixed pool: [size - 1] spawned domains plus the calling domain,
+   which participates in every region.  Workers park on a condition
+   variable between regions; a region is published as a job closure
+   plus an epoch bump.  A worker that oversleeps a region is harmless:
+   jobs claim chunks from an atomic counter, so latecomers find the
+   counter exhausted and go back to sleep. *)
+
+type pool = {
+  p_size : int;
+  p_lock : Mutex.t;
+  p_work : Condition.t;
+  p_idle : Condition.t;
+  mutable p_job : (unit -> unit) option;
+  mutable p_epoch : int;
+  mutable p_running : int;
+  mutable p_stop : bool;
+  mutable p_domains : unit Domain.t list;
+}
+
+let rec worker pool epoch =
+  Mutex.lock pool.p_lock;
+  while (not pool.p_stop) && pool.p_epoch = epoch do
+    Condition.wait pool.p_work pool.p_lock
+  done;
+  if pool.p_stop then Mutex.unlock pool.p_lock
+  else begin
+    let epoch = pool.p_epoch in
+    match pool.p_job with
+    | None ->
+      (* woke between regions with a stale epoch: nothing to do *)
+      Mutex.unlock pool.p_lock;
+      worker pool epoch
+    | Some job ->
+      pool.p_running <- pool.p_running + 1;
+      Mutex.unlock pool.p_lock;
+      job ();
+      Mutex.lock pool.p_lock;
+      pool.p_running <- pool.p_running - 1;
+      if pool.p_running = 0 then Condition.broadcast pool.p_idle;
+      Mutex.unlock pool.p_lock;
+      worker pool epoch
+  end
+
+let create_pool ?size () =
+  let size =
+    match size with
+    | Some s -> max 1 s
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let pool =
+    {
+      p_size = size;
+      p_lock = Mutex.create ();
+      p_work = Condition.create ();
+      p_idle = Condition.create ();
+      p_job = None;
+      p_epoch = 0;
+      p_running = 0;
+      p_stop = false;
+      p_domains = [];
+    }
+  in
+  pool.p_domains <-
+    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool 0));
+  pool
+
+let pool_size pool = pool.p_size
+
+let shutdown pool =
+  Mutex.lock pool.p_lock;
+  pool.p_stop <- true;
+  Condition.broadcast pool.p_work;
+  Mutex.unlock pool.p_lock;
+  List.iter Domain.join pool.p_domains;
+  pool.p_domains <- []
+
+let with_pool ?size f =
+  let pool = create_pool ?size () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Publish [job] to the pool, run it on the calling domain too, and wait
+   until every worker that picked it up has drained.  [job] must be
+   re-entrant and must return only when no work is left (chunk claiming
+   via an atomic counter gives both). *)
+let run_region pool job =
+  Mutex.lock pool.p_lock;
+  pool.p_job <- Some job;
+  pool.p_epoch <- pool.p_epoch + 1;
+  Condition.broadcast pool.p_work;
+  Mutex.unlock pool.p_lock;
+  job ();
+  Mutex.lock pool.p_lock;
+  while pool.p_running > 0 do
+    Condition.wait pool.p_idle pool.p_lock
+  done;
+  pool.p_job <- None;
+  Mutex.unlock pool.p_lock
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type mem = (Interp.loc * int) list
+
+type stats = {
+  x_domains : int;
+  x_regions : int;  (* dynamic parallel-region entries *)
+  x_chunks : int;  (* chunks executed across all regions *)
+}
+
+let zero_init _ _ = 0
+
+let final tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare
+
+let run_serial ?(init = zero_init) (prog : Ir.program) ~syms : mem =
+  let tbl = Hashtbl.create 256 in
+  let env =
+    Interp.make_env ~store:(Interp.hashtbl_store ~init tbl) ~syms
+  in
+  List.iter (Interp.exec_stmt env) prog.Ir.stmts;
+  final tbl
+
+let iteration_count l h step =
+  if step > 0 then if l > h then 0 else ((h - l) / step) + 1
+  else if l < h then 0
+  else ((l - h) / -step) + 1
+
+let run_parallel ?pool ?(chunks_per_worker = 4) ?(init = zero_init)
+    ?(no_copy_in = false) (pl : plan) (prog : Ir.program) ~syms :
+    mem * stats =
+  let owned, pool =
+    match pool with Some p -> (None, p) | None ->
+      let p = create_pool () in
+      (Some p, p)
+  in
+  let global = Hashtbl.create 256 in
+  let gstore = Interp.hashtbl_store ~init global in
+  let regions = ref 0 and chunks = ref 0 in
+  let genv = Interp.make_env ~store:gstore ~syms in
+  (* one parallel region: the iterations of [var] in [l..h by step], with
+     [body] run serially inside each iteration *)
+  let parallel_region var l h step body privs =
+    let niters = iteration_count l h step in
+    let nchunks = min niters (pool.p_size * chunks_per_worker) in
+    incr regions;
+    chunks := !chunks + nchunks;
+    let locals = Array.init nchunks (fun _ -> Hashtbl.create 64) in
+    let next = Atomic.make 0 in
+    let err_lock = Mutex.create () in
+    let err = ref None in
+    let outer = genv.Interp.e_loops in
+    let process c =
+      let local = locals.(c) in
+      let ld loc =
+        match Hashtbl.find_opt local loc with
+        | Some v -> v
+        | None ->
+          (* fall-through to the frozen global state: runtime copy-in
+             for privatized arrays.  [no_copy_in] exists only so the
+             tests can show copy-in is load-bearing. *)
+          if no_copy_in && List.mem (fst loc) privs then
+            init (fst loc) (snd loc)
+          else gstore.Interp.ld loc
+      in
+      let store =
+        { Interp.ld; st = (fun loc v -> Hashtbl.replace local loc v) }
+      in
+      let cenv =
+        { Interp.e_syms = genv.Interp.e_syms; e_loops = outer; e_mem = store }
+      in
+      (* chunk c covers normalized iterations [k0, k1) *)
+      let k0 = c * niters / nchunks and k1 = (c + 1) * niters / nchunks in
+      for k = k0 to k1 - 1 do
+        cenv.Interp.e_loops <- (var, (l + (k * step), k)) :: outer;
+        List.iter (Interp.exec_stmt cenv) body
+      done
+    in
+    let job () =
+      let rec go () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < nchunks then begin
+          (if !err = None then
+             try process c
+             with e ->
+               Mutex.lock err_lock;
+               (if !err = None then err := Some e);
+               Mutex.unlock err_lock);
+          go ()
+        end
+      in
+      go ()
+    in
+    run_region pool job;
+    (match !err with Some e -> raise e | None -> ());
+    (* last-writer finalization: chunks merge in iteration order, so a
+       later chunk's write to an element overrides an earlier chunk's *)
+    Array.iter
+      (fun local -> Hashtbl.iter (fun k v -> Hashtbl.replace global k v) local)
+      locals
+  in
+  let rec walk (s : Ir.istmt) =
+    match s with
+    | Ir.IAssign _ -> Interp.exec_stmt genv s
+    | Ir.IFor { node_id; var; lo; hi; step; body; _ } -> (
+      let l = Interp.eval_expr genv lo and h = Interp.eval_expr genv hi in
+      match List.assoc_opt node_id pl.pl_doall with
+      | Some privs when iteration_count l h step > 1 ->
+        parallel_region var l h step body privs
+      | _ ->
+        (* serial loop; inner plan doalls still become parallel regions *)
+        let continue_ v = if step > 0 then v <= h else v >= h in
+        let saved = genv.Interp.e_loops in
+        let rec iterate v k =
+          if continue_ v then begin
+            genv.Interp.e_loops <- (var, (v, k)) :: saved;
+            List.iter walk body;
+            iterate (v + step) (k + 1)
+          end
+        in
+        iterate l 0;
+        genv.Interp.e_loops <- saved)
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter shutdown owned)
+    (fun () -> List.iter walk prog.Ir.stmts);
+  ( final global,
+    { x_domains = pool.p_size; x_regions = !regions; x_chunks = !chunks } )
+
+(* ------------------------------------------------------------------ *)
+(* Differential comparison                                             *)
+(* ------------------------------------------------------------------ *)
+
+let equal_mem (a : mem) (b : mem) = a = b
+
+let diff_mem (a : mem) (b : mem) =
+  let rec go a b acc =
+    match (a, b) with
+    | [], [] -> List.rev acc
+    | (l, v) :: a', [] -> go a' [] ((l, Some v, None) :: acc)
+    | [], (l, v) :: b' -> go [] b' ((l, None, Some v) :: acc)
+    | (la, va) :: a', (lb, vb) :: b' ->
+      let c = compare la lb in
+      if c = 0 then
+        go a' b' (if va = vb then acc else (la, Some va, Some vb) :: acc)
+      else if c < 0 then go a' b ((la, Some va, None) :: acc)
+      else go a b' ((lb, None, Some vb) :: acc)
+  in
+  go a b []
+
+let loc_string ((name, idx) : Interp.loc) =
+  Printf.sprintf "%s(%s)" name (String.concat "," (List.map string_of_int idx))
+
+let diff_string diffs =
+  String.concat "; "
+    (List.map
+       (fun (l, a, b) ->
+         let v = function Some x -> string_of_int x | None -> "_" in
+         Printf.sprintf "%s: serial=%s parallel=%s" (loc_string l) (v a) (v b))
+       diffs)

@@ -1,0 +1,100 @@
+(** Parallel [doall] execution over OCaml 5 domains — the paper's payoff
+    actually run: loops the analysis marks [doall] execute their
+    iterations across a fixed domain pool, and the final array state
+    must be bit-identical to serial execution (checked by the
+    differential harness in [test/test_exec.ml] and by the [speedup]
+    bench suite).
+
+    Each parallel region cuts the loop's iteration range into chunks
+    claimed dynamically by the pool.  A chunk executes against an
+    overlay store: writes go to a chunk-private table, reads fall
+    through to the (frozen) global state — the runtime {e copy-in} of a
+    privatized array's first-read-before-written elements.  After the
+    region the chunk tables merge back in iteration order, giving each
+    element its sequentially-last writer ({e finalization}). *)
+
+(** {1 Plans} *)
+
+type side = Std | Ext
+
+type plan = {
+  pl_side : side;
+  pl_doall : (int * string list) list;
+      (** loop AST node of each legal doall -> arrays its verdict
+          privatizes (always empty on the [Std] side) *)
+}
+
+val plan : side -> Parallel.verdict list -> plan
+(** The loops one analysis side may run in parallel.  At execution time
+    the {e outermost} dynamically-reached plan loops become parallel
+    regions; plan loops nested inside them run serially within a
+    chunk. *)
+
+val doall_count : plan -> int
+
+(** {1 Domain pool} *)
+
+type pool
+
+val create_pool : ?size:int -> unit -> pool
+(** A fixed pool of [size] workers ([Domain.recommended_domain_count]
+    by default, minimum 1): [size - 1] spawned domains plus the calling
+    domain, which participates in every region. *)
+
+val pool_size : pool -> int
+
+val shutdown : pool -> unit
+(** Park no more: join the spawned domains.  The pool is unusable
+    afterwards. *)
+
+val with_pool : ?size:int -> (pool -> 'a) -> 'a
+
+(** {1 Execution} *)
+
+type mem = (Interp.loc * int) list
+(** Final array state: every written location with its value, sorted —
+    directly comparable across executions ([init] supplies unwritten
+    locations identically on all sides). *)
+
+type stats = {
+  x_domains : int;
+  x_regions : int;  (** dynamic parallel-region entries *)
+  x_chunks : int;  (** chunks executed across all regions *)
+}
+
+val run_serial :
+  ?init:(string -> int list -> int) ->
+  Ir.program ->
+  syms:(string * int) list ->
+  mem
+(** The baseline: the program executed by {!Interp.exec_stmt} with a
+    single hash-table store and no tracing. *)
+
+val run_parallel :
+  ?pool:pool ->
+  ?chunks_per_worker:int ->
+  ?init:(string -> int list -> int) ->
+  ?no_copy_in:bool ->
+  plan ->
+  Ir.program ->
+  syms:(string * int) list ->
+  mem * stats
+(** Execute with the plan's doall loops parallelized over the pool (a
+    private pool is created and shut down when none is passed).
+    [chunks_per_worker] (default 4) controls how finely each region is
+    cut for dynamic load balancing.  [no_copy_in] disables the global
+    fall-through for privatized arrays — {b testing only}, it breaks
+    first-read-before-write iterations by design.
+    @raise Interp.Runtime_error as serial execution would. *)
+
+(** {1 Differential comparison} *)
+
+val equal_mem : mem -> mem -> bool
+
+val diff_mem :
+  mem -> mem -> (Interp.loc * int option * int option) list
+(** Locations whose values differ (or exist on one side only). *)
+
+val diff_string : (Interp.loc * int option * int option) list -> string
+
+val loc_string : Interp.loc -> string

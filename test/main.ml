@@ -7,5 +7,6 @@ let () =
       Test_depend.suite;
       Test_e2e.suite;
       Test_xform.suite;
+      Test_exec.suite;
       Test_misc.suite;
     ]

@@ -68,6 +68,58 @@ let unit_tests =
         let r = analyze "example3" in
         check_flow r ~src:"s" ~dst:"s" ~vectors:[ "(0,1)" ] ~dead:false
           ~refined:true ~covers:false "s->s");
+    Alcotest.test_case "section 4.4: refinement pins distance vectors"
+      `Quick (fun () ->
+        (* The paper's refinement examples, asserted structurally rather
+           than through rendered strings: the apparent dependence admits
+           both a loop-independent and an outer-carried form; refinement
+           proves every realized dependence has distance exactly (0,1) -
+           zero on the outer loop (hence outer doall-able), one on the
+           inner.  Same shape for the trapezoidal example 4. *)
+        List.iter
+          (fun name ->
+            let r = analyze name in
+            match find_flow r ~src:"s" ~dst:"s" with
+            | None -> Alcotest.fail (name ^ ": s->s missing")
+            | Some fr ->
+              Alcotest.(check int)
+                (name ^ ": two apparent vectors before refinement") 2
+                (List.length fr.Driver.dep.Deps.vectors);
+              Alcotest.(check bool)
+                (name ^ ": an outer-carried form is apparent") true
+                (List.exists
+                   (fun v ->
+                     match v with
+                     | e :: _ -> e.Dirvec.sign = Dirvec.Pos
+                     | [] -> false)
+                   fr.Driver.dep.Deps.vectors);
+              let refined =
+                match fr.Driver.refined with
+                | Some vs -> vs
+                | None -> Alcotest.fail (name ^ ": not refined")
+              in
+              (match refined with
+              | [ v ] ->
+                Alcotest.(check bool)
+                  (name ^ ": refined to the distance vector (0,1)") true
+                  (Dirvec.equal v [ Dirvec.exact 0; Dirvec.exact 1 ]);
+                List.iter2
+                  (fun (e : Dirvec.entry) (sign, d) ->
+                    Alcotest.(check bool) (name ^ ": entry sign") true
+                      (e.Dirvec.sign = sign);
+                    Alcotest.(check (option int)) (name ^ ": distance lo")
+                      (Some d) e.Dirvec.lo;
+                    Alcotest.(check (option int)) (name ^ ": distance hi")
+                      (Some d) e.Dirvec.hi)
+                  v
+                  [ (Dirvec.Zero, 0); (Dirvec.Pos, 1) ]
+              | vs ->
+                Alcotest.failf "%s: expected one refined vector, got %d" name
+                  (List.length vs));
+              Alcotest.(check bool)
+                (name ^ ": refined vector is not loop-independent") false
+                (Dirvec.is_loop_independent (List.hd refined)))
+          [ "example3"; "example4" ]);
     Alcotest.test_case "example 4: trapezoidal refinement" `Quick (fun () ->
         let r = analyze "example4" in
         check_flow r ~src:"s" ~dst:"s" ~vectors:[ "(0,1)" ] ~dead:false

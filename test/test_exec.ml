@@ -1,0 +1,212 @@
+(* Differential testing of the parallel doall executor (Xform.Exec).
+
+   The single property everything here instantiates: executing a program
+   with its analysis-derived plan (std or ext side) over a multi-domain
+   pool must leave the final array state bit-identical to serial
+   execution.  Any divergence is a soundness bug somewhere in the
+   analysis chain - a dependence wrongly killed, a privatization wrongly
+   granted, a doall wrongly legal - caught here automatically.
+
+   Also checked: the harness itself can detect illegality (an injected
+   bogus plan on a wavefront diverges), so a green corpus run means
+   something. *)
+
+open Lang
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+(* Deterministic nonzero initial contents so wrong values propagate
+   (all-zero arrays make many stale reads coincidentally correct). *)
+let init _ idx = List.fold_left (fun h i -> (h * 31) + i + 17) 7 idx
+
+(* One pool for the whole test binary, sized past the single-CPU
+   container so regions really run on several domains.  Shut down at
+   exit so the spawned domains are joined before the runtime tears
+   down. *)
+let shared_pool =
+  lazy
+    (let p = Xform.Exec.create_pool ~size:4 () in
+     at_exit (fun () -> Xform.Exec.shutdown p);
+     p)
+
+let pool () = Lazy.force shared_pool
+
+let analyze_src src =
+  let prog = Sema.analyze (Parser.parse_string src) in
+  let g = Xform.Graph.build prog in
+  (prog, g, Xform.Parallel.analyze g)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus differential: every program, two symbolic settings            *)
+(* ------------------------------------------------------------------ *)
+
+(* Two different candidate grids for Oracle.pick_syms give two different
+   symbolic-constant settings per program (both grids include the large
+   values needed by assumptions like example7's [50 <= n <= 100]). *)
+let sym_settings =
+  [ [ 3; 4; 2; 5; 6; 1; 10; 50; 100 ]; [ 7; 5; 2; 10; 1; 50; 100 ] ]
+
+let test_corpus_differential () =
+  let executed = ref 0 in
+  List.iter
+    (fun (name, src) ->
+      let prog, _, vs = analyze_src src in
+      List.iteri
+        (fun si candidates ->
+          match Xform.Oracle.pick_syms ~candidates prog with
+          | None -> ()
+          | Some syms -> (
+            match Xform.Exec.run_serial ~init prog ~syms with
+            | exception Interp.Runtime_error _ ->
+              (* index-array opacity etc.: skipped on every side alike *)
+              ()
+            | serial ->
+              incr executed;
+              List.iter
+                (fun (label, side) ->
+                  let pl = Xform.Exec.plan side vs in
+                  let mem, stats =
+                    Xform.Exec.run_parallel ~pool:(pool ()) ~init pl prog
+                      ~syms
+                  in
+                  check Alcotest.int
+                    (Printf.sprintf "%s: pool of 4" name)
+                    4 stats.Xform.Exec.x_domains;
+                  if not (Xform.Exec.equal_mem serial mem) then
+                    Alcotest.failf
+                      "%s (setting %d, %s plan, %d regions) diverges: %s"
+                      name si label stats.Xform.Exec.x_regions
+                      (Xform.Exec.diff_string
+                         (Xform.Exec.diff_mem serial mem)))
+                [ ("std", Xform.Exec.Std); ("ext", Xform.Exec.Ext) ]))
+        sym_settings)
+    Corpus.all;
+  (* the harness must not silently skip its way to green *)
+  check bool_t "at least 60 program/setting runs executed" true
+    (!executed >= 60)
+
+(* ------------------------------------------------------------------ *)
+(* The harness can detect illegality                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_illegal_plan_diverges () =
+  let prog, g, vs = analyze_src (Corpus.find "wavefront1") in
+  (* sanity: no analysis side actually parallelizes the wavefront *)
+  List.iter
+    (fun side ->
+      check Alcotest.int "wavefront1 has no legal doall" 0
+        (Xform.Exec.doall_count (Xform.Exec.plan side vs)))
+    [ Xform.Exec.Std; Xform.Exec.Ext ];
+  let outer =
+    List.find (fun (l : Xform.Graph.loop_info) -> l.Xform.Graph.l_depth = 1)
+      g.Xform.Graph.loops
+  in
+  let bogus =
+    {
+      Xform.Exec.pl_side = Xform.Exec.Ext;
+      pl_doall = [ (outer.Xform.Graph.l_node, []) ];
+    }
+  in
+  let syms = [ ("n", 12); ("m", 12) ] in
+  let serial = Xform.Exec.run_serial ~init prog ~syms in
+  let mem, stats =
+    Xform.Exec.run_parallel ~pool:(pool ()) ~init bogus prog ~syms
+  in
+  check bool_t "bogus plan actually split the loop" true
+    (stats.Xform.Exec.x_chunks > 1);
+  check bool_t
+    "parallelizing a loop with live carried flow diverges from serial" false
+    (Xform.Exec.equal_mem serial mem)
+
+(* ------------------------------------------------------------------ *)
+(* Random nests: QCheck property with a shrinking counterexample        *)
+(* ------------------------------------------------------------------ *)
+
+(* Statement-list shrinker: drop any one statement, anywhere in the
+   tree (a loop whose body empties is dropped whole).  Paired with the
+   e2e generator this turns a failing random nest into a minimal
+   counterexample report. *)
+let rec drop_one (stmts : Ast.stmt list) : Ast.stmt list QCheck.Iter.t =
+  let open QCheck.Iter in
+  match stmts with
+  | [] -> empty
+  | s :: rest ->
+    return rest
+    <+> (match s with
+        | Ast.Assign _ -> empty
+        | Ast.For ({ body; _ } as f) ->
+          drop_one body
+          |> QCheck.Iter.filter (fun b -> b <> [])
+          >|= fun body -> Ast.For { f with body } :: rest)
+    <+> (drop_one rest >|= fun rest' -> s :: rest')
+
+let shrink_program (p : Ast.program) : Ast.program QCheck.Iter.t =
+  QCheck.Iter.map (fun stmts -> { p with Ast.stmts }) (drop_one p.Ast.stmts)
+
+let arb_nest =
+  QCheck.make ~print:Ast.program_to_string ~shrink:shrink_program
+    (QCheck.gen Test_e2e.arb_program)
+
+let prop_parallel_matches_serial (ast : Ast.program) : bool =
+  let prog = Sema.analyze ast in
+  let g = Xform.Graph.build prog in
+  let vs = Xform.Parallel.analyze g in
+  List.for_all
+    (fun nval ->
+      let syms = [ ("n", nval) ] in
+      match Xform.Exec.run_serial ~init prog ~syms with
+      | exception Interp.Runtime_error _ -> true
+      | serial ->
+        List.for_all
+          (fun side ->
+            let pl = Xform.Exec.plan side vs in
+            let mem, _ =
+              Xform.Exec.run_parallel ~pool:(pool ()) ~init pl prog ~syms
+            in
+            Xform.Exec.equal_mem serial mem)
+          [ Xform.Exec.Std; Xform.Exec.Ext ])
+    [ 3; 4 ]
+
+let prop_tests =
+  [
+    QCheck.Test.make
+      ~name:"random nests: parallel execution matches serial" ~count:60
+      arb_nest prop_parallel_matches_serial;
+  ]
+
+(* The shrinker really shrinks: every candidate it proposes is one
+   statement smaller, so a failing nest cannot loop forever and the
+   reported counterexample is minimal. *)
+let test_shrinker_shrinks () =
+  let count_stmts stmts =
+    let rec go n = function
+      | [] -> n
+      | Ast.Assign _ :: rest -> go (n + 1) rest
+      | Ast.For { body; _ } :: rest -> go (go (n + 1) body) rest
+    in
+    go 0 stmts
+  in
+  let ast =
+    Parser.parse_string (Corpus.find "temp_reuse") |> fun p ->
+    { p with Ast.decls = p.Ast.decls }
+  in
+  let n0 = count_stmts ast.Ast.stmts in
+  let candidates = ref 0 in
+  shrink_program ast (fun smaller ->
+      incr candidates;
+      check bool_t "candidate is strictly smaller" true
+        (count_stmts smaller.Ast.stmts < n0));
+  check bool_t "shrinker proposes candidates" true (!candidates > 0)
+
+let suite =
+  ( "exec",
+    [
+      Alcotest.test_case "corpus: parallel plans match serial (2 settings)"
+        `Quick test_corpus_differential;
+      Alcotest.test_case "injected illegal plan diverges" `Quick
+        test_illegal_plan_diverges;
+      Alcotest.test_case "program shrinker strictly shrinks" `Quick
+        test_shrinker_shrinks;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) prop_tests )

@@ -236,7 +236,83 @@ let test_emit () =
   let g, vs = verdicts "wavefront1" in
   let out = Xform.Emit.annotate g vs in
   check bool_t "serial loop keeps for" true (contains out "for i := 1 to n do");
-  check bool_t "blocker comment present" true (contains out "// serial:")
+  check bool_t "blocker comment present" true (contains out "// serial:");
+  (* the executor's plan round-trips as a machine-readable directive
+     comment: per privatized array private(..), copyin(..) when copy-in
+     is needed, lastprivate(..) when the last write must survive *)
+  let g, vs = verdicts "copyin" in
+  let out = Xform.Emit.annotate g vs in
+  check bool_t "directive comment present" true
+    (contains out "// !$ doall private(t) copyin(t) lastprivate(t)");
+  let reparsed = Parser.parse_string out in
+  check bool_t "annotated program still parses" true
+    (reparsed.Ast.stmts <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Copy-in semantics and the example9 regression                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The copyin kernel reads t(0) in every iteration but writes it only
+   before the loop: privatizing t is legal solely because the executor
+   copies unwritten elements in from the outer state.  Finalizing to the
+   serial result must therefore require copy-in - with it disabled, the
+   same plan must diverge. *)
+let test_copy_in_semantics () =
+  let g, vs = verdicts "copyin" in
+  let outer =
+    match vs with v :: _ -> v | [] -> Alcotest.fail "no loops in copyin"
+  in
+  check bool_t "outer loop is ext doall" true outer.Xform.Parallel.v_ext_doall;
+  check bool_t "outer loop is not std doall" false
+    outer.Xform.Parallel.v_std_doall;
+  (match outer.Xform.Parallel.v_private with
+  | [ p ] ->
+    check Alcotest.string "privatized array" "t" p.Xform.Privatize.p_array;
+    check bool_t "copy-in required" true p.Xform.Privatize.p_copy_in;
+    check bool_t "finalization required" true p.Xform.Privatize.p_finalize
+  | ps ->
+    Alcotest.failf "expected exactly one privatization, got %d"
+      (List.length ps));
+  let prog = g.Xform.Graph.prog in
+  let syms = [ ("n", 6); ("m", 5) ] in
+  let init = Test_exec.init in
+  let serial = Xform.Exec.run_serial ~init prog ~syms in
+  let pl = Xform.Exec.plan Xform.Exec.Ext vs in
+  let pool = Test_exec.pool () in
+  let with_copy_in, _ = Xform.Exec.run_parallel ~pool ~init pl prog ~syms in
+  check bool_t "with copy-in: parallel equals serial" true
+    (Xform.Exec.equal_mem serial with_copy_in);
+  let without, _ =
+    Xform.Exec.run_parallel ~pool ~init ~no_copy_in:true pl prog ~syms
+  in
+  check bool_t "without copy-in: parallel diverges" false
+    (Xform.Exec.equal_mem serial without)
+
+(* PR 1 made index-array reads in loop bounds (example9's [b(i)] /
+   [b(i+1)-1]) analyzable as opaque terms instead of crashing the
+   front end; lock that in. *)
+let test_example9_opaque_bounds () =
+  let g, vs = verdicts "example9" in
+  let s =
+    match
+      List.find_opt
+        (fun (a : Ir.access) -> a.Ir.label = "s" && a.Ir.kind = Ir.Write)
+        (Array.to_list g.Xform.Graph.prog.Ir.accesses)
+    with
+    | Some a -> a
+    | None -> Alcotest.fail "no write labeled s in example9"
+  in
+  check int_t "both opaque bound terms recorded" 2 (List.length s.Ir.opaques);
+  check int_t "two loops analyzed" 2 (List.length vs);
+  List.iter
+    (fun (v : Xform.Parallel.verdict) ->
+      check bool_t
+        (Xform.Parallel.loop_path v.Xform.Parallel.v_loop ^ " std doall")
+        true v.Xform.Parallel.v_std_doall;
+      check bool_t
+        (Xform.Parallel.loop_path v.Xform.Parallel.v_loop ^ " ext doall")
+        true v.Xform.Parallel.v_ext_doall)
+    vs
 
 (* ------------------------------------------------------------------ *)
 (* The interpreter oracle                                               *)
@@ -308,6 +384,10 @@ let suite =
           test_dot_live_dead;
         Alcotest.test_case "json output is well formed" `Quick test_json_valid;
         Alcotest.test_case "emit annotates doall and serial" `Quick test_emit;
+        Alcotest.test_case "copy-in is load-bearing for privatization" `Quick
+          test_copy_in_semantics;
+        Alcotest.test_case "example9: opaque loop bounds analyzed" `Quick
+          test_example9_opaque_bounds;
         Alcotest.test_case "oracle confirms the corpus" `Quick
           test_oracle_corpus;
       ]
