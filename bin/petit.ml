@@ -50,6 +50,7 @@ let analyze_cmd =
     with_errors @@ fun () ->
     let prog = Lang.Sema.analyze (load file) in
     Analyses.Stats.reset ();
+    Analyses.Memo.reset ();
     let result = Driver.analyze ~in_bounds prog in
     print_string "Live flow dependences:\n";
     print_string (Driver.render_flow_table (Driver.live_flows result));
@@ -72,7 +73,12 @@ let analyze_cmd =
        invocations (%d dark-shadow fast path, %d general Presburger)\n"
       s.Analyses.Stats.quick_screen_hits
       (s.Analyses.Stats.fast_path_hits + s.Analyses.Stats.general_calls)
-      s.Analyses.Stats.fast_path_hits s.Analyses.Stats.general_calls
+      s.Analyses.Stats.fast_path_hits s.Analyses.Stats.general_calls;
+    let m = Analyses.Memo.stats in
+    Printf.printf
+      "memo: %d distinct problems, %d cache hits (%.0f%% hit rate)\n"
+      m.Analyses.Memo.misses m.Analyses.Memo.hits
+      (100. *. Analyses.Memo.hit_rate ())
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -117,7 +123,17 @@ let parallelize_cmd =
             "Domain-pool size for --exec (default: \
              Domain.recommended_domain_count).")
   in
-  let run file in_bounds oracle exec domains syms =
+  let backend_arg =
+    Arg.(
+      value
+      & opt (enum [ ("interp", `Interp); ("vm", `Vm) ]) `Interp
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Execution backend for --exec: the tracing interpreter with \
+             overlay stores ($(b,interp)), or compiled bytecode over a flat \
+             arena with slab privatization ($(b,vm)).")
+  in
+  let run file in_bounds oracle exec backend domains syms =
     with_errors @@ fun () ->
     let prog = Lang.Sema.analyze (load file) in
     let g = Xform.Graph.build ~in_bounds prog in
@@ -149,35 +165,78 @@ let parallelize_cmd =
           Printf.printf "\nexec: program not executable (%s)\n" msg
         | serial, t_serial ->
           Xform.Exec.with_pool ?size:domains @@ fun pool ->
-          Printf.printf "\nexec (%s; %d domain%s):\n"
+          Printf.printf "\nexec (%s; %d domain%s; %s backend):\n"
             (String.concat ", "
                (List.map (fun (s, v) -> Printf.sprintf "%s=%d" s v) syms))
             (Xform.Exec.pool_size pool)
-            (if Xform.Exec.pool_size pool = 1 then "" else "s");
-          Printf.printf "  serial    %8.2f ms\n" t_serial;
+            (if Xform.Exec.pool_size pool = 1 then "" else "s")
+            (match backend with `Interp -> "interpreter" | `Vm -> "vm");
+          Printf.printf "  serial    %8.2f ms  (interpreter)\n" t_serial;
           let mismatch = ref false in
-          List.iter
-            (fun (label, side) ->
-              let pl = Xform.Exec.plan side vs in
-              let (mem, stats), t =
-                time (fun () ->
-                    Xform.Exec.run_parallel ~pool ~init pl prog ~syms)
-              in
-              let ok = Xform.Exec.equal_mem serial mem in
+          (match backend with
+          | `Interp ->
+            List.iter
+              (fun (label, side) ->
+                let pl = Xform.Exec.plan side vs in
+                let (mem, stats), t =
+                  time (fun () ->
+                      Xform.Exec.run_parallel ~pool ~init pl prog ~syms)
+                in
+                let ok = Xform.Exec.equal_mem serial mem in
+                if not ok then mismatch := true;
+                Printf.printf
+                  "  %-9s %8.2f ms  (x%.2f, %d doall loop(s), %d region(s), \
+                   final state %s)\n"
+                  label t
+                  (t_serial /. t)
+                  (Xform.Exec.doall_count pl)
+                  stats.Xform.Exec.x_regions
+                  (if ok then "identical" else "DIFFERS");
+                if not ok then
+                  Printf.printf "    %s\n"
+                    (Xform.Exec.diff_string
+                       (Xform.Exec.diff_mem serial mem)))
+              [ ("std plan", Xform.Exec.Std); ("ext plan", Xform.Exec.Ext) ]
+          | `Vm -> (
+            match
+              time (fun () -> Xform.Exec.run_serial_vm ~init prog ~syms)
+            with
+            | exception Lang.Compile.Unsupported what ->
+              Printf.printf
+                "  vm: not compilable (%s is opaque) — use the interpreter \
+                 backend\n"
+                what
+            | tvm, t_vm ->
+              let ok = Lang.Vm.check_against ~init tvm serial = [] in
               if not ok then mismatch := true;
               Printf.printf
-                "  %-9s %8.2f ms  (x%.2f, %d doall loop(s), %d region(s), \
+                "  serial vm %8.2f ms  (x%.2f vs interpreter, %d-cell arena, \
                  final state %s)\n"
-                label t
-                (t_serial /. t)
-                (Xform.Exec.doall_count pl)
-                stats.Xform.Exec.x_regions
+                t_vm (t_serial /. t_vm)
+                (Lang.Vm.unit_ tvm).Lang.Compile.u_arena
                 (if ok then "identical" else "DIFFERS");
-              if not ok then
-                Printf.printf "    %s\n"
-                  (Xform.Exec.diff_string
-                     (Xform.Exec.diff_mem serial mem)))
-            [ ("std plan", Xform.Exec.Std); ("ext plan", Xform.Exec.Ext) ];
+              List.iter
+                (fun (label, side) ->
+                  let pl = Xform.Exec.plan side vs in
+                  let u = Xform.Exec.compile_plan pl prog ~syms in
+                  let (tpar, stats), t =
+                    time (fun () ->
+                        Xform.Exec.run_compiled_vm ~pool ~init u)
+                  in
+                  let ok = Lang.Vm.equal_state tvm tpar in
+                  if not ok then mismatch := true;
+                  Printf.printf
+                    "  %-9s %8.2f ms  (x%.2f, %d doall loop(s), %d region(s), \
+                     %d inlined, final state %s)\n"
+                    label t (t_vm /. t)
+                    (Xform.Exec.doall_count pl)
+                    stats.Xform.Exec.x_regions stats.Xform.Exec.x_inline
+                    (if ok then "identical" else "DIFFERS");
+                  if not ok then
+                    Printf.printf "    %s\n"
+                      (Lang.Vm.diff_string
+                         (Lang.Vm.check_against ~init tpar serial)))
+                [ ("std plan", Xform.Exec.Std); ("ext plan", Xform.Exec.Ext) ]));
           if !mismatch then exit 1)
     end;
     if oracle then begin
@@ -217,7 +276,7 @@ let parallelize_cmd =
           annotated program.")
     Term.(
       const run $ file_arg $ in_bounds_arg $ oracle_arg $ exec_arg
-      $ domains_arg $ syms_arg)
+      $ backend_arg $ domains_arg $ syms_arg)
 
 let graph_cmd =
   let format_arg =

@@ -31,10 +31,95 @@ end
    gist fast path first. *)
 let use_fast_path = ref true
 
+(* ------------------------------------------------------------------ *)
+(* Verdict memoization                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Repeated kill/cover/refinement queries over a corpus are often
+   textually identical problems in fresh variables ([Depctx.instantiate]
+   allocates per call, so raw ids never match).  The cache key is a
+   canonical serialization: variables renumbered by first occurrence in
+   a fixed traversal order (hyp, then LHS problems, then the
+   existentials, then RHS problems), tagged with their kind, and the
+   existentials listed explicitly.  Alpha-equivalent queries in the same
+   allocation order therefore share a key, and validity is invariant
+   under renaming, so a hit is always sound.
+
+   Timing benches that reproduce the paper's per-query figures must
+   disable the cache ([Memo.enabled := false]) or they would measure
+   hash lookups instead of eliminations. *)
+module Memo = struct
+  type t = { mutable hits : int; mutable misses : int }
+
+  let enabled = ref true
+  let stats = { hits = 0; misses = 0 }
+  let table : (string, bool) Hashtbl.t = Hashtbl.create 4096
+
+  let reset () =
+    Hashtbl.reset table;
+    stats.hits <- 0;
+    stats.misses <- 0
+
+  let hit_rate () =
+    let total = stats.hits + stats.misses in
+    if total = 0 then 0. else float_of_int stats.hits /. float_of_int total
+end
+
+let memo_key ~(hyp : Constr.t list) (lhs : Problem.t list)
+    ~(evars : Var.t list) (rhs : Problem.t list) : string =
+  let buf = Buffer.create 256 in
+  let canon : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let cid v =
+    let id = Var.id v in
+    match Hashtbl.find_opt canon id with
+    | Some c -> c
+    | None ->
+      let c = Hashtbl.length canon in
+      Hashtbl.add canon id c;
+      c
+  in
+  let kind_char v =
+    match Var.kind v with Var.Input -> 'i' | Var.Sym -> 's' | Var.Wild -> 'w'
+  in
+  let add_lin le =
+    Linexpr.iter_terms
+      (fun v c ->
+        Buffer.add_string buf (Zint.to_string c);
+        Buffer.add_char buf '*';
+        Buffer.add_char buf (kind_char v);
+        Buffer.add_string buf (string_of_int (cid v));
+        Buffer.add_char buf '+')
+      le;
+    Buffer.add_string buf (Zint.to_string (Linexpr.constant le))
+  in
+  let add_constr c =
+    Buffer.add_char buf
+      (match Constr.kind c with Constr.Eq -> 'E' | Constr.Geq -> 'G');
+    add_lin (Constr.expr c);
+    Buffer.add_char buf ';'
+  in
+  let add_problem p =
+    Buffer.add_char buf '[';
+    List.iter add_constr (Problem.constraints p);
+    Buffer.add_char buf ']'
+  in
+  List.iter add_constr hyp;
+  Buffer.add_char buf '|';
+  List.iter add_problem lhs;
+  Buffer.add_char buf '|';
+  List.iter
+    (fun v ->
+      Buffer.add_string buf (string_of_int (cid v));
+      Buffer.add_char buf ',')
+    evars;
+  Buffer.add_char buf '|';
+  List.iter add_problem rhs;
+  Buffer.contents buf
+
 (* [p => exists vs. q] checked first via dark-shadow projection + gist
    implication (sound when it answers [true]), then via the full
    Presburger engine. *)
-let implies_exists ~(hyp : Constr.t list) (lhs : Problem.t list)
+let implies_exists_uncached ~(hyp : Constr.t list) (lhs : Problem.t list)
     ~(evars : Var.t list) (rhs : Problem.t list) : bool =
   let keep v = not (List.exists (Var.equal v) evars) in
   (* fast path: one RHS disjunct's dark projection implied by an LHS
@@ -74,6 +159,21 @@ let implies_exists ~(hyp : Constr.t list) (lhs : Problem.t list)
     (* a blown work budget means "not proved": conservative, since every
        caller uses a positive answer to eliminate or refine a dependence *)
     try valid f with Presburger.Too_large -> false
+  end
+
+let implies_exists ~hyp lhs ~evars rhs : bool =
+  if not !Memo.enabled then implies_exists_uncached ~hyp lhs ~evars rhs
+  else begin
+    let key = memo_key ~hyp lhs ~evars rhs in
+    match Hashtbl.find_opt Memo.table key with
+    | Some verdict ->
+      Memo.stats.Memo.hits <- Memo.stats.Memo.hits + 1;
+      verdict
+    | None ->
+      Memo.stats.Memo.misses <- Memo.stats.Memo.misses + 1;
+      let verdict = implies_exists_uncached ~hyp lhs ~evars rhs in
+      Hashtbl.add Memo.table key verdict;
+      verdict
   end
 
 (* ------------------------------------------------------------------ *)

@@ -24,6 +24,25 @@ val use_fast_path : bool ref
 (** Ablation switch: when [false], every query goes through the complete
     Presburger procedure. *)
 
+module Memo : sig
+  type t = { mutable hits : int; mutable misses : int }
+
+  val enabled : bool ref
+  (** Verdict cache for {!implies_exists}, keyed on a canonical
+      (alpha-renamed) serialization of the query.  Sound because
+      validity is invariant under variable renaming.  Disable in timing
+      benches that reproduce per-query figures — a hit would measure a
+      hash lookup, not an elimination. *)
+
+  val stats : t
+  val reset : unit -> unit
+  (** Clears the table and the hit/miss counters. *)
+
+  val hit_rate : unit -> float
+  (** Hits over total queries since the last [reset]; [0.] when no
+      query ran. *)
+end
+
 val implies_exists :
   hyp:Constr.t list ->
   Problem.t list ->

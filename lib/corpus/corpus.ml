@@ -628,6 +628,27 @@ for i := 1 to n do
 endfor
 |}
 
+(* Dense row-dot products accumulated through a privatized prefix
+   array: each outer iteration zeroes s(0), builds the running sums
+   s(j) = s(j-1) + a(i,j)*b(j), and stores the total s(m).  Every read
+   of [s] takes its value from the same outer iteration, so refinement
+   pins the carried flow to distance 0 and the outer loop is an
+   extended-analysis doall with [s] privatized — the
+   reduction-into-a-temporary shape the compiled backend's per-chunk
+   slabs exist for. *)
+let row_dot_private =
+  {|
+symbolic n, m;
+real s[0:300], a[0:300, 0:300], b[0:300], c[0:300];
+for i := 1 to n do
+  z: s(0) := 0;
+  for j := 1 to m do
+    t: s(j) := s(j-1) + a(i, j) * b(j);
+  endfor
+  w: c(i) := s(m);
+endfor
+|}
+
 let all : (string * string) list =
   [
     ("example1", example1);
@@ -674,6 +695,7 @@ let all : (string * string) list =
     ("countdown_copy", countdown_copy);
     ("prefix_sum_scalar", prefix_sum_scalar);
     ("banded", banded);
+    ("row_dot_private", row_dot_private);
   ]
 
 let find name =
@@ -692,5 +714,5 @@ let timing_population =
     "copyin"; "gauss_seidel"; "red_black"; "fib_like"; "running_sum"; "copy_shift";
     "stencil9"; "overwrite_rows"; "diag_init"; "strided"; "reverse_copy";
     "multi_kill"; "triangular_update"; "even_odd_phases"; "countdown_copy";
-    "prefix_sum_scalar"; "banded";
+    "prefix_sum_scalar"; "banded"; "row_dot_private";
   ]

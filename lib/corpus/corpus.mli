@@ -31,6 +31,11 @@ val copyin : string
     before the loop and only read inside it: privatization is legal only
     with copy-in. *)
 
+val row_dot_private : string
+(** Row dot products accumulated in a one-cell temporary that every
+    outer iteration reinitializes: the outer loop is an extended doall
+    with the accumulator privatized. *)
+
 val all : (string * string) list
 (** Every corpus program, by name. *)
 

@@ -179,6 +179,8 @@ type stats = {
   x_domains : int;
   x_regions : int;  (* dynamic parallel-region entries *)
   x_chunks : int;  (* chunks executed across all regions *)
+  x_inline : int;  (* regions run serially because they were under the
+                      parallelism threshold (VM backend only) *)
 }
 
 let zero_init _ _ = 0
@@ -299,7 +301,109 @@ let run_parallel ?pool ?(chunks_per_worker = 4) ?(init = zero_init)
     ~finally:(fun () -> Option.iter shutdown owned)
     (fun () -> List.iter walk prog.Ir.stmts);
   ( final global,
-    { x_domains = pool.p_size; x_regions = !regions; x_chunks = !chunks } )
+    {
+      x_domains = pool.p_size;
+      x_regions = !regions;
+      x_chunks = !chunks;
+      x_inline = 0;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Compiled (VM) backend                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The same execution model as [run_parallel], but over bytecode and
+   flat memory (Lang.Compile / Lang.Vm) instead of the interpreter and
+   overlay hashtables.  The VM surfaces each dynamic doall instance
+   through its [on_region] callback; we cut it into chunks claimed from
+   the pool exactly as above.  Chunk slabs subsume the overlay stores:
+   copy-in is an [Array.blit] prologue, finalization merges written
+   slab cells in chunk order.
+
+   [par_threshold] (satellite of the region-overhead pathology): a
+   region whose static work estimate [trip * rg_cost] falls below the
+   threshold is run serially in place by the VM — hundreds of tiny
+   inner-loop regions (example6, wavefront2) then cost nothing but a
+   compare, instead of a pool wake-up and join each. *)
+
+let default_par_threshold = 4096
+
+let compile_plan (pl : plan) (prog : Ir.program) ~syms =
+  Compile.program ~plan:pl.pl_doall prog ~syms
+
+let run_serial_vm ?init (prog : Ir.program) ~syms : Vm.t =
+  let t = Vm.create ?init (Compile.program prog ~syms) in
+  Vm.run t;
+  t
+
+let run_compiled_vm ?pool ?(chunks_per_worker = 4)
+    ?(par_threshold = default_par_threshold) ?init ?(no_copy_in = false)
+    (u : Compile.unit_) : Vm.t * stats =
+  let owned, pool =
+    match pool with
+    | Some p -> (None, p)
+    | None ->
+      let p = create_pool () in
+      (Some p, p)
+  in
+  let t = Vm.create ?init u in
+  let regions = ref 0 and chunks = ref 0 and inline = ref 0 in
+  let on_region vt (r : Compile.region) ~lo ~hi =
+    let niters = Vm.region_trip r ~lo ~hi in
+    if niters <= 1 || niters * max 1 r.Compile.rg_cost < par_threshold then begin
+      if niters > 0 then incr inline;
+      false (* the VM runs the region serially in place *)
+    end
+    else begin
+      incr regions;
+      let nchunks = min niters (pool.p_size * chunks_per_worker) in
+      chunks := !chunks + nchunks;
+      let cks = Array.make nchunks None in
+      let next = Atomic.make 0 in
+      let err_lock = Mutex.create () in
+      let err = ref None in
+      let job () =
+        let rec go () =
+          let c = Atomic.fetch_and_add next 1 in
+          if c < nchunks then begin
+            (if !err = None then
+               try
+                 let ck = Vm.make_chunk ~copy_in:(not no_copy_in) vt r in
+                 cks.(c) <- Some ck;
+                 let k0 = c * niters / nchunks
+                 and k1 = (c + 1) * niters / nchunks in
+                 Vm.run_chunk vt r ck ~lo ~k0 ~k1
+               with e ->
+                 Mutex.lock err_lock;
+                 (if !err = None then err := Some e);
+                 Mutex.unlock err_lock);
+            go ()
+          end
+        in
+        go ()
+      in
+      run_region pool job;
+      (match !err with Some e -> raise e | None -> ());
+      (* last-writer finalization: merge in increasing iteration order *)
+      Array.iter (function Some ck -> Vm.merge_chunk vt r ck | None -> ()) cks;
+      true
+    end
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter shutdown owned)
+    (fun () -> Vm.run ~on_region t);
+  ( t,
+    {
+      x_domains = pool.p_size;
+      x_regions = !regions;
+      x_chunks = !chunks;
+      x_inline = !inline;
+    } )
+
+let run_parallel_vm ?pool ?chunks_per_worker ?par_threshold ?init ?no_copy_in
+    (pl : plan) (prog : Ir.program) ~syms : Vm.t * stats =
+  run_compiled_vm ?pool ?chunks_per_worker ?par_threshold ?init ?no_copy_in
+    (compile_plan pl prog ~syms)
 
 (* ------------------------------------------------------------------ *)
 (* Differential comparison                                             *)

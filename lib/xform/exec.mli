@@ -60,6 +60,9 @@ type stats = {
   x_domains : int;
   x_regions : int;  (** dynamic parallel-region entries *)
   x_chunks : int;  (** chunks executed across all regions *)
+  x_inline : int;
+      (** regions run serially because their static work estimate fell
+          below the parallelism threshold (VM backend only) *)
 }
 
 val run_serial :
@@ -86,6 +89,60 @@ val run_parallel :
     fall-through for privatized arrays — {b testing only}, it breaks
     first-read-before-write iterations by design.
     @raise Interp.Runtime_error as serial execution would. *)
+
+(** {1 Compiled (VM) backend}
+
+    The same execution model over bytecode and flat memory
+    ({!Lang.Compile} / {!Lang.Vm}) instead of the interpreter and
+    overlay hashtables: no hashing, boxing or [loc] allocation on the
+    hot path.  Chunk slabs subsume the overlay stores — copy-in is a
+    blit prologue into the slab, finalization merges written slab cells
+    back in chunk order.  Programs with opaque (non-affine) subscripts
+    or bounds raise {!Lang.Compile.Unsupported}; fall back to the
+    interpreter paths above. *)
+
+val default_par_threshold : int
+
+val compile_plan : plan -> Ir.program -> syms:(string * int) list -> Compile.unit_
+(** Compile with the plan's doall loops as parallel regions.
+    @raise Lang.Compile.Unsupported on non-affine programs. *)
+
+val run_serial_vm :
+  ?init:(string -> int list -> int) ->
+  Ir.program ->
+  syms:(string * int) list ->
+  Vm.t
+(** Compile without a plan and run to completion on one domain. *)
+
+val run_compiled_vm :
+  ?pool:pool ->
+  ?chunks_per_worker:int ->
+  ?par_threshold:int ->
+  ?init:(string -> int list -> int) ->
+  ?no_copy_in:bool ->
+  Compile.unit_ ->
+  Vm.t * stats
+(** Execute an already-compiled unit (fresh VM each call); regions
+    dispatch over the pool as below.  This is the timed entry point of
+    the [speedup] bench — compilation stays out of the measured run. *)
+
+val run_parallel_vm :
+  ?pool:pool ->
+  ?chunks_per_worker:int ->
+  ?par_threshold:int ->
+  ?init:(string -> int list -> int) ->
+  ?no_copy_in:bool ->
+  plan ->
+  Ir.program ->
+  syms:(string * int) list ->
+  Vm.t * stats
+(** Execute compiled code with the plan's doall loops chunked over the
+    pool.  A dynamic region whose static work estimate
+    [trip * instructions-per-iteration] is below [par_threshold]
+    (default {!default_par_threshold}) runs serially in place, counted
+    in [x_inline] — this is what keeps hundreds of tiny regions
+    (example6, wavefront2) from re-synchronizing the pool.
+    [no_copy_in] skips the slab copy-in blit — {b testing only}. *)
 
 (** {1 Differential comparison} *)
 

@@ -8,5 +8,6 @@ let () =
       Test_e2e.suite;
       Test_xform.suite;
       Test_exec.suite;
+      Test_vm.suite;
       Test_misc.suite;
     ]
