@@ -134,13 +134,17 @@ let implies_exists_uncached ~(hyp : Constr.t list) (lhs : Problem.t list)
          rhs)
   in
   let fast_ok =
-    !use_fast_path
-    && List.for_all
-         (fun l ->
-           let l = Problem.add_list hyp l in
-           (not (Elim.satisfiable l))
-           || List.exists (fun d -> Gist.implies l d) (Lazy.force rhs_dark))
-         lhs
+    (* a blown fuel budget on the fast path means "not proved here": fall
+       through to the general procedure (which has its own budget) *)
+    try
+      !use_fast_path
+      && List.for_all
+           (fun l ->
+             let l = Problem.add_list hyp l in
+             (not (Elim.satisfiable l))
+             || List.exists (fun d -> Gist.implies l d) (Lazy.force rhs_dark))
+           lhs
+    with Elim.Fuel_exhausted -> false
   in
   if fast_ok then begin
     Stats.stats.fast_path_hits <- Stats.stats.fast_path_hits + 1;
@@ -158,7 +162,7 @@ let implies_exists_uncached ~(hyp : Constr.t list) (lhs : Problem.t list)
     in
     (* a blown work budget means "not proved": conservative, since every
        caller uses a positive answer to eliminate or refine a dependence *)
-    try valid f with Presburger.Too_large -> false
+    try valid f with Presburger.Too_large | Elim.Fuel_exhausted -> false
   end
 
 let implies_exists ~hyp lhs ~evars rhs : bool =
@@ -323,7 +327,10 @@ let refine ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access) :
           let p = Problem.add_list (fix_constrs @ order) pair.Deps.base in
           match Omega.minimize p pair.Deps.dvars.(l) with
           | `Min m -> Zint.to_int_opt m
-          | `Unbounded | `Unsat -> None)
+          | `Unbounded | `Unsat -> None
+          | exception Elim.Fuel_exhausted ->
+            (* cannot bound the distance: stop refining this level *)
+            None)
         levels
     in
     match mins with [] -> None | m :: rest -> Some (List.fold_left min m rest)

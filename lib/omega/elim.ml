@@ -23,6 +23,7 @@ type keep = Var.t -> bool
 let elim_fuel = 100_000
 
 exception Contradiction
+exception Fuel_exhausted
 
 (* ------------------------------------------------------------------ *)
 (* Equality elimination                                                *)
@@ -198,7 +199,7 @@ let eq_step ~keep (p : Problem.t) =
 
 (* Run simplification and the equality phase to a fixed point. *)
 let rec eq_phase ~keep ~fuel (p : Problem.t) : Problem.t =
-  if fuel <= 0 then failwith "Elim.eq_phase: fuel exhausted";
+  if fuel <= 0 then raise Fuel_exhausted;
   match Problem.simplify p with
   | Problem.Contra -> raise Contradiction
   | Problem.Ok p -> (
@@ -378,7 +379,7 @@ let pick_var ~keep p =
    back). *)
 let rec project_list ~keep ~fuel ?splintered (p : Problem.t) : Problem.t list
     =
-  if fuel <= 0 then failwith "Elim.project: fuel exhausted";
+  if fuel <= 0 then raise Fuel_exhausted;
   match eq_phase ~keep ~fuel p with
   | exception Contradiction -> []
   | p -> (
@@ -402,7 +403,7 @@ let project ?splintered ~keep p =
    over-approximates. *)
 let rec project_approx ~mode ~keep ~fuel (p : Problem.t) :
     [ `Contra | `Ok of Problem.t ] =
-  if fuel <= 0 then failwith "Elim.project_approx: fuel exhausted";
+  if fuel <= 0 then raise Fuel_exhausted;
   match eq_phase ~keep ~fuel p with
   | exception Contradiction -> `Contra
   | p -> (
@@ -427,7 +428,7 @@ let sat_real p =
 
 (* Exact integer satisfiability. *)
 let rec satisfiable_fuel ~fuel (p : Problem.t) : bool =
-  if fuel <= 0 then failwith "Elim.satisfiable: fuel exhausted";
+  if fuel <= 0 then raise Fuel_exhausted;
   match eq_phase ~keep:keep_none ~fuel p with
   | exception Contradiction -> false
   | p -> (

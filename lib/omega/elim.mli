@@ -16,6 +16,11 @@ type keep = Var.t -> bool
 
 exception Contradiction
 
+exception Fuel_exhausted
+(** Raised when a projection or satisfiability query exceeds the internal
+    work budget.  Callers must treat it as "no answer" and degrade
+    conservatively (assume the dependence, refuse the refinement). *)
+
 val satisfiable : Problem.t -> bool
 (** Exact integer satisfiability. *)
 
