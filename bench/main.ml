@@ -329,6 +329,7 @@ let section5_table () =
         | Symbolic.Always -> "always"
         | Symbolic.Never -> "never"
         | Symbolic.When g -> Omega.Problem.to_string g
+        | Symbolic.Unknown r -> "gave up (" ^ Omega.Budget.reason_to_string r ^ ")"
       in
       Printf.printf "example7 %-6s: %s\n  (paper: %s)\n" name shown expect)
     [
@@ -953,6 +954,226 @@ let speedup_vm_suite ~smoke ~domains ~repeat ~out () =
   if not all_ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Robustness suite: governance sweep + fault-injection soundness      *)
+(* ------------------------------------------------------------------ *)
+
+(* CI's gate for the resource-governed solver core.  Three checks, over
+   the whole corpus plus the adversarial stress nests:
+
+   - totality: every budget rung completes without an exception -
+     exhaustion surfaces as telemetry, never as a crash;
+   - monotone degradation: what the tight rung proves (dead edges,
+     doalls) is a subset of what the default rung proves, and the
+     default live set is within the tight one;
+   - fault soundness: with a deterministic fraction of queries forced
+     to give up, every plan stays within the clean plan and degraded
+     doall execution still matches serial bit-for-bit.
+
+   Any violation is printed, recorded in the JSON artifact, and turns
+   into a nonzero exit. *)
+
+let robust_programs () = Corpus.all @ Corpus.stress
+
+type robust_outcome = {
+  ro_dead : string list;
+  ro_live : string list;
+  ro_std : string list;
+  ro_ext : string list;
+}
+
+let robust_outcome src : robust_outcome =
+  Analyses.Memo.reset ();
+  let prog = Lang.Sema.analyze (Lang.Parser.parse_string src) in
+  let r = Driver.analyze prog in
+  let key (fr : Driver.flow_result) =
+    Printf.sprintf "%d->%d" fr.Driver.dep.Deps.src.Lang.Ir.acc_id
+      fr.Driver.dep.Deps.dst.Lang.Ir.acc_id
+  in
+  let vs = Xform.Parallel.analyze (Xform.Graph.build prog) in
+  let doalls side =
+    List.filter_map
+      (fun (v : Xform.Parallel.verdict) ->
+        if side v then Some (Xform.Parallel.loop_path v.Xform.Parallel.v_loop)
+        else None)
+      vs
+  in
+  {
+    ro_dead = List.map key (Driver.dead_flows r);
+    ro_live = List.map key (Driver.live_flows r);
+    ro_std = doalls (fun v -> v.Xform.Parallel.v_std_doall);
+    ro_ext = doalls (fun v -> v.Xform.Parallel.v_ext_doall);
+  }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let robustness_suite ~out ~seeds () =
+  section "Robustness: governance sweep + fault-injection soundness";
+  let programs = robust_programs () in
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.printf "VIOLATION: %s\n" s;
+        violations := !violations @ [ s ])
+      fmt
+  in
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  (* --- governance sweep: run every program at each budget rung --- *)
+  let tiny =
+    { Omega.Budget.fuel = 200; splinters = 4; disjuncts = 8; deadline_ms = None }
+  in
+  let rungs = [ ("default", Omega.Budget.default); ("tiny", tiny) ] in
+  let sweep (rname, lims) =
+    Omega.Budget.Telemetry.reset ();
+    let outcomes =
+      Omega.Budget.with_limits lims (fun () ->
+          List.filter_map
+            (fun (pname, src) ->
+              match robust_outcome src with
+              | o -> Some (pname, o)
+              | exception e ->
+                violate "%s crashed under %s budget: %s" pname rname
+                  (Printexc.to_string e);
+                None)
+            programs)
+    in
+    Printf.printf "budget %-8s %s\n" rname (Omega.Budget.Telemetry.summary ());
+    (rname, outcomes, Omega.Budget.Telemetry.to_json ())
+  in
+  let rung_rows = List.map sweep rungs in
+  let clean =
+    match rung_rows with (_, o, _) :: _ -> o | [] -> assert false
+  in
+  (* --- monotone degradation: tiny proves no more than default --- *)
+  (match rung_rows with
+  | (_, o_def, _) :: (_, o_tiny, _) :: _ ->
+    List.iter
+      (fun (pname, (t : robust_outcome)) ->
+        match List.assoc_opt pname o_def with
+        | None -> ()
+        | Some d ->
+          let chain label a b =
+            if not (subset a b) then
+              violate "%s: tiny-budget %s not within default's" pname label
+          in
+          chain "dead set" t.ro_dead d.ro_dead;
+          chain "std doalls" t.ro_std d.ro_std;
+          chain "ext doalls" t.ro_ext d.ro_ext;
+          chain "live set (default within tiny)" d.ro_live t.ro_live)
+      o_tiny
+  | _ -> ());
+  (* --- fault injection: degraded plans stay within clean plans --- *)
+  let rate = 0.10 in
+  let pool = Xform.Exec.create_pool () in
+  let seed_rows =
+    List.map
+      (fun seed ->
+        Analyses.set_fault_injection ~seed ~rate;
+        Omega.Budget.Telemetry.reset ();
+        Fun.protect ~finally:Analyses.clear_fault_injection (fun () ->
+            List.iter
+              (fun (pname, src) ->
+                match robust_outcome src with
+                | exception e ->
+                  violate "%s crashed under fault seed %d: %s" pname seed
+                    (Printexc.to_string e)
+                | faulty ->
+                  (match List.assoc_opt pname clean with
+                  | None -> ()
+                  | Some cl ->
+                    let sub label a b =
+                      if not (subset a b) then
+                        violate "%s (seed %d): faulty %s not within clean's"
+                          pname seed label
+                    in
+                    sub "dead set" faulty.ro_dead cl.ro_dead;
+                    sub "std doalls" faulty.ro_std cl.ro_std;
+                    sub "ext doalls" faulty.ro_ext cl.ro_ext;
+                    sub "live set (clean within faulty)" cl.ro_live
+                      faulty.ro_live))
+              programs;
+            let injected =
+              Omega.Budget.Telemetry.stats
+                .Omega.Budget.Telemetry.gave_up_injected
+            in
+            if injected = 0 then
+              violate "seed %d: fault injection never fired" seed;
+            (* degraded plans must still execute soundly *)
+            List.iter
+              (fun pname ->
+                let prog =
+                  Lang.Sema.analyze (Lang.Parser.parse_string (Corpus.find pname))
+                in
+                let vs = Xform.Parallel.analyze (Xform.Graph.build prog) in
+                let pl = Xform.Exec.plan Xform.Exec.Ext vs in
+                let syms =
+                  match
+                    Xform.Oracle.pick_syms ~candidates:[ 8; 4; 2; 5; 50; 100 ]
+                      prog
+                  with
+                  | Some s -> s
+                  | None -> []
+                in
+                let serial =
+                  Xform.Exec.run_serial ~init:speedup_init prog ~syms
+                in
+                let mem, _ =
+                  Xform.Exec.run_parallel ~pool ~init:speedup_init pl prog
+                    ~syms
+                in
+                if not (Xform.Exec.equal_mem serial mem) then
+                  violate "%s (seed %d): degraded plan diverges from serial"
+                    pname seed)
+              [ "temp_reuse"; "copyin"; "kill_chain" ];
+            Printf.printf "fault seed %-6d rate %.2f: %s\n" seed rate
+              (Omega.Budget.Telemetry.summary ());
+            (seed, injected, Omega.Budget.Telemetry.to_json ())))
+      seeds
+  in
+  Analyses.Memo.reset ();
+  let sound = !violations = [] in
+  Printf.printf
+    "\n%d programs (%d stress); %d budget rungs; %d fault seeds; sound: %b\n"
+    (List.length programs)
+    (List.length (robust_programs ()) - List.length Corpus.all)
+    (List.length rungs) (List.length seeds) sound;
+  let json =
+    Printf.sprintf
+      "{\n\"programs\":%d,\n\"rate\":%.2f,\n\"budgets\":[\n%s\n],\n\
+       \"seeds\":[\n%s\n],\n\"violations\":[%s],\n\"sound\":%b\n}\n"
+      (List.length programs) rate
+      (String.concat ",\n"
+         (List.map
+            (fun (rname, _, tj) ->
+              Printf.sprintf "{\"budget\":\"%s\",\"telemetry\":%s}" rname tj)
+            rung_rows))
+      (String.concat ",\n"
+         (List.map
+            (fun (seed, injected, tj) ->
+              Printf.sprintf
+                "{\"seed\":%d,\"injected\":%d,\"telemetry\":%s}" seed injected
+                tj)
+            seed_rows))
+      (String.concat ","
+         (List.map (fun v -> "\"" ^ json_escape v ^ "\"") !violations))
+      sound
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  if not sound then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let full_run () =
   (* the per-query timing figures must measure eliminations, not cache
@@ -993,9 +1214,25 @@ let () =
     | b ->
       Printf.eprintf "unknown --backend %s (vm|interp)\n" b;
       exit 2)
+  | _ :: "robustness" :: rest ->
+    let rec opt key = function
+      | k :: v :: _ when k = key -> Some v
+      | _ :: rest -> opt key rest
+      | [] -> None
+    in
+    let out =
+      Option.value (opt "--out" rest) ~default:"BENCH_robustness.json"
+    in
+    let seeds =
+      match opt "--seeds" rest with
+      | None -> [ 1; 42 ]
+      | Some s -> String.split_on_char ',' s |> List.map int_of_string
+    in
+    robustness_suite ~out ~seeds ()
   | _ :: [] | [] -> full_run ()
   | _ ->
     prerr_endline
       "usage: main.exe [speedup [--smoke] [--domains N] [--out FILE] \
-       [--repeat N] [--backend vm|interp]]";
+       [--repeat N] [--backend vm|interp] | robustness [--out FILE] \
+       [--seeds S1,S2]]";
     exit 2

@@ -71,6 +71,11 @@ let with_errors f =
   | Failure msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 1
+  | Budget.Exhausted r ->
+    (* the calculator talks to the solver without a query boundary, so a
+       blown budget surfaces here: report it as a structured give-up *)
+    Printf.eprintf "gave up (%s)\n" (Budget.reason_to_string r);
+    exit 2
 
 let problem_arg pos_idx docv =
   Arg.(required & pos pos_idx (some string) None & info [] ~docv)
@@ -363,7 +368,10 @@ let repl_cmd =
            | Lang.Parser.Error (msg, _) -> Printf.printf "parse error: %s
 " msg
            | Failure msg -> Printf.printf "error: %s
-" msg)
+" msg
+           | Budget.Exhausted r ->
+             Printf.printf "gave up (%s)
+" (Budget.reason_to_string r))
        done
      with Exit -> ());
     print_endline "bye"

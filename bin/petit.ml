@@ -45,9 +45,65 @@ let in_bounds_arg =
     & info [ "in-bounds" ]
         ~doc:"Assume all array references are within declared bounds.")
 
+(* Per-query resource budgets (see DESIGN.md, "Resource governance").
+   Exhaustion never aborts the analysis: the affected query reports
+   [gave up] and its client falls back to the sound conservative
+   answer. *)
+let budget_term =
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Elimination-step budget per solver query.")
+  in
+  let splinters_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "splinters" ] ~docv:"N"
+          ~doc:"Splinter-problem budget per solver query.")
+  in
+  let disjuncts_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "disjuncts" ] ~docv:"N"
+          ~doc:"DNF-disjunct budget per Presburger formula.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Wall-clock deadline per solver query, in milliseconds.")
+  in
+  let make fuel splinters disjuncts deadline_ms =
+    let d = Omega.Budget.default in
+    {
+      Omega.Budget.fuel = Option.value fuel ~default:d.Omega.Budget.fuel;
+      splinters = Option.value splinters ~default:d.Omega.Budget.splinters;
+      disjuncts = Option.value disjuncts ~default:d.Omega.Budget.disjuncts;
+      deadline_ms =
+        (match deadline_ms with
+        | Some _ -> deadline_ms
+        | None -> d.Omega.Budget.deadline_ms);
+    }
+  in
+  Term.(
+    const make $ fuel_arg $ splinters_arg $ disjuncts_arg $ deadline_arg)
+
+let with_budget limits f =
+  Omega.Budget.Telemetry.reset ();
+  Omega.Budget.with_limits limits f
+
+let print_governance () =
+  Printf.printf "governance: %s\n" (Omega.Budget.Telemetry.summary ())
+
 let analyze_cmd =
-  let run file in_bounds =
+  let run file in_bounds limits =
     with_errors @@ fun () ->
+    with_budget limits @@ fun () ->
     let prog = Lang.Sema.analyze (load file) in
     Analyses.Stats.reset ();
     Analyses.Memo.reset ();
@@ -78,14 +134,15 @@ let analyze_cmd =
     Printf.printf
       "memo: %d distinct problems, %d cache hits (%.0f%% hit rate)\n"
       m.Analyses.Memo.misses m.Analyses.Memo.hits
-      (100. *. Analyses.Memo.hit_rate ())
+      (100. *. Analyses.Memo.hit_rate ());
+    print_governance ()
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Full analysis: flow dependences classified live/dead with \
           refinement, covering and killing.")
-    Term.(const run $ file_arg $ in_bounds_arg)
+    Term.(const run $ file_arg $ in_bounds_arg $ budget_term)
 
 let parallelize_cmd =
   let oracle_arg =
@@ -133,14 +190,16 @@ let parallelize_cmd =
              overlay stores ($(b,interp)), or compiled bytecode over a flat \
              arena with slab privatization ($(b,vm)).")
   in
-  let run file in_bounds oracle exec backend domains syms =
+  let run file in_bounds limits oracle exec backend domains syms =
     with_errors @@ fun () ->
+    with_budget limits @@ fun () ->
     let prog = Lang.Sema.analyze (load file) in
     let g = Xform.Graph.build ~in_bounds prog in
     let vs = Xform.Parallel.analyze g in
     print_string (Xform.Parallel.render_report vs);
     print_newline ();
     print_string (Xform.Emit.annotate g vs);
+    print_governance ();
     if exec then begin
       let syms =
         if syms <> [] then Some syms
@@ -275,8 +334,8 @@ let parallelize_cmd =
          "Per-loop doall legality, standard vs extended analysis, with the \
           annotated program.")
     Term.(
-      const run $ file_arg $ in_bounds_arg $ oracle_arg $ exec_arg
-      $ backend_arg $ domains_arg $ syms_arg)
+      const run $ file_arg $ in_bounds_arg $ budget_term $ oracle_arg
+      $ exec_arg $ backend_arg $ domains_arg $ syms_arg)
 
 let graph_cmd =
   let format_arg =

@@ -25,7 +25,9 @@ let () =
       (match an.Symbolic.cond with
        | Symbolic.Always -> Format.printf "  (always)@."
        | Symbolic.Never -> Format.printf "  (never)@."
-       | Symbolic.When g -> Format.printf "  %a@." Omega.Problem.pp g);
+       | Symbolic.When g -> Format.printf "  %a@." Omega.Problem.pp g
+       | Symbolic.Unknown r ->
+         Format.printf "  (gave up: %s)@." (Omega.Budget.reason_to_string r));
       Format.printf "  (paper: %s)@.@."
         (if name = "(+,*)" then "{1 <= x <= 50}" else "{x = 0 and y < m}"))
     [ ("(+,*)", [ Dirvec.Pos; Dirvec.Any ]); ("(0,+)", [ Dirvec.Zero; Dirvec.Pos ]) ];

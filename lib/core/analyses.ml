@@ -45,6 +45,14 @@ let use_fast_path = ref true
    allocation order therefore share a key, and validity is invariant
    under renaming, so a hit is always sound.
 
+   Entries carry the budget limits they were computed under.  [Proved]
+   and [Disproved] replay at any budget (the solver is deterministic, so
+   a completed verdict is a fact).  A [Gave_up] replays only while the
+   current budget is no larger than the recorded one: raising the budget
+   invalidates cached give-ups, which then recompute.  Fault-injected
+   runs bypass the cache entirely (a fault is a property of the run, not
+   of the problem).
+
    Timing benches that reproduce the paper's per-query figures must
    disable the cache ([Memo.enabled := false]) or they would measure
    hash lookups instead of eliminations. *)
@@ -53,7 +61,9 @@ module Memo = struct
 
   let enabled = ref true
   let stats = { hits = 0; misses = 0 }
-  let table : (string, bool) Hashtbl.t = Hashtbl.create 4096
+
+  let table : (string, Budget.verdict * Budget.limits) Hashtbl.t =
+    Hashtbl.create 4096
 
   let reset () =
     Hashtbl.reset table;
@@ -63,6 +73,11 @@ module Memo = struct
   let hit_rate () =
     let total = stats.hits + stats.misses in
     if total = 0 then 0. else float_of_int stats.hits /. float_of_int total
+
+  let replayable (verdict, lims) =
+    match verdict with
+    | Budget.Proved | Budget.Disproved -> true
+    | Budget.Gave_up _ -> Budget.le !Budget.limits lims
 end
 
 let memo_key ~(hyp : Constr.t list) (lhs : Problem.t list)
@@ -134,17 +149,13 @@ let implies_exists_uncached ~(hyp : Constr.t list) (lhs : Problem.t list)
          rhs)
   in
   let fast_ok =
-    (* a blown fuel budget on the fast path means "not proved here": fall
-       through to the general procedure (which has its own budget) *)
-    try
-      !use_fast_path
-      && List.for_all
-           (fun l ->
-             let l = Problem.add_list hyp l in
-             (not (Elim.satisfiable l))
-             || List.exists (fun d -> Gist.implies l d) (Lazy.force rhs_dark))
-           lhs
-    with Elim.Fuel_exhausted -> false
+    !use_fast_path
+    && List.for_all
+         (fun l ->
+           let l = Problem.add_list hyp l in
+           (not (Elim.satisfiable l))
+           || List.exists (fun d -> Gist.implies l d) (Lazy.force rhs_dark))
+         lhs
   in
   if fast_ok then begin
     Stats.stats.fast_path_hits <- Stats.stats.fast_path_hits + 1;
@@ -160,25 +171,37 @@ let implies_exists_uncached ~(hyp : Constr.t list) (lhs : Problem.t list)
            (or_ (List.map of_problem lhs))
            (exists evars (or_ (List.map of_problem rhs))))
     in
-    (* a blown work budget means "not proved": conservative, since every
-       caller uses a positive answer to eliminate or refine a dependence *)
-    try valid f with Presburger.Too_large | Elim.Fuel_exhausted -> false
+    valid f
   end
 
-let implies_exists ~hyp lhs ~evars rhs : bool =
-  if not !Memo.enabled then implies_exists_uncached ~hyp lhs ~evars rhs
+(* The three-valued query boundary: any blown budget inside the fast
+   path or the general procedure surfaces as [Gave_up], never as an
+   exception. *)
+let implies_exists_verdict ?(label = "query") ~hyp lhs ~evars rhs :
+    Budget.verdict =
+  let compute () =
+    Budget.decide ~label (fun () -> implies_exists_uncached ~hyp lhs ~evars rhs)
+  in
+  if (not !Memo.enabled) || Budget.fault_injection_active () then compute ()
   else begin
     let key = memo_key ~hyp lhs ~evars rhs in
     match Hashtbl.find_opt Memo.table key with
-    | Some verdict ->
+    | Some entry when Memo.replayable entry ->
       Memo.stats.Memo.hits <- Memo.stats.Memo.hits + 1;
-      verdict
-    | None ->
+      fst entry
+    | _ ->
       Memo.stats.Memo.misses <- Memo.stats.Memo.misses + 1;
-      let verdict = implies_exists_uncached ~hyp lhs ~evars rhs in
-      Hashtbl.add Memo.table key verdict;
+      let verdict = compute () in
+      Hashtbl.replace Memo.table key (verdict, !Budget.limits);
       verdict
   end
+
+(* Every boolean caller uses a positive answer to eliminate or refine a
+   dependence, so [Gave_up] maps to [false]: the dependence stays. *)
+let implies_exists ?label ~hyp lhs ~evars rhs : bool =
+  match implies_exists_verdict ?label ~hyp lhs ~evars rhs with
+  | Budget.Proved -> true
+  | Budget.Disproved | Budget.Gave_up _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Shared problem pieces                                               *)
@@ -200,27 +223,39 @@ let dep_problems ?(in_bounds = false) ctx a b : Problem.t list =
 (* Covering (4.2) and terminating (4.3)                                *)
 (* ------------------------------------------------------------------ *)
 
+let proved = function
+  | Budget.Proved -> true
+  | Budget.Disproved | Budget.Gave_up _ -> false
+
 (* Does the write [src] cover [dst]?  (Every element [dst] accesses was
    written by an earlier instance of [src].) *)
-let covers ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access) :
-    bool =
+let covers_verdict ?(in_bounds = false) ctx ~(src : Ir.access)
+    ~(dst : Ir.access) : Budget.verdict =
   let a = Depctx.instantiate ctx src ~tag:"i" in
   let b = Depctx.instantiate ctx dst ~tag:"j" in
   let hyp = Depctx.assumes ctx in
   let lhs = [ Problem.of_list (Depctx.domain ~in_bounds ctx b) ] in
   let rhs = dep_problems ~in_bounds ctx a b in
-  implies_exists ~hyp lhs ~evars:(Depctx.inst_vars a) rhs
+  implies_exists_verdict ~label:"cover" ~hyp lhs ~evars:(Depctx.inst_vars a)
+    rhs
+
+let covers ?in_bounds ctx ~src ~dst =
+  proved (covers_verdict ?in_bounds ctx ~src ~dst)
 
 (* Does the write [dst] terminate [src]?  (Every element [src] accesses is
    later overwritten by [dst].) *)
-let terminates ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access)
-    : bool =
+let terminates_verdict ?(in_bounds = false) ctx ~(src : Ir.access)
+    ~(dst : Ir.access) : Budget.verdict =
   let a = Depctx.instantiate ctx src ~tag:"i" in
   let b = Depctx.instantiate ctx dst ~tag:"j" in
   let hyp = Depctx.assumes ctx in
   let lhs = [ Problem.of_list (Depctx.domain ~in_bounds ctx a) ] in
   let rhs = dep_problems ~in_bounds ctx a b in
-  implies_exists ~hyp lhs ~evars:(Depctx.inst_vars b) rhs
+  implies_exists_verdict ~label:"terminate" ~hyp lhs
+    ~evars:(Depctx.inst_vars b) rhs
+
+let terminates ?in_bounds ctx ~src ~dst =
+  proved (terminates_verdict ?in_bounds ctx ~src ~dst)
 
 (* ------------------------------------------------------------------ *)
 (* Killing (4.1)                                                       *)
@@ -229,8 +264,8 @@ let terminates ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access)
 (* Is the dependence from [src] to [dst] killed by the write [killer]?
    For every (i,k) instance pair of the dependence there must be a j with
    src(i) << killer(j) << dst(k) and killer(j) writing dst(k)'s element. *)
-let kills ?(in_bounds = false) ctx ~(src : Ir.access) ~(killer : Ir.access)
-    ~(dst : Ir.access) : bool =
+let kills_verdict ?(in_bounds = false) ctx ~(src : Ir.access)
+    ~(killer : Ir.access) ~(dst : Ir.access) : Budget.verdict =
   let a = Depctx.instantiate ctx src ~tag:"i" in
   let b = Depctx.instantiate ctx killer ~tag:"j" in
   let c = Depctx.instantiate ctx dst ~tag:"k" in
@@ -248,7 +283,11 @@ let kills ?(in_bounds = false) ctx ~(src : Ir.access) ~(killer : Ir.access)
           (Depctx.order_before ctx b c))
       (Depctx.order_before ctx a b)
   in
-  implies_exists ~hyp lhs ~evars:(Depctx.inst_vars b) rhs
+  implies_exists_verdict ~label:"kill" ~hyp lhs ~evars:(Depctx.inst_vars b)
+    rhs
+
+let kills ?in_bounds ctx ~src ~killer ~dst =
+  proved (kills_verdict ?in_bounds ctx ~src ~killer ~dst)
 
 (* ------------------------------------------------------------------ *)
 (* Refinement (4.4)                                                    *)
@@ -301,7 +340,7 @@ let check_refinement ?(in_bounds = false) ctx ~(src : Ir.access)
       (fun (_, order) -> Problem.of_list (core @ order))
       (Depctx.order_before ctx j k)
   in
-  implies_exists ~hyp lhs ~evars:(Depctx.inst_vars j) rhs
+  implies_exists ~label:"refinement" ~hyp lhs ~evars:(Depctx.inst_vars j) rhs
 
 (* Generate and verify refinements the paper's way: walk the common loops
    outermost-first, each time pinning the distance to its minimum possible
@@ -325,12 +364,14 @@ let refine ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access) :
       List.filter_map
         (fun (_, order) ->
           let p = Problem.add_list (fix_constrs @ order) pair.Deps.base in
-          match Omega.minimize p pair.Deps.dvars.(l) with
-          | `Min m -> Zint.to_int_opt m
-          | `Unbounded | `Unsat -> None
-          | exception Elim.Fuel_exhausted ->
-            (* cannot bound the distance: stop refining this level *)
-            None)
+          match
+            Budget.run ~label:"refine/minimize" (fun () ->
+                Omega.minimize p pair.Deps.dvars.(l))
+          with
+          | Ok (`Min m) -> Zint.to_int_opt m
+          | Ok (`Unbounded | `Unsat) -> None
+          (* give-up: cannot bound the distance, stop refining *)
+          | Error _ -> None)
         levels
     in
     match mins with [] -> None | m :: rest -> Some (List.fold_left min m rest)
@@ -373,6 +414,22 @@ let refined_vectors ?(in_bounds = false) ctx ~(src : Ir.access)
   List.concat_map
     (fun (lvl, order) ->
       let p = Problem.add_list (fix_constrs @ order) pair.Deps.base in
-      Dirvec.vectors_of_level p pair.Deps.dvars ~carried:lvl)
+      match
+        Budget.run ~label:"refine/vectors" (fun () ->
+            Dirvec.vectors_of_level p pair.Deps.dvars ~carried:lvl)
+      with
+      | Ok vecs -> vecs
+      (* give-up: the weakest vectors of the level, never an
+         under-approximation of the refined dependence *)
+      | Error _ ->
+        Dirvec.conservative_of_level (Array.length pair.Deps.dvars)
+          ~carried:lvl)
     levels
   |> List.sort_uniq Dirvec.compare
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let set_fault_injection ~seed ~rate = Budget.set_fault_injection ~seed ~rate
+let clear_fault_injection () = Budget.clear_fault_injection ()

@@ -30,9 +30,13 @@ module Memo : sig
   val enabled : bool ref
   (** Verdict cache for {!implies_exists}, keyed on a canonical
       (alpha-renamed) serialization of the query.  Sound because
-      validity is invariant under variable renaming.  Disable in timing
-      benches that reproduce per-query figures — a hit would measure a
-      hash lookup, not an elimination. *)
+      validity is invariant under variable renaming.  Entries record the
+      {!Budget.limits} they were computed under: completed verdicts
+      replay at any budget, a [Gave_up] only while the current budget is
+      no larger than the recorded one.  Fault-injected runs bypass the
+      cache.  Disable in timing benches that reproduce per-query
+      figures — a hit would measure a hash lookup, not an
+      elimination. *)
 
   val stats : t
   val reset : unit -> unit
@@ -43,30 +47,66 @@ module Memo : sig
       query ran. *)
 end
 
+val implies_exists_verdict :
+  ?label:string ->
+  hyp:Constr.t list ->
+  Problem.t list ->
+  evars:Var.t list ->
+  Problem.t list ->
+  Budget.verdict
+(** [implies_exists_verdict ~hyp lhs ~evars rhs]: is
+    [hyp => (lhs => exists evars. rhs)] valid (disjunction over each
+    list)?  One governed solver query: a blown budget (or an injected
+    fault) surfaces as [Gave_up], never as an exception.  [label] names
+    the query in governance telemetry. *)
+
 val implies_exists :
+  ?label:string ->
   hyp:Constr.t list ->
   Problem.t list ->
   evars:Var.t list ->
   Problem.t list ->
   bool
-(** [implies_exists ~hyp lhs ~evars rhs]: is
-    [hyp => (lhs => exists evars. rhs)] valid (disjunction over each
-    list)? *)
+(** {!implies_exists_verdict} collapsed to a boolean: [Gave_up] maps to
+    [false], which is conservative because every caller uses a positive
+    answer to eliminate or refine a dependence. *)
 
 val dep_problems :
   ?in_bounds:bool -> Depctx.t -> Depctx.inst -> Depctx.inst -> Problem.t list
 (** The dependence problems from one instance to another, one per
     ordering level. *)
 
+val covers_verdict :
+  ?in_bounds:bool ->
+  Depctx.t ->
+  src:Ir.access ->
+  dst:Ir.access ->
+  Budget.verdict
+
 val covers :
   ?in_bounds:bool -> Depctx.t -> src:Ir.access -> dst:Ir.access -> bool
 (** Does the write [src] cover [dst] (write every element [dst] accesses,
-    earlier)?  Section 4.2. *)
+    earlier)?  Section 4.2.  [Gave_up] maps to [false]. *)
+
+val terminates_verdict :
+  ?in_bounds:bool ->
+  Depctx.t ->
+  src:Ir.access ->
+  dst:Ir.access ->
+  Budget.verdict
 
 val terminates :
   ?in_bounds:bool -> Depctx.t -> src:Ir.access -> dst:Ir.access -> bool
 (** Does the write [dst] terminate [src] (overwrite every element [src]
-    accesses, later)?  Section 4.3. *)
+    accesses, later)?  Section 4.3.  [Gave_up] maps to [false]. *)
+
+val kills_verdict :
+  ?in_bounds:bool ->
+  Depctx.t ->
+  src:Ir.access ->
+  killer:Ir.access ->
+  dst:Ir.access ->
+  Budget.verdict
 
 val kills :
   ?in_bounds:bool ->
@@ -76,7 +116,7 @@ val kills :
   dst:Ir.access ->
   bool
 (** Is the dependence from [src] to [dst] killed by the intervening write
-    [killer]?  Section 4.1. *)
+    [killer]?  Section 4.1.  [Gave_up] maps to [false]. *)
 
 type candidate = (int option * int option) list
 (** A candidate refinement: per common loop, an optional inclusive
@@ -106,4 +146,15 @@ val refined_vectors :
   dst:Ir.access ->
   int list ->
   Dirvec.t list
-(** Direction vectors of the dependence under the pinned distances. *)
+(** Direction vectors of the dependence under the pinned distances.  A
+    level whose vector analysis gives up contributes its weakest
+    (conservative) vectors instead. *)
+
+val set_fault_injection : seed:int -> rate:float -> unit
+(** Deterministically force a pseudo-random fraction [rate] of solver
+    queries to [Gave_up Injected] (see {!Budget.set_fault_injection}).
+    While active the verdict cache is bypassed.  For the differential
+    soundness harness: fault-injected analyses must only ever {e lose}
+    precision relative to clean runs. *)
+
+val clear_fault_injection : unit -> unit

@@ -18,6 +18,13 @@ type dep = {
   kind : kind;
   vectors : Dirvec.t list; (* forward vectors, one or more per level *)
   levels : int list; (* satisfiable carried levels; 0 = loop-independent *)
+  assumed : bool;
+      (* some level's analysis blew its budget and the dependence is
+         (partly) assumed rather than computed.  Elimination must leave
+         assumed dependences alone: a kill/cover "proof" against an
+         assumed dependence may be vacuous (the exact problem could be
+         empty), and honoring it would make degraded runs eliminate
+         edges precise runs keep. *)
 }
 
 (* The base problem of a pair: domains, subscript equality, user
@@ -69,11 +76,23 @@ let compute ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access)
     ~(kind : kind) : dep option =
   let p = make_pair ~in_bounds ctx src dst in
   let levels = Depctx.order_before ctx p.a p.b in
+  let gave_up = ref false in
   let results =
     List.filter_map
       (fun (lvl, constrs) ->
         let prob = Problem.add_list constrs p.base in
-        let vecs = Dirvec.vectors_of_level prob p.dvars ~carried:lvl in
+        let vecs =
+          match
+            Budget.run ~label:"deps/vectors" (fun () ->
+                Dirvec.vectors_of_level prob p.dvars ~carried:lvl)
+          with
+          | Ok vecs -> vecs
+          (* give-up: assume the level carries a dependence with the
+             weakest possible vectors *)
+          | Error _ ->
+            gave_up := true;
+            Dirvec.conservative_of_level p.common ~carried:lvl
+        in
         if vecs = [] then None else Some (lvl, vecs))
       levels
   in
@@ -83,14 +102,28 @@ let compute ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access)
       List.concat_map snd results
       |> List.sort_uniq Dirvec.compare
     in
-    Some { src; dst; kind; vectors; levels = List.map fst results }
+    Some
+      {
+        src;
+        dst;
+        kind;
+        vectors;
+        levels = List.map fst results;
+        assumed = !gave_up;
+      }
   end
 
 (* Does any dependence (ignoring direction refinement) exist at all? *)
 let exists ctx ~src ~dst : bool =
   let p = make_pair ctx src dst in
   List.exists
-    (fun lc -> Elim.satisfiable (level_problem p lc))
+    (fun lc ->
+      match
+        Budget.run ~label:"deps/exists" (fun () ->
+            Elim.satisfiable (level_problem p lc))
+      with
+      | Ok b -> b
+      | Error _ -> true (* cannot refute: assume the dependence *))
     (Depctx.order_before ctx p.a p.b)
 
 (* All dependences of a given kind in a program. *)

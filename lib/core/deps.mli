@@ -15,6 +15,11 @@ type dep = {
   kind : kind;
   vectors : Dirvec.t list;  (** forward vectors (possibly several) *)
   levels : int list;  (** satisfiable carried levels; 0 = loop-independent *)
+  assumed : bool;
+      (** some level's analysis blew its budget: the dependence is
+          (partly) assumed rather than computed, and elimination must
+          leave it alone (a kill/cover proof against it may be
+          vacuous) *)
 }
 
 type pair = {

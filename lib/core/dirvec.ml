@@ -144,6 +144,21 @@ let rec analyze problem (dvars : Var.t array) d : t list =
    of exact zeros for the first [zeros] levels and a strictly positive
    level after (as produced by the per-level ordering).  [carried = 0]
    means loop-independent: all entries zero. *)
+(* The weakest vector set of one ordering level, used when the exact
+   analysis gives up: the level's forced shape (zero prefix, positive
+   carried level) with every deeper level unconstrained.  A superset of
+   anything [vectors_of_level] can return, so decisions made from it are
+   conservative. *)
+let conservative_of_level count ~carried : t list =
+  if carried = 0 then [ List.init count (fun _ -> exact 0) ]
+  else
+    [
+      List.init count (fun l ->
+          if l < carried - 1 then exact 0
+          else if l = carried - 1 then { sign = Pos; lo = Some 1; hi = None }
+          else { sign = Any; lo = None; hi = None });
+    ]
+
 let vectors_of_level problem (dvars : Var.t array) ~carried : t list =
   let c = Array.length dvars in
   if carried = 0 then begin

@@ -44,6 +44,12 @@ val analyze : Problem.t -> Var.t array -> int -> t list
 (** [analyze p dvars d] enumerates the vectors of levels [d..] of the
     distance variables under [p], with partial compression. *)
 
+val conservative_of_level : int -> carried:int -> t list
+(** The weakest vectors of one ordering level over [count] common loops:
+    zero prefix, strictly positive carried level, [*] deeper.  A
+    superset of anything {!vectors_of_level} can return - the sound
+    fallback when the exact analysis gives up. *)
+
 val vectors_of_level : Problem.t -> Var.t array -> carried:int -> t list
 (** Vectors of one ordering level: levels before [carried] are exactly
     zero, level [carried] is strictly positive (as the per-level ordering

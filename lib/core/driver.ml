@@ -127,10 +127,14 @@ let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
     in
     (* cover-based elimination: a covering write kills dependences from
        writes that run completely before it (no Omega call needed) *)
+    (* Budget-degraded ("assumed") dependences are exempt from every
+       elimination below: a kill/cover proof against a dependence whose
+       exact problem may be empty is vacuous, and honoring it would let
+       degraded runs eliminate edges precise runs keep. *)
     let cands =
       List.map
         (fun fr ->
-          if fr.dead <> None then fr
+          if fr.dead <> None || fr.dep.Deps.assumed then fr
           else begin
             let killed_by_cover =
               List.find_opt
@@ -156,16 +160,20 @@ let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
           end)
         cands
     in
-    (* pairwise killing among the remaining dependences *)
+    (* Pairwise killing among the remaining dependences.  A dead writer
+       still writes, so it kills just as well as a live one: admitting
+       dead killers is sound, strictly more precise, and makes each
+       verdict a pure function of the individual kill queries
+       (independent of processing order) - which the fault-injection
+       soundness harness relies on. *)
     let arr = Array.of_list cands in
     Array.iteri
       (fun i fr ->
-        if fr.dead = None then begin
+        if fr.dead = None && not fr.dep.Deps.assumed then begin
           let killer =
             Array.to_list arr
             |> List.find_opt (fun other ->
                    other.dep.Deps.src.Ir.acc_id <> fr.dep.Deps.src.Ir.acc_id
-                   && other.dead = None
                    &&
                    if
                      quick
@@ -232,7 +240,7 @@ let classify_kind ?(in_bounds = false) ?(quick = true) (prog : Ir.program)
         let arr = Array.of_list cands in
         Array.iteri
           (fun i fr ->
-            if fr.dead = None then begin
+            if fr.dead = None && not fr.dep.Deps.assumed then begin
               let killer =
                 List.find_opt
                   (fun (k : Ir.access) ->

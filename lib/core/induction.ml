@@ -110,7 +110,11 @@ let increment_positive ctx (write : Ir.access) (e : Ast.expr) : bool =
         @ Depctx.assumes ctx
         @ [ Constr.le le (Linexpr.of_int 0) ])
     in
-    not (Elim.satisfiable p)
+    (match
+       Budget.run ~label:"induction/positive" (fun () -> Elim.satisfiable p)
+     with
+    | Ok sat -> not sat
+    | Error _ -> false (* cannot prove positivity: not an accumulator *))
 
 (* All strictly-increasing accumulators of a program. *)
 let detect (ctx : Depctx.t) : accumulator list =

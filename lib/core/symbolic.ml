@@ -40,6 +40,8 @@ type condition =
   | Always (* the dependence exists whenever p does: gist was a tautology *)
   | Never (* p and q are incompatible *)
   | When of Problem.t
+  | Unknown of Budget.reason
+    (* the analysis gave up: the dependence must be assumed *)
 
 type analysis = {
   cond : condition;
@@ -76,8 +78,9 @@ let project_onto vars (p : Problem.t) : [ `Contra | `Ok of Problem.t ] =
   | [ q ] -> `Ok q
   | _ :: _ :: _ -> Elim.project_dark ~keep p
 
-let analyze ?(in_bounds = true) ?(gist_fast = true) ctx ~(src : Ir.access)
-    ~(dst : Ir.access) ~(restraint : restraint) ?(hide = []) () : analysis =
+let analyze_exn ?(in_bounds = true) ?(gist_fast = true) ctx
+    ~(src : Ir.access) ~(dst : Ir.access) ~(restraint : restraint)
+    ?(hide = []) () : analysis =
   let a = Depctx.instantiate ctx src ~tag:"i" in
   let b = Depctx.instantiate ctx dst ~tag:"j" in
   let p_cs =
@@ -118,6 +121,20 @@ let analyze ?(in_bounds = true) ?(gist_fast = true) ctx ~(src : Ir.access)
      | Gist.Tautology -> { cond = Always; known; inst_a = a; inst_b = b; ctx }
      | Gist.False -> { cond = Never; known; inst_a = a; inst_b = b; ctx }
      | Gist.Gist g -> { cond = When g; known; inst_a = a; inst_b = b; ctx })
+
+(* Governed entry point: a give-up anywhere in the projections or gists
+   degrades to [Unknown], whose reading is "assume the dependence". *)
+let analyze ?in_bounds ?gist_fast ctx ~src ~dst ~restraint ?hide () :
+    analysis =
+  match
+    Budget.run ~label:"symbolic/analyze" (fun () ->
+        analyze_exn ?in_bounds ?gist_fast ctx ~src ~dst ~restraint ?hide ())
+  with
+  | Ok an -> an
+  | Error r ->
+    let a = Depctx.instantiate ctx src ~tag:"i" in
+    let b = Depctx.instantiate ctx dst ~tag:"j" in
+    { cond = Unknown r; known = Problem.trivial; inst_a = a; inst_b = b; ctx }
 
 (* ------------------------------------------------------------------ *)
 (* Query rendering                                                     *)
@@ -231,6 +248,10 @@ let render_query (an : analysis) : string =
   match an.cond with
   | Always -> "The dependence always exists (no condition to ask about)."
   | Never -> "The dependence never exists."
+  | Unknown r ->
+    Printf.sprintf
+      "The analysis gave up (%s): the dependence must be assumed."
+      (Budget.reason_to_string r)
   | When g ->
     let naming = make_naming an in
     let conds = List.map (render_constr naming) (Problem.constraints g) in
@@ -387,9 +408,12 @@ let dependence_exists_with ?(in_bounds = true) ctx ~(src : Ir.access)
   List.exists
     (fun (level, order) ->
       let acc_cs = accumulator_constraints a b ~level props in
-      try
-        Presburger.satisfiable
-          (Presburger.and_
-             (List.map Presburger.atom (core @ order @ acc_cs) @ prop_fs))
-      with Presburger.Too_large -> true (* cannot refute: assume it exists *))
+      match
+        Budget.run ~label:"symbolic/exists" (fun () ->
+            Presburger.satisfiable
+              (Presburger.and_
+                 (List.map Presburger.atom (core @ order @ acc_cs) @ prop_fs)))
+      with
+      | Ok b -> b
+      | Error _ -> true (* cannot refute: assume it exists *))
     levels

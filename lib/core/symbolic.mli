@@ -21,6 +21,9 @@ type condition =
   | Always  (** the gist was a tautology: no extra condition *)
   | Never  (** the dependence cannot exist *)
   | When of Problem.t  (** the new information *)
+  | Unknown of Budget.reason
+      (** the analysis gave up within its resource budget; the
+          dependence must conservatively be assumed to exist *)
 
 type analysis = {
   cond : condition;

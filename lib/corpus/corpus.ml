@@ -716,3 +716,104 @@ let timing_population =
     "multi_kill"; "triangular_update"; "even_odd_phases"; "countdown_copy";
     "prefix_sum_scalar"; "banded"; "row_dot_private";
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial stress corpus                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Programs built to spend solver resources, not to model real kernels:
+   they drive the budget machinery (fuel, splinters, DNF disjuncts)
+   toward its limits so the governed verdicts - not crashes - are what
+   tight budgets produce.  Deliberately kept OUT of [all]: the
+   differential execution harnesses iterate [all] and these nests exist
+   to stress analysis, not execution. *)
+
+(* Deeply coupled subscripts with pairwise-coprime-ish coefficients
+   {6, 10, 15}: every dependence problem couples i and j through
+   several large-coefficient equalities, so Fourier-Motzkin elimination
+   multiplies coefficients at each step and burns fuel fast. *)
+let stress_coupled =
+  {|
+symbolic n;
+real a[0:4000], x[0:4000];
+assume 1 <= n <= 40;
+for i := 1 to n do
+  for j := 1 to n do
+    w1: a(6*i + 10*j) := i + j;
+    w2: a(10*i + 15*j) := i - j;
+    r: x(6*i + 15*j) := a(15*i + 6*j);
+  endfor
+endfor
+|}
+
+(* Non-unit-stride writes against non-unit-stride reads (2 vs 3, 5/3
+   vs 7): exact projection must splinter on the non-dark part of each
+   shadow, so the splinter counter is the limit that binds. *)
+let stress_splinter =
+  {|
+symbolic n;
+real a[0:2000], x[0:2000];
+assume 1 <= n <= 60;
+for i := 1 to n do
+  for j := i to min(n, i + 13) do
+    w1: a(5*i + 3*j) := i;
+  endfor
+endfor
+for i := 1 to n do
+  w2: a(2*i) := i;
+endfor
+for k := 1 to n do
+  r: x(k) := a(7*k + 2);
+endfor
+|}
+
+(* A four-writer kill chain over strided, shifted subscripts: each kill
+   test negates a conjunction of equalities per candidate killer, and
+   the resulting quantified formula expands into wide DNF. *)
+let stress_kill_dnf =
+  {|
+symbolic n, m;
+real a[0:900], x[0:900];
+assume 1 <= m <= n;
+assume n <= 200;
+for i := 1 to n do
+  w1: a(2*i) := 1;
+endfor
+for i := 1 to n do
+  w2: a(2*i + 2) := 2;
+endfor
+for i := 1 to n do
+  w3: a(3*i) := 3;
+endfor
+for i := 1 to n do
+  w4: a(2*i + 4) := 4;
+endfor
+for i := 1 to m do
+  r: x(i) := a(2*i + 4);
+endfor
+|}
+
+(* max/min loop bounds: every bound contributes a case split, so the
+   dependence problems carry the cross product of bound cases on top of
+   a two-distance stencil body. *)
+let stress_maxmin =
+  {|
+symbolic n, w;
+real a[0:300, -20:20];
+assume 2 <= w <= 12;
+assume w <= n;
+assume n <= 150;
+for i := 3 to n do
+  for j := max(1 - i, -w) to min(w, n - i) do
+    s: a(i, j) := a(i - 1, j + 1) + a(i - 2, j - 1);
+  endfor
+endfor
+|}
+
+let stress =
+  [
+    ("stress_coupled", stress_coupled);
+    ("stress_splinter", stress_splinter);
+    ("stress_kill_dnf", stress_kill_dnf);
+    ("stress_maxmin", stress_maxmin);
+  ]

@@ -44,3 +44,10 @@ val find : string -> string
 
 val timing_population : string list
 (** The programs swept by the Figure 6/7 benches. *)
+
+val stress : (string * string) list
+(** Adversarial analysis-stress nests (coupled large-coefficient
+    subscripts, splinter-heavy strides, DNF-wide kill chains, max/min
+    bound case splits).  Not part of {!all}: they exist to exhaust
+    solver budgets, and the execution harnesses that sweep [all] have
+    nothing to learn from them. *)

@@ -1,0 +1,292 @@
+(* Resource governance for the solver stack.
+
+   Every entry into the Omega test (projection, satisfiability, the
+   Presburger decision procedure) runs under a *meter* charged against
+   the ambient [limits]: elimination steps draw fuel, splinter
+   constructions and DNF expansion draw their own counters, and an
+   optional wall-clock deadline bounds the whole query.  Exhausting any
+   limit raises [Exhausted], which the query boundary ([run] / [decide])
+   turns into a structured [Gave_up] verdict - never an escaping
+   exception.
+
+   Clients map [Gave_up] to the sound conservative answer for their
+   question (a dependence is assumed live, a kill/cover/refinement is
+   not proved, a doall is illegal).  Because the solver is deterministic
+   and limits only truncate its work, a query that *completes* under a
+   tight budget returns the same verdict under any looser budget with no
+   deadline: tightening budgets can only turn [Proved]/[Disproved] into
+   [Gave_up], never flip them.
+
+   Fault injection ([set_fault_injection]) deterministically forces a
+   seeded fraction of query boundaries to [Gave_up Injected] before any
+   work happens, which lets a differential harness check that the
+   conservative mappings above are actually wired in everywhere.
+
+   The meter is ambient, dynamically-scoped state: the solver stack is
+   single-domain, and nested entries (e.g. [Gist.implies] calling
+   [Elim.project]) share the outermost query's meter. *)
+
+type reason = Fuel | Splinters | Disjuncts | Deadline | Injected
+
+let reason_to_string = function
+  | Fuel -> "fuel"
+  | Splinters -> "splinters"
+  | Disjuncts -> "disjuncts"
+  | Deadline -> "deadline"
+  | Injected -> "injected"
+
+type verdict = Proved | Disproved | Gave_up of reason
+
+let verdict_to_string = function
+  | Proved -> "proved"
+  | Disproved -> "disproved"
+  | Gave_up r -> "gave up (" ^ reason_to_string r ^ ")"
+
+exception Exhausted of reason
+
+(* ------------------------------------------------------------------ *)
+(* Limits                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type limits = {
+  fuel : int;
+  splinters : int;
+  disjuncts : int;
+  deadline_ms : float option;
+}
+
+let default =
+  { fuel = 100_000; splinters = 100_000; disjuncts = 2048; deadline_ms = None }
+
+let limits = ref default
+
+(* [le a b]: budget [a] is no larger than [b] in every dimension (a
+   query that gives up under [b] would also give up under [a]).  A
+   finite deadline is tighter than none. *)
+let le a b =
+  a.fuel <= b.fuel && a.splinters <= b.splinters && a.disjuncts <= b.disjuncts
+  &&
+  match (a.deadline_ms, b.deadline_ms) with
+  | _, None -> true
+  | None, Some _ -> false
+  | Some x, Some y -> x <= y
+
+let with_limits l f =
+  let saved = !limits in
+  limits := l;
+  Fun.protect ~finally:(fun () -> limits := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* The meter                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type meter = {
+  m_limits : limits;
+  mutable m_fuel : int;
+  mutable m_splinters : int;
+  m_deadline : float option; (* absolute, seconds *)
+}
+
+let active : meter option ref = ref None
+
+let make_meter l =
+  {
+    m_limits = l;
+    m_fuel = 0;
+    m_splinters = 0;
+    m_deadline =
+      Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.)) l.deadline_ms;
+  }
+
+let check_deadline m =
+  match m.m_deadline with
+  | Some t when Unix.gettimeofday () > t -> raise (Exhausted Deadline)
+  | _ -> ()
+
+let tick m =
+  m.m_fuel <- m.m_fuel + 1;
+  if m.m_fuel > m.m_limits.fuel then raise (Exhausted Fuel);
+  (* the clock is off the per-step hot path *)
+  if m.m_fuel land 255 = 0 then check_deadline m
+
+let add_splinters m n =
+  m.m_splinters <- m.m_splinters + n;
+  if m.m_splinters > m.m_limits.splinters then raise (Exhausted Splinters)
+
+let disjunct_limit () =
+  match !active with Some m -> m.m_limits.disjuncts | None -> !limits.disjuncts
+
+(* Solver entry points call this: reuse the ambient meter when already
+   inside a query, otherwise install a fresh one for the duration. *)
+let with_meter f =
+  match !active with
+  | Some m -> f m
+  | None ->
+    let m = make_meter !limits in
+    active := Some m;
+    Fun.protect ~finally:(fun () -> active := None) (fun () -> f m)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* splitmix64: tiny, deterministic, and good enough to spread faults
+   over the query stream. *)
+type fault = { rate : float; mutable state : int64 }
+
+let fault_state : fault option ref = ref None
+
+let set_fault_injection ~seed ~rate =
+  if rate <= 0. then fault_state := None
+  else
+    fault_state :=
+      Some { rate; state = Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L }
+
+let clear_fault_injection () = fault_state := None
+let fault_injection_active () = !fault_state <> None
+
+let draw_fault () =
+  match !fault_state with
+  | None -> false
+  | Some f ->
+    f.state <- Int64.add f.state 0x9E3779B97F4A7C15L;
+    let z = f.state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    let u =
+      Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+    in
+    u < f.rate
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry = struct
+  type t = {
+    mutable queries : int;
+    mutable gave_up_fuel : int;
+    mutable gave_up_splinters : int;
+    mutable gave_up_disjuncts : int;
+    mutable gave_up_deadline : int;
+    mutable gave_up_injected : int;
+    mutable peak_fuel : int;
+    mutable peak_splinters : int;
+    mutable worst_label : string;
+    mutable worst_fuel : int;
+  }
+
+  let stats =
+    {
+      queries = 0;
+      gave_up_fuel = 0;
+      gave_up_splinters = 0;
+      gave_up_disjuncts = 0;
+      gave_up_deadline = 0;
+      gave_up_injected = 0;
+      peak_fuel = 0;
+      peak_splinters = 0;
+      worst_label = "";
+      worst_fuel = 0;
+    }
+
+  let reset () =
+    stats.queries <- 0;
+    stats.gave_up_fuel <- 0;
+    stats.gave_up_splinters <- 0;
+    stats.gave_up_disjuncts <- 0;
+    stats.gave_up_deadline <- 0;
+    stats.gave_up_injected <- 0;
+    stats.peak_fuel <- 0;
+    stats.peak_splinters <- 0;
+    stats.worst_label <- "";
+    stats.worst_fuel <- 0
+
+  let record_gave_up = function
+    | Fuel -> stats.gave_up_fuel <- stats.gave_up_fuel + 1
+    | Splinters -> stats.gave_up_splinters <- stats.gave_up_splinters + 1
+    | Disjuncts -> stats.gave_up_disjuncts <- stats.gave_up_disjuncts + 1
+    | Deadline -> stats.gave_up_deadline <- stats.gave_up_deadline + 1
+    | Injected -> stats.gave_up_injected <- stats.gave_up_injected + 1
+
+  let gave_up_total () =
+    stats.gave_up_fuel + stats.gave_up_splinters + stats.gave_up_disjuncts
+    + stats.gave_up_deadline + stats.gave_up_injected
+
+  let summary () =
+    Printf.sprintf
+      "%d solver queries, %d gave up (fuel %d, splinters %d, disjuncts %d, \
+       deadline %d, injected %d); peak fuel %d, peak splinters %d%s"
+      stats.queries (gave_up_total ()) stats.gave_up_fuel stats.gave_up_splinters
+      stats.gave_up_disjuncts stats.gave_up_deadline stats.gave_up_injected
+      stats.peak_fuel stats.peak_splinters
+      (if stats.worst_label = "" then ""
+       else
+         Printf.sprintf "; worst query %s (fuel %d)" stats.worst_label
+           stats.worst_fuel)
+
+  let to_json () =
+    Printf.sprintf
+      "{ \"queries\": %d, \"gave_up\": { \"fuel\": %d, \"splinters\": %d, \
+       \"disjuncts\": %d, \"deadline\": %d, \"injected\": %d }, \
+       \"peak_fuel\": %d, \"peak_splinters\": %d, \"worst_query\": \"%s\", \
+       \"worst_fuel\": %d }"
+      stats.queries stats.gave_up_fuel stats.gave_up_splinters
+      stats.gave_up_disjuncts stats.gave_up_deadline stats.gave_up_injected
+      stats.peak_fuel stats.peak_splinters (String.escaped stats.worst_label)
+      stats.worst_fuel
+end
+
+(* ------------------------------------------------------------------ *)
+(* Query boundaries                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(label = "query") (f : unit -> 'a) : ('a, reason) result =
+  match !active with
+  (* nested boundary inside an already-metered query: share the meter,
+     just structure the outcome *)
+  | Some _ -> ( try Ok (f ()) with Exhausted r -> Error r)
+  | None ->
+    let t = Telemetry.stats in
+    t.Telemetry.queries <- t.Telemetry.queries + 1;
+    if draw_fault () then begin
+      Telemetry.record_gave_up Injected;
+      Error Injected
+    end
+    else begin
+      let m = make_meter !limits in
+      active := Some m;
+      let finish () =
+        active := None;
+        if m.m_fuel > t.Telemetry.peak_fuel then
+          t.Telemetry.peak_fuel <- m.m_fuel;
+        if m.m_splinters > t.Telemetry.peak_splinters then
+          t.Telemetry.peak_splinters <- m.m_splinters;
+        if m.m_fuel > t.Telemetry.worst_fuel then begin
+          t.Telemetry.worst_fuel <- m.m_fuel;
+          t.Telemetry.worst_label <- label
+        end
+      in
+      match f () with
+      | v ->
+        finish ();
+        Ok v
+      | exception Exhausted r ->
+        finish ();
+        Telemetry.record_gave_up r;
+        Error r
+      | exception e ->
+        finish ();
+        raise e
+    end
+
+let decide ?label (f : unit -> bool) : verdict =
+  match run ?label f with
+  | Ok true -> Proved
+  | Ok false -> Disproved
+  | Error r -> Gave_up r

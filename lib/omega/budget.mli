@@ -1,0 +1,112 @@
+(** Resource governance for the solver stack.
+
+    Solver entry points run under an ambient {e meter} charged against
+    the current {!limits}: elimination steps draw fuel, splinter
+    construction and DNF expansion draw their own counters, and an
+    optional wall-clock deadline bounds the whole query.  Exhausting any
+    limit raises {!Exhausted}; the query boundary ({!run} / {!decide})
+    turns that into a structured {!verdict} so no resource blowup ever
+    escapes as an exception.
+
+    Clients must map [Gave_up] to their sound conservative answer: a
+    dependence is assumed live, a kill/cover/refinement is not proved, a
+    doall is illegal, privatization is refused.  The solver is
+    deterministic, so a query that completes under a tight budget
+    returns the same verdict under any looser deadline-free budget:
+    tightening can only turn [Proved]/[Disproved] into [Gave_up], never
+    flip them.
+
+    The meter is dynamically scoped and single-domain: solver queries
+    must not be issued concurrently from several domains. *)
+
+type reason = Fuel | Splinters | Disjuncts | Deadline | Injected
+
+val reason_to_string : reason -> string
+
+type verdict = Proved | Disproved | Gave_up of reason
+
+val verdict_to_string : verdict -> string
+
+exception Exhausted of reason
+(** Raised inside the solver when the ambient meter blows a limit.
+    Always caught by {!run}/{!decide}; escapes only code that enters the
+    solver without a query boundary. *)
+
+type limits = {
+  fuel : int;  (** elimination / decision steps per query *)
+  splinters : int;  (** splinter problems constructed per query *)
+  disjuncts : int;  (** DNF clauses per formula *)
+  deadline_ms : float option;  (** wall-clock bound per query *)
+}
+
+val default : limits
+val limits : limits ref
+
+val le : limits -> limits -> bool
+(** [le a b]: [a] is no larger than [b] in every dimension, i.e. any
+    query that completes under [a] completes under [b].  A finite
+    deadline is tighter than none. *)
+
+val with_limits : limits -> (unit -> 'a) -> 'a
+(** Run with {!limits} temporarily replaced. *)
+
+(** {1 Metering (solver internals)} *)
+
+type meter
+
+val with_meter : (meter -> 'a) -> 'a
+(** Reuse the ambient meter when already inside a query, otherwise
+    install a fresh one for the duration of the call.  Solver entry
+    points wrap their body in this. *)
+
+val tick : meter -> unit
+(** Charge one step of work; raises {!Exhausted} on a blown limit. *)
+
+val add_splinters : meter -> int -> unit
+val disjunct_limit : unit -> int
+
+(** {1 Query boundaries (clients)} *)
+
+val run : ?label:string -> (unit -> 'a) -> ('a, reason) result
+(** Run [f] as one governed query: counts it, draws a fault when
+    injection is active, meters the work, and maps {!Exhausted} to
+    [Error].  Nested inside another [run] it shares the outer meter and
+    adds no telemetry. *)
+
+val decide : ?label:string -> (unit -> bool) -> verdict
+
+(** {1 Fault injection} *)
+
+val set_fault_injection : seed:int -> rate:float -> unit
+(** Force a deterministic pseudo-random fraction [rate] of query
+    boundaries to [Gave_up Injected] before any solver work runs.
+    Verdict caches must be bypassed while active. *)
+
+val clear_fault_injection : unit -> unit
+val fault_injection_active : unit -> bool
+
+(** {1 Telemetry} *)
+
+module Telemetry : sig
+  type t = {
+    mutable queries : int;
+    mutable gave_up_fuel : int;
+    mutable gave_up_splinters : int;
+    mutable gave_up_disjuncts : int;
+    mutable gave_up_deadline : int;
+    mutable gave_up_injected : int;
+    mutable peak_fuel : int;
+    mutable peak_splinters : int;
+    mutable worst_label : string;
+    mutable worst_fuel : int;
+  }
+
+  val stats : t
+  val reset : unit -> unit
+  val gave_up_total : unit -> int
+
+  val summary : unit -> string
+  (** One human-readable line for CLI output. *)
+
+  val to_json : unit -> string
+end

@@ -20,10 +20,7 @@
 
 type keep = Var.t -> bool
 
-let elim_fuel = 100_000
-
 exception Contradiction
-exception Fuel_exhausted
 
 (* ------------------------------------------------------------------ *)
 (* Equality elimination                                                *)
@@ -197,15 +194,16 @@ let eq_step ~keep (p : Problem.t) =
   in
   find cs
 
-(* Run simplification and the equality phase to a fixed point. *)
-let rec eq_phase ~keep ~fuel (p : Problem.t) : Problem.t =
-  if fuel <= 0 then raise Fuel_exhausted;
+(* Run simplification and the equality phase to a fixed point, charging
+   the meter one tick per step. *)
+let rec eq_phase ~keep m (p : Problem.t) : Problem.t =
+  Budget.tick m;
   match Problem.simplify p with
   | Problem.Contra -> raise Contradiction
   | Problem.Ok p -> (
     match eq_step ~keep p with
     | `Done p -> p
-    | `Progress p -> eq_phase ~keep ~fuel:(fuel - 1) p)
+    | `Progress p -> eq_phase ~keep m p)
 
 (* ------------------------------------------------------------------ *)
 (* Fourier-Motzkin elimination of one variable from the inequalities   *)
@@ -377,47 +375,48 @@ let pick_var ~keep p =
    [splintered] (when provided) is set when any elimination was not exact
    (so the result may rest on dark shadows even if a single problem comes
    back). *)
-let rec project_list ~keep ~fuel ?splintered (p : Problem.t) : Problem.t list
-    =
-  if fuel <= 0 then raise Fuel_exhausted;
-  match eq_phase ~keep ~fuel p with
+let rec project_list ~keep m ?splintered (p : Problem.t) : Problem.t list =
+  Budget.tick m;
+  match eq_phase ~keep m p with
   | exception Contradiction -> []
   | p -> (
     match pick_var ~keep p with
     | None -> [ p ]
     | Some v -> (
       match fm_eliminate p v with
-      | Eliminated p' -> project_list ~keep ~fuel:(fuel - 1) ?splintered p'
+      | Eliminated p' -> project_list ~keep m ?splintered p'
       | Split { dark; splinters; _ } ->
         (match splintered with Some r -> r := true | None -> ());
-        project_list ~keep ~fuel:(fuel - 1) ?splintered dark
-        @ List.concat_map
-            (project_list ~keep ~fuel:(fuel - 1) ?splintered)
-            splinters))
+        Budget.add_splinters m (List.length splinters);
+        project_list ~keep m ?splintered dark
+        @ List.concat_map (project_list ~keep m ?splintered) splinters))
 
 let project ?splintered ~keep p =
-  project_list ~keep ~fuel:elim_fuel ?splintered p
+  Budget.with_meter (fun m -> project_list ~keep m ?splintered p)
 
 (* Approximate projection: single problem.  [`Dark] under-approximates
    (every point of the result is in the true projection), [`Real]
    over-approximates. *)
-let rec project_approx ~mode ~keep ~fuel (p : Problem.t) :
+let rec project_approx ~mode ~keep m (p : Problem.t) :
     [ `Contra | `Ok of Problem.t ] =
-  if fuel <= 0 then raise Fuel_exhausted;
-  match eq_phase ~keep ~fuel p with
+  Budget.tick m;
+  match eq_phase ~keep m p with
   | exception Contradiction -> `Contra
   | p -> (
     match pick_var ~keep p with
     | None -> `Ok p
     | Some v -> (
       match fm_eliminate p v with
-      | Eliminated p' -> project_approx ~mode ~keep ~fuel:(fuel - 1) p'
+      | Eliminated p' -> project_approx ~mode ~keep m p'
       | Split { dark; real; _ } ->
         let next = match mode with `Dark -> dark | `Real -> real in
-        project_approx ~mode ~keep ~fuel:(fuel - 1) next))
+        project_approx ~mode ~keep m next))
 
-let project_dark ~keep p = project_approx ~mode:`Dark ~keep ~fuel:elim_fuel p
-let project_real ~keep p = project_approx ~mode:`Real ~keep ~fuel:elim_fuel p
+let project_dark ~keep p =
+  Budget.with_meter (fun m -> project_approx ~mode:`Dark ~keep m p)
+
+let project_real ~keep p =
+  Budget.with_meter (fun m -> project_approx ~mode:`Real ~keep m p)
 
 let keep_none : keep = fun _ -> false
 
@@ -427,19 +426,19 @@ let sat_real p =
   match project_real ~keep:keep_none p with `Contra -> false | `Ok _ -> true
 
 (* Exact integer satisfiability. *)
-let rec satisfiable_fuel ~fuel (p : Problem.t) : bool =
-  if fuel <= 0 then raise Fuel_exhausted;
-  match eq_phase ~keep:keep_none ~fuel p with
+let rec sat_meter m (p : Problem.t) : bool =
+  Budget.tick m;
+  match eq_phase ~keep:keep_none m p with
   | exception Contradiction -> false
   | p -> (
     match pick_var ~keep:keep_none p with
     | None -> true
     | Some v -> (
       match fm_eliminate p v with
-      | Eliminated p' -> satisfiable_fuel ~fuel:(fuel - 1) p'
+      | Eliminated p' -> sat_meter m p'
       | Split { dark; real; splinters } ->
-        satisfiable_fuel ~fuel:(fuel - 1) dark
-        || (sat_real real
-            && List.exists (satisfiable_fuel ~fuel:(fuel - 1)) splinters)))
+        Budget.add_splinters m (List.length splinters);
+        sat_meter m dark
+        || (sat_real real && List.exists (sat_meter m) splinters)))
 
-let satisfiable p = satisfiable_fuel ~fuel:elim_fuel p
+let satisfiable p = Budget.with_meter (fun m -> sat_meter m p)

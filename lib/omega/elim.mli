@@ -16,10 +16,11 @@ type keep = Var.t -> bool
 
 exception Contradiction
 
-exception Fuel_exhausted
-(** Raised when a projection or satisfiability query exceeds the internal
-    work budget.  Callers must treat it as "no answer" and degrade
-    conservatively (assume the dependence, refuse the refinement). *)
+(** Every entry point below meters its work against the ambient
+    {!Budget} limits and raises {!Budget.Exhausted} when a limit blows.
+    Callers reach them through a {!Budget.run} query boundary (or catch
+    the exception themselves) and degrade conservatively on a give-up
+    (assume the dependence, refuse the refinement). *)
 
 val satisfiable : Problem.t -> bool
 (** Exact integer satisfiability. *)

@@ -9,6 +9,7 @@ module Var = Var
 module Linexpr = Linexpr
 module Constr = Constr
 module Problem = Problem
+module Budget = Budget
 module Elim = Elim
 module Gist = Gist
 module Presburger = Presburger

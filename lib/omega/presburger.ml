@@ -9,12 +9,11 @@
    the dependence analyses mostly go through the efficient special cases
    (dark-shadow implication, gists), falling back to this when needed. *)
 
-exception Too_large
-(* Raised when DNF expansion exceeds the work budget.  Callers that use
-   the decision procedure to *prove* facts (kill/cover/refinement tests)
-   catch it and conservatively report "not proved". *)
-
-let max_disjuncts = 2048
+(* DNF expansion is charged against the ambient Budget limits: growing
+   past the disjunct limit raises [Budget.Exhausted Disjuncts], which
+   the query boundary ([Budget.run]) turns into a [Gave_up] verdict.
+   Callers that use the procedure to *prove* facts (kill/cover/
+   refinement tests) treat a give-up as "not proved". *)
 
 type t =
   | True
@@ -183,7 +182,8 @@ let dnf (f : t) : t list list =
                 | Problem.Ok _ -> true)
               next
           in
-          if List.length next > max_disjuncts then raise Too_large;
+          if List.length next > Budget.disjunct_limit () then
+            raise (Budget.Exhausted Budget.Disjuncts);
           next)
         [ [] ] fs
     | Exists _ | Forall _ -> invalid_arg "Presburger.dnf: quantified formula"
@@ -220,7 +220,8 @@ let rec qe (f : t) : t =
     let pieces =
       List.concat_map (fun p -> Elim.project ~keep p) problems
     in
-    if List.length pieces > max_disjuncts then raise Too_large;
+    if List.length pieces > Budget.disjunct_limit () then
+      raise (Budget.Exhausted Budget.Disjuncts);
     or_ (List.map of_problem pieces)
   | Forall (vs, g) -> neg_qf (qe (Exists (vs, neg_qf (qe g))))
 

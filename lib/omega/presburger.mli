@@ -7,10 +7,11 @@
     analyses use it as the fallback behind the paper's efficient special
     cases (dark-shadow implication and gists). *)
 
-exception Too_large
-(** Raised when DNF expansion exceeds the internal work budget.  Callers
-    using the procedure to {e prove} a fact should catch it and report
-    "not proved" (which is conservative for elimination queries). *)
+(** DNF expansion and projection are metered against the ambient
+    {!Budget} limits; exceeding the disjunct limit raises
+    [Budget.Exhausted Disjuncts].  Callers using the procedure to
+    {e prove} a fact treat a give-up as "not proved" (conservative for
+    elimination queries). *)
 
 type t =
   | True

@@ -181,6 +181,7 @@ type stats = {
   x_chunks : int;  (* chunks executed across all regions *)
   x_inline : int;  (* regions run serially because they were under the
                       parallelism threshold (VM backend only) *)
+  x_fallbacks : int;  (* regions re-run serially after a worker fault *)
 }
 
 let zero_init _ _ = 0
@@ -203,8 +204,8 @@ let iteration_count l h step =
   else ((l - h) / -step) + 1
 
 let run_parallel ?pool ?(chunks_per_worker = 4) ?(init = zero_init)
-    ?(no_copy_in = false) (pl : plan) (prog : Ir.program) ~syms :
-    mem * stats =
+    ?(no_copy_in = false) ?(chunk_fault = fun _ -> ()) (pl : plan)
+    (prog : Ir.program) ~syms : mem * stats =
   let owned, pool =
     match pool with Some p -> (None, p) | None ->
       let p = create_pool () in
@@ -212,7 +213,7 @@ let run_parallel ?pool ?(chunks_per_worker = 4) ?(init = zero_init)
   in
   let global = Hashtbl.create 256 in
   let gstore = Interp.hashtbl_store ~init global in
-  let regions = ref 0 and chunks = ref 0 in
+  let regions = ref 0 and chunks = ref 0 and fallbacks = ref 0 in
   let genv = Interp.make_env ~store:gstore ~syms in
   (* one parallel region: the iterations of [var] in [l..h by step], with
      [body] run serially inside each iteration *)
@@ -227,6 +228,7 @@ let run_parallel ?pool ?(chunks_per_worker = 4) ?(init = zero_init)
     let err = ref None in
     let outer = genv.Interp.e_loops in
     let process c =
+      chunk_fault c;
       let local = locals.(c) in
       let ld loc =
         match Hashtbl.find_opt local loc with
@@ -268,12 +270,29 @@ let run_parallel ?pool ?(chunks_per_worker = 4) ?(init = zero_init)
       go ()
     in
     run_region pool job;
-    (match !err with Some e -> raise e | None -> ());
-    (* last-writer finalization: chunks merge in iteration order, so a
-       later chunk's write to an element overrides an earlier chunk's *)
-    Array.iter
-      (fun local -> Hashtbl.iter (fun k v -> Hashtbl.replace global k v) local)
-      locals
+    match !err with
+    | Some _ ->
+      (* A worker faulted.  The first exception was captured and the
+         remaining chunks cancelled (workers skip once [err] is set), so
+         the pool drains and never deadlocks.  The chunk overlays never
+         touched the global store, so discard them wholesale and re-run
+         the whole region serially against it: a deterministic program
+         fault then re-raises here, on the submitting thread, at the
+         exact iteration serial execution would reach — and a transient
+         (injected) fault simply yields the serial result. *)
+      incr fallbacks;
+      for k = 0 to niters - 1 do
+        genv.Interp.e_loops <- (var, (l + (k * step), k)) :: outer;
+        List.iter (Interp.exec_stmt genv) body
+      done;
+      genv.Interp.e_loops <- outer
+    | None ->
+      (* last-writer finalization: chunks merge in iteration order, so a
+         later chunk's write to an element overrides an earlier chunk's *)
+      Array.iter
+        (fun local ->
+          Hashtbl.iter (fun k v -> Hashtbl.replace global k v) local)
+        locals
   in
   let rec walk (s : Ir.istmt) =
     match s with
@@ -306,6 +325,7 @@ let run_parallel ?pool ?(chunks_per_worker = 4) ?(init = zero_init)
       x_regions = !regions;
       x_chunks = !chunks;
       x_inline = 0;
+      x_fallbacks = !fallbacks;
     } )
 
 (* ------------------------------------------------------------------ *)
@@ -338,7 +358,7 @@ let run_serial_vm ?init (prog : Ir.program) ~syms : Vm.t =
 
 let run_compiled_vm ?pool ?(chunks_per_worker = 4)
     ?(par_threshold = default_par_threshold) ?init ?(no_copy_in = false)
-    (u : Compile.unit_) : Vm.t * stats =
+    ?(chunk_fault = fun _ -> ()) (u : Compile.unit_) : Vm.t * stats =
   let owned, pool =
     match pool with
     | Some p -> (None, p)
@@ -348,6 +368,7 @@ let run_compiled_vm ?pool ?(chunks_per_worker = 4)
   in
   let t = Vm.create ?init u in
   let regions = ref 0 and chunks = ref 0 and inline = ref 0 in
+  let fallbacks = ref 0 in
   let on_region vt (r : Compile.region) ~lo ~hi =
     let niters = Vm.region_trip r ~lo ~hi in
     if niters <= 1 || niters * max 1 r.Compile.rg_cost < par_threshold then begin
@@ -368,6 +389,7 @@ let run_compiled_vm ?pool ?(chunks_per_worker = 4)
           if c < nchunks then begin
             (if !err = None then
                try
+                 chunk_fault c;
                  let ck = Vm.make_chunk ~copy_in:(not no_copy_in) vt r in
                  cks.(c) <- Some ck;
                  let k0 = c * niters / nchunks
@@ -383,10 +405,22 @@ let run_compiled_vm ?pool ?(chunks_per_worker = 4)
         go ()
       in
       run_region pool job;
-      (match !err with Some e -> raise e | None -> ());
-      (* last-writer finalization: merge in increasing iteration order *)
-      Array.iter (function Some ck -> Vm.merge_chunk vt r ck | None -> ()) cks;
-      true
+      match !err with
+      | Some _ ->
+        (* A worker faulted: the first exception was captured, the
+           remaining chunks cancelled, and the pool drained.  The chunk
+           slabs never merged into VM memory, so discard them and
+           return [false]: the VM runs this region serially in place,
+           re-raising any deterministic program fault on the submitting
+           thread with exact serial semantics. *)
+        incr fallbacks;
+        false
+      | None ->
+        (* last-writer finalization: merge in increasing iteration order *)
+        Array.iter
+          (function Some ck -> Vm.merge_chunk vt r ck | None -> ())
+          cks;
+        true
     end
   in
   Fun.protect
@@ -398,11 +432,13 @@ let run_compiled_vm ?pool ?(chunks_per_worker = 4)
       x_regions = !regions;
       x_chunks = !chunks;
       x_inline = !inline;
+      x_fallbacks = !fallbacks;
     } )
 
 let run_parallel_vm ?pool ?chunks_per_worker ?par_threshold ?init ?no_copy_in
-    (pl : plan) (prog : Ir.program) ~syms : Vm.t * stats =
+    ?chunk_fault (pl : plan) (prog : Ir.program) ~syms : Vm.t * stats =
   run_compiled_vm ?pool ?chunks_per_worker ?par_threshold ?init ?no_copy_in
+    ?chunk_fault
     (compile_plan pl prog ~syms)
 
 (* ------------------------------------------------------------------ *)

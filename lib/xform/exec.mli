@@ -63,6 +63,11 @@ type stats = {
   x_inline : int;
       (** regions run serially because their static work estimate fell
           below the parallelism threshold (VM backend only) *)
+  x_fallbacks : int;
+      (** regions re-executed serially after a worker raised: the first
+          exception is captured, the remaining chunks cancelled, the
+          chunk-private state discarded, and the region re-run serially
+          on the submitting thread *)
 }
 
 val run_serial :
@@ -78,6 +83,7 @@ val run_parallel :
   ?chunks_per_worker:int ->
   ?init:(string -> int list -> int) ->
   ?no_copy_in:bool ->
+  ?chunk_fault:(int -> unit) ->
   plan ->
   Ir.program ->
   syms:(string * int) list ->
@@ -88,6 +94,15 @@ val run_parallel :
     cut for dynamic load balancing.  [no_copy_in] disables the global
     fall-through for privatized arrays — {b testing only}, it breaks
     first-read-before-write iterations by design.
+
+    A worker exception never deadlocks the pool: the first exception is
+    captured, remaining chunks are cancelled, the chunk overlays (which
+    never touched the global store) are discarded, and the region is
+    re-executed serially on the submitting thread ([x_fallbacks] counts
+    these), so deterministic program faults re-raise there with exact
+    serial semantics.  [chunk_fault] is a {b testing-only} hook called
+    with each chunk index before the chunk runs; raising from it
+    simulates a faulting worker.
     @raise Interp.Runtime_error as serial execution would. *)
 
 (** {1 Compiled (VM) backend}
@@ -120,11 +135,16 @@ val run_compiled_vm :
   ?par_threshold:int ->
   ?init:(string -> int list -> int) ->
   ?no_copy_in:bool ->
+  ?chunk_fault:(int -> unit) ->
   Compile.unit_ ->
   Vm.t * stats
 (** Execute an already-compiled unit (fresh VM each call); regions
     dispatch over the pool as below.  This is the timed entry point of
-    the [speedup] bench — compilation stays out of the measured run. *)
+    the [speedup] bench — compilation stays out of the measured run.
+    On a worker fault the region's chunk slabs are discarded (they
+    never merged into VM memory) and the VM runs the region serially in
+    place, counted in [x_fallbacks].  [chunk_fault] as in
+    {!run_parallel} — {b testing only}. *)
 
 val run_parallel_vm :
   ?pool:pool ->
@@ -132,6 +152,7 @@ val run_parallel_vm :
   ?par_threshold:int ->
   ?init:(string -> int list -> int) ->
   ?no_copy_in:bool ->
+  ?chunk_fault:(int -> unit) ->
   plan ->
   Ir.program ->
   syms:(string * int) list ->

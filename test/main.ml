@@ -10,4 +10,5 @@ let () =
       Test_exec.suite;
       Test_vm.suite;
       Test_misc.suite;
+      Test_robust.suite;
     ]

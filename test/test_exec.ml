@@ -120,6 +120,53 @@ let test_illegal_plan_diverges () =
     (Xform.Exec.equal_mem serial mem)
 
 (* ------------------------------------------------------------------ *)
+(* Worker faults: no deadlock, serial fallback, pool stays healthy      *)
+(* ------------------------------------------------------------------ *)
+
+exception Injected_chunk_fault
+
+let test_worker_fault_falls_back () =
+  let prog, _, vs = analyze_src (Corpus.find "temp_reuse") in
+  let syms =
+    match
+      Xform.Oracle.pick_syms ~candidates:[ 8; 4; 2; 5; 10; 50; 100 ] prog
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "no symbolic setting for temp_reuse"
+  in
+  let pl = Xform.Exec.plan Xform.Exec.Ext vs in
+  check bool_t "temp_reuse has an ext doall" true
+    (Xform.Exec.doall_count pl > 0);
+  let serial = Xform.Exec.run_serial ~init prog ~syms in
+  (* chunk 1 of every region faults: the pool must drain rather than
+     deadlock, and the region must fall back to serial execution *)
+  let chunk_fault c = if c = 1 then raise Injected_chunk_fault in
+  let mem, stats =
+    Xform.Exec.run_parallel ~pool:(pool ()) ~init ~chunk_fault pl prog ~syms
+  in
+  check bool_t "interp backend took the serial fallback" true
+    (stats.Xform.Exec.x_fallbacks > 0);
+  if not (Xform.Exec.equal_mem serial mem) then
+    Alcotest.failf "interp fault fallback diverges: %s"
+      (Xform.Exec.diff_string (Xform.Exec.diff_mem serial mem));
+  let tvm, vstats =
+    Xform.Exec.run_parallel_vm ~pool:(pool ()) ~par_threshold:0 ~init
+      ~chunk_fault pl prog ~syms
+  in
+  check bool_t "VM backend took the serial fallback" true
+    (vstats.Xform.Exec.x_fallbacks > 0);
+  (match Vm.check_against ~init tvm serial with
+  | [] -> ()
+  | diffs ->
+    Alcotest.failf "VM fault fallback diverges: %s" (Vm.diff_string diffs));
+  (* a clean run on the same pool right after: nothing wedged *)
+  let mem2, stats2 =
+    Xform.Exec.run_parallel ~pool:(pool ()) ~init pl prog ~syms
+  in
+  check bool_t "pool healthy after faulted regions" true
+    (stats2.Xform.Exec.x_fallbacks = 0 && Xform.Exec.equal_mem serial mem2)
+
+(* ------------------------------------------------------------------ *)
 (* Random nests: QCheck property with a shrinking counterexample        *)
 (* ------------------------------------------------------------------ *)
 
@@ -206,6 +253,8 @@ let suite =
         `Quick test_corpus_differential;
       Alcotest.test_case "injected illegal plan diverges" `Quick
         test_illegal_plan_diverges;
+      Alcotest.test_case "worker fault: no deadlock, serial fallback" `Quick
+        test_worker_fault_falls_back;
       Alcotest.test_case "program shrinker strictly shrinks" `Quick
         test_shrinker_shrinks;
     ]

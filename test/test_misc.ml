@@ -35,7 +35,8 @@ let unit_tests =
         Alcotest.(check bool) "plus excludes zero" false
           (Dirvec.allows_all_zero
              [ { Dirvec.sign = Dirvec.Pos; lo = Some 1; hi = None } ]));
-    Alcotest.test_case "presburger budget raises Too_large" `Quick (fun () ->
+    Alcotest.test_case "presburger budget exhausts disjuncts" `Quick
+      (fun () ->
         (* a conjunction of many 2-way disjunctions: 2^k disjuncts *)
         let vars = Array.init 14 (fun i -> Var.fresh (Printf.sprintf "b%d" i)) in
         let f =
@@ -51,14 +52,14 @@ let unit_tests =
                   vars))
         in
         match Presburger.dnf f with
-        | exception Presburger.Too_large -> ()
+        | exception Budget.Exhausted Budget.Disjuncts -> ()
         | ds ->
           (* acceptable if pruning kept it under budget, but with 2^14
              satisfiable disjuncts it cannot *)
           Alcotest.fail
-            (Printf.sprintf "expected Too_large, got %d disjuncts"
+            (Printf.sprintf "expected Exhausted Disjuncts, got %d disjuncts"
                (List.length ds)));
-    Alcotest.test_case "kill test survives a Too_large fallback" `Quick
+    Alcotest.test_case "kill test survives a blown disjunct budget" `Quick
       (fun () ->
         (* a program whose kill test needs the general procedure with
            coefficient-2 subscripts: must terminate and stay conservative *)
