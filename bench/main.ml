@@ -1174,6 +1174,369 @@ let robustness_suite ~out ~seeds () =
   if not sound then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Analysis-time suite: solver-core throughput                         *)
+(* ------------------------------------------------------------------ *)
+
+(* CI's gate for the solver hot-path work (DESIGN.md section 9): the
+   whole-corpus standard+extended analysis, the figure 6/7 per-pair
+   population, and the section-5 symbolic probes, each timed twice -
+   once with the elimination ordering / redundancy pruning / hash-consing
+   optimizations on, once fully ablated.  Both configurations run under
+   a deliberately generous budget so neither gives up, which lets the
+   suite demand *identical* results: a reported speedup is also an
+   equivalence certificate for the optimizations that produced it. *)
+
+let analysis_budget =
+  {
+    Omega.Budget.fuel = 10_000_000;
+    splinters = 1_000_000;
+    disjuncts = 65_536;
+    deadline_ms = None;
+  }
+
+let with_tuning ~order ~redundancy ~hashcons f =
+  let saved =
+    (!Omega.Tuning.order, !Omega.Tuning.redundancy, !Omega.Tuning.hashcons)
+  in
+  Omega.Tuning.set ~order ~redundancy ~hashcons;
+  Fun.protect
+    ~finally:(fun () ->
+      let o, r, h = saved in
+      Omega.Tuning.set ~order:o ~redundancy:r ~hashcons:h)
+    f
+
+(* The section-5 symbolic conditions, captured for cross-checking.  The
+   contexts are built once and shared by both configurations, so the
+   captured [When] problems talk about the same variables and can be
+   compared by mutual implication (their rendered text may still name
+   wildcards differently, so string equality would be too strict). *)
+type sym_probe = unit -> Symbolic.condition
+
+let symbolic_probes () : sym_probe list =
+  let arr_acc which arr prog =
+    List.find (fun (a : Lang.Ir.access) -> a.Lang.Ir.array = arr) (which prog)
+  in
+  let prog7 = Lang.Sema.parse_and_analyze (Corpus.find "example7") in
+  let ctx7 = Depctx.create prog7 in
+  let w7 = arr_acc Lang.Ir.writes "a" prog7 in
+  let r7 = arr_acc Lang.Ir.reads "a" prog7 in
+  let c7 =
+    List.map
+      (fun restraint () ->
+        (Symbolic.analyze ctx7 ~src:w7 ~dst:r7 ~restraint ~hide:[ "n" ] ())
+          .Symbolic.cond)
+      [ [ Dirvec.Pos; Dirvec.Any ]; [ Dirvec.Zero; Dirvec.Pos ] ]
+  in
+  let prog8 = Lang.Sema.parse_and_analyze (Corpus.find "example8") in
+  let ctx8 = Depctx.create prog8 in
+  let w8 = arr_acc Lang.Ir.writes "a" prog8 in
+  let r8 = arr_acc Lang.Ir.reads "a" prog8 in
+  let c8 =
+    List.map
+      (fun (src, dst) () ->
+        (Symbolic.analyze ctx8 ~src ~dst ~restraint:[ Dirvec.Pos ] ())
+          .Symbolic.cond)
+      [ (w8, w8); (w8, r8) ]
+  in
+  c7 @ c8
+
+(* Conditions may mention symbolic variables minted fresh per analyze
+   call; align the two runs' variables by creation order (program
+   variables are shared and map to themselves) before asking for mutual
+   implication. *)
+let cond_equiv a b =
+  match (a, b) with
+  | Symbolic.Always, Symbolic.Always | Symbolic.Never, Symbolic.Never -> true
+  | Symbolic.When p, Symbolic.When q ->
+    let vp = Omega.Var.Set.elements (Omega.Problem.vars p) in
+    let vq = Omega.Var.Set.elements (Omega.Problem.vars q) in
+    List.length vp = List.length vq
+    &&
+    let q' =
+      List.fold_left2
+        (fun acc v v' ->
+          if Omega.Var.equal v v' then acc
+          else Omega.Problem.subst v (Omega.Linexpr.var v') acc)
+        q vq vp
+    in
+    Omega.implies p q' && Omega.implies q' p
+  | Symbolic.Unknown _, Symbolic.Unknown _ -> true
+  | _ -> false
+
+(* One parsed program of the timed population.  Parsing and IR building
+   are hoisted out of the timed region (the suite measures the analyses,
+   not the front end) and shared by every configuration, which also pins
+   variable and access identities so results can be compared directly. *)
+type analysis_subject = { as_name : string; as_prog : Lang.Ir.program }
+
+(* The whole corpus plus the adversarial stress nests (the robustness
+   suite's population): the stress programs are where Fourier-Motzkin
+   growth actually bites, so they are exactly where the ordering and
+   pruning work is expected to show.  stress_coupled is left out: under
+   the no-give-up budget a single analysis of it runs ~30 seconds, and
+   it exercises the same blowup paths stress_splinter covers at a
+   fraction of the cost. *)
+let analysis_subjects () : analysis_subject list =
+  List.map
+    (fun (name, src) ->
+      { as_name = name; as_prog = Lang.Sema.analyze (Lang.Parser.parse_string src) })
+    (Corpus.all
+    @ List.filter (fun (n, _) -> n <> "stress_coupled") Corpus.stress)
+
+(* The full standard + extended analysis of one program: dead/live flow
+   classification plus the doall verdicts of the transformation layer.
+   The verdict memo is reset first, so a repetition re-solves every
+   query instead of replaying the previous run's cache. *)
+let analysis_outcome (prog : Lang.Ir.program) : robust_outcome =
+  Analyses.Memo.reset ();
+  let r = Driver.analyze prog in
+  let key (fr : Driver.flow_result) =
+    Printf.sprintf "%d->%d" fr.Driver.dep.Deps.src.Lang.Ir.acc_id
+      fr.Driver.dep.Deps.dst.Lang.Ir.acc_id
+  in
+  let vs = Xform.Parallel.analyze (Xform.Graph.build prog) in
+  let doalls side =
+    List.filter_map
+      (fun (v : Xform.Parallel.verdict) ->
+        if side v then Some (Xform.Parallel.loop_path v.Xform.Parallel.v_loop)
+        else None)
+      vs
+  in
+  {
+    ro_dead = List.map key (Driver.dead_flows r);
+    ro_live = List.map key (Driver.live_flows r);
+    ro_std = doalls (fun v -> v.Xform.Parallel.v_std_doall);
+    ro_ext = doalls (fun v -> v.Xform.Parallel.v_ext_doall);
+  }
+
+type analysis_cfg = { cf_order : bool; cf_redundancy : bool; cf_hashcons : bool }
+
+let cfg_ablated = { cf_order = false; cf_redundancy = false; cf_hashcons = false }
+
+(* Every measured call runs under the no-give-up budget, so differing
+   configurations are required to produce identical results. *)
+let under cfg f =
+  with_tuning ~order:cfg.cf_order ~redundancy:cfg.cf_redundancy
+    ~hashcons:cfg.cf_hashcons (fun () ->
+      Omega.Budget.with_limits analysis_budget f)
+
+(* Time one subject under [cfg].  One analysis of a small kernel is
+   microseconds, so [iters] batches enough of them that a timed sample
+   clears ~10ms, or clock jitter swamps the comparison; the caller
+   passes the same [iters] to every configuration so the loop overhead
+   cancels.  Subjects slow enough to carry their own signal (the stress
+   nests) are timed as single runs. *)
+let time_subject ~reps ~iters cfg s =
+  under cfg @@ fun () ->
+  if iters = 1 then
+    snd (time (fun () -> ignore (analysis_outcome s.as_prog)))
+  else
+    warm_best ~reps (fun () ->
+        for _ = 1 to iters do
+          ignore (analysis_outcome s.as_prog)
+        done)
+    /. float_of_int iters
+
+(* Measure one subject under the optimized and the ablated configuration
+   back-to-back — config-at-a-time passes turned out to be unfair, with
+   allocator and frequency drift between the two passes dwarfing the
+   effect being measured. *)
+let measure_subject ~reps cfg_opt s =
+  let o_opt = under cfg_opt (fun () -> analysis_outcome s.as_prog) in
+  let o_abl = under cfg_ablated (fun () -> analysis_outcome s.as_prog) in
+  let t1 =
+    under cfg_ablated
+      (fun () -> snd (time (fun () -> ignore (analysis_outcome s.as_prog))))
+  in
+  let iters =
+    if t1 >= 0.25 then 1 else max 1 (int_of_float (0.01 /. Float.max t1 1e-6))
+  in
+  let t_opt = time_subject ~reps ~iters cfg_opt s in
+  let t_abl = time_subject ~reps ~iters cfg_ablated s in
+  (s.as_name, t_opt, t_abl, o_opt, o_abl)
+
+let json_of_analysis ~smoke ~repeat ~flags ~geo ~corpus ~pairs_speedup
+    ~geo_programs ~divergences ~rows ~ablation_rows =
+  let jf x = Printf.sprintf "%.6f" x in
+  let order, redundancy, hashcons = flags in
+  let corpus_abl, corpus_opt, corpus_speedup = corpus in
+  Printf.sprintf
+    "{\n\"smoke\":%b,\n\"repeat\":%d,\n\
+     \"flags\":{\"order\":%b,\"redundancy\":%b,\"hashcons\":%b},\n\
+     \"geomean_speedup\":%s,\n\
+     \"corpus_ablated_ms\":%s,\n\"corpus_optimized_ms\":%s,\n\
+     \"corpus_speedup\":%s,\n\"pairs_speedup\":%s,\n\
+     \"per_program_geomean\":%s,\n\"identical\":%b,\n\
+     \"divergences\":[%s],\n\"programs\":[\n%s\n],\n\"ablations\":[%s]\n}\n"
+    smoke repeat order redundancy hashcons (jf geo) (jf (ms corpus_abl))
+    (jf (ms corpus_opt)) (jf corpus_speedup) (jf pairs_speedup)
+    (jf geo_programs)
+    (divergences = [])
+    (String.concat ","
+       (List.map (fun d -> "\"" ^ json_escape d ^ "\"") divergences))
+    (String.concat ",\n"
+       (List.map
+          (fun (name, t_abl, t_opt) ->
+            Printf.sprintf
+              "{\"name\":\"%s\",\"ablated_ms\":%s,\"optimized_ms\":%s,\
+               \"speedup\":%s}"
+              name (jf (ms t_abl)) (jf (ms t_opt))
+              (jf (ratio t_abl t_opt)))
+          rows))
+    (String.concat ",\n"
+       (List.map
+          (fun (flag, t_off, t_on) ->
+            Printf.sprintf
+              "{\"disabled\":\"%s\",\"off_ms\":%s,\"on_ms\":%s,\
+               \"slowdown\":%s}"
+              flag (jf (ms t_off)) (jf (ms t_on))
+              (jf (ratio t_off t_on)))
+          ablation_rows))
+
+let analysis_suite ~smoke ~repeat ~out ~order ~redundancy ~hashcons () =
+  section
+    (Printf.sprintf
+       "Analysis time: solver core (order=%b redundancy=%b hashcons=%b) vs \
+        fully-ablated baseline%s, best of %d after warmup"
+       order redundancy hashcons
+       (if smoke then ", smoke" else "")
+       repeat);
+  let reps = repeat in
+  let subjects = analysis_subjects () in
+  let probes = symbolic_probes () in
+  let cfg_opt =
+    { cf_order = order; cf_redundancy = redundancy; cf_hashcons = hashcons }
+  in
+  let measured = List.map (measure_subject ~reps cfg_opt) subjects in
+  let pairs_opt =
+    under cfg_opt (fun () -> warm_best ~reps (fun () -> ignore (pair_timings ())))
+  in
+  let pairs_abl =
+    under cfg_ablated
+      (fun () -> warm_best ~reps (fun () -> ignore (pair_timings ())))
+  in
+  let probes_opt = under cfg_opt (fun () -> List.map (fun p -> p ()) probes) in
+  let probes_abl =
+    under cfg_ablated (fun () -> List.map (fun p -> p ()) probes)
+  in
+  (* --- correctness cross-check: identical analysis results --- *)
+  let divergences = ref [] in
+  List.iter
+    (fun (name, _, _, (o : robust_outcome), (a : robust_outcome)) ->
+      if o <> a then
+        divergences :=
+          !divergences
+          @ [
+              Printf.sprintf
+                "%s: optimized and ablated analyses disagree (dead %d/%d, \
+                 live %d/%d, std doall %d/%d, ext doall %d/%d)"
+                name
+                (List.length o.ro_dead) (List.length a.ro_dead)
+                (List.length o.ro_live) (List.length a.ro_live)
+                (List.length o.ro_std) (List.length a.ro_std)
+                (List.length o.ro_ext) (List.length a.ro_ext);
+            ])
+    measured;
+  let cond_str = function
+    | Symbolic.Always -> "always"
+    | Symbolic.Never -> "never"
+    | Symbolic.When p -> "when " ^ Omega.Problem.to_string p
+    | Symbolic.Unknown r -> "unknown (" ^ Omega.Budget.reason_to_string r ^ ")"
+  in
+  under { cf_order = true; cf_redundancy = true; cf_hashcons = true }
+    (fun () ->
+      List.iteri
+        (fun i (a, b) ->
+          if not (cond_equiv a b) then
+            divergences :=
+              !divergences
+              @ [
+                  Printf.sprintf
+                    "symbolic probe %d: conditions differ (optimized: %s; \
+                     ablated: %s)"
+                    i (cond_str a) (cond_str b);
+                ])
+        (List.combine probes_opt probes_abl));
+  (* --- report --- *)
+  Printf.printf "%-20s %12s %12s %8s\n" "program" "ablated(ms)" "optimized"
+    "speedup";
+  let rows =
+    List.map (fun (name, t_opt, t_abl, _, _) -> (name, t_abl, t_opt)) measured
+  in
+  List.iter
+    (fun (name, t_abl, t_opt) ->
+      Printf.printf "%-20s %12.2f %12.2f %8.2f\n" name (ms t_abl) (ms t_opt)
+        (ratio t_abl t_opt))
+    rows;
+  Printf.printf "%-20s %12.2f %12.2f %8.2f\n" "fig6/7 pairs" (ms pairs_abl)
+    (ms pairs_opt)
+    (ratio pairs_abl pairs_opt);
+  (* The suite times two top-level populations: the whole corpus
+     (standard + extended analysis of every program) and the figure 6/7
+     per-pair dependence queries.  The headline geomean is over those two
+     suite-level speedups; the per-program geomean weights every kernel
+     equally (including sub-millisecond ones dominated by parsing and
+     front-end plumbing) and is reported as a secondary figure. *)
+  let corpus_abl = List.fold_left (fun acc (_, a, _) -> acc +. a) 0. rows in
+  let corpus_opt = List.fold_left (fun acc (_, _, o) -> acc +. o) 0. rows in
+  let corpus_speedup = ratio corpus_abl corpus_opt in
+  let geo_programs = geomean (List.map (fun (_, a, o) -> ratio a o) rows) in
+  let geo = geomean [ corpus_speedup; ratio pairs_abl pairs_opt ] in
+  Printf.printf "%-20s %12.2f %12.2f %8.2f\n" "whole corpus" (ms corpus_abl)
+    (ms corpus_opt) corpus_speedup;
+  (* solver counters for one optimized corpus pass, reported for context *)
+  Omega.Tuning.Stats.reset ();
+  under cfg_opt (fun () ->
+      List.iter (fun s -> ignore (analysis_outcome s.as_prog)) subjects);
+  let stats_line = Omega.Tuning.Stats.summary () in
+  Printf.printf
+    "\ngeomean whole-corpus analysis speedup: %.2fx over the fully-ablated \
+     baseline\n(per-program geomean: %.2fx)\nsolver (optimized corpus pass): \
+     %s\nidentical results: %b\n"
+    geo geo_programs stats_line (!divergences = []);
+  List.iter (fun d -> Printf.printf "VIOLATION: %s\n" d) !divergences;
+  (* --- per-flag ablation rows: each optimization off on its own --- *)
+  let ablation_rows =
+    if smoke then []
+    else begin
+      let corpus_time cfg =
+        List.fold_left2
+          (fun acc s (_, _, t_abl, _, _) ->
+            let iters =
+              if t_abl >= 0.25 then 1
+              else max 1 (int_of_float (0.01 /. Float.max t_abl 1e-6))
+            in
+            acc +. time_subject ~reps ~iters cfg s)
+          0. subjects measured
+      in
+      let t_all_on = corpus_time cfg_opt in
+      List.map
+        (fun (flag, cfg) ->
+          let t_off = corpus_time cfg in
+          Printf.printf
+            "ablation --no-%-10s: corpus %8.1f ms (all-on %8.1f ms, %.2fx \
+             slower)\n"
+            flag (ms t_off) (ms t_all_on) (ratio t_off t_all_on);
+          (flag, t_off, t_all_on))
+        [
+          ("order", { cfg_opt with cf_order = false });
+          ("redundancy", { cfg_opt with cf_redundancy = false });
+          ("hashcons", { cfg_opt with cf_hashcons = false });
+        ]
+    end
+  in
+  let oc = open_out out in
+  output_string oc
+    (json_of_analysis ~smoke ~repeat ~flags:(order, redundancy, hashcons)
+       ~geo
+       ~corpus:(corpus_abl, corpus_opt, corpus_speedup)
+       ~pairs_speedup:(ratio pairs_abl pairs_opt)
+       ~geo_programs ~divergences:!divergences ~rows ~ablation_rows);
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  if !divergences <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let full_run () =
   (* the per-query timing figures must measure eliminations, not cache
@@ -1229,10 +1592,29 @@ let () =
       | Some s -> String.split_on_char ',' s |> List.map int_of_string
     in
     robustness_suite ~out ~seeds ()
+  | _ :: "analysis" :: rest ->
+    let smoke = List.mem "--smoke" rest in
+    let rec opt key = function
+      | k :: v :: _ when k = key -> Some v
+      | _ :: rest -> opt key rest
+      | [] -> None
+    in
+    let out = Option.value (opt "--out" rest) ~default:"BENCH_analysis.json" in
+    let repeat =
+      match Option.map int_of_string (opt "--repeat" rest) with
+      | Some n -> max 1 n
+      | None -> if smoke then 1 else 3
+    in
+    analysis_suite ~smoke ~repeat ~out
+      ~order:(not (List.mem "--no-order" rest))
+      ~redundancy:(not (List.mem "--no-redundancy" rest))
+      ~hashcons:(not (List.mem "--no-hashcons" rest))
+      ()
   | _ :: [] | [] -> full_run ()
   | _ ->
     prerr_endline
       "usage: main.exe [speedup [--smoke] [--domains N] [--out FILE] \
        [--repeat N] [--backend vm|interp] | robustness [--out FILE] \
-       [--seeds S1,S2]]";
+       [--seeds S1,S2] | analysis [--smoke] [--out FILE] [--repeat N] \
+       [--no-order] [--no-redundancy] [--no-hashcons]]";
     exit 2

@@ -80,6 +80,22 @@ let with_errors f =
 let problem_arg pos_idx docv =
   Arg.(required & pos pos_idx (some string) None & info [] ~docv)
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print solver statistics (eliminations, pruned constraints, \
+           intern hits) to stderr after the query.")
+
+(* Run [f] with fresh solver counters; report them on stderr when asked,
+   so golden stdout output is untouched. *)
+let with_stats stats f =
+  Tuning.Stats.reset ();
+  let r = f () in
+  if stats then Printf.eprintf "solver: %s\n" (Tuning.Stats.summary ());
+  r
+
 let onto_arg =
   Arg.(
     required
@@ -93,15 +109,16 @@ let var_arg =
     & info [ "var" ] ~docv:"VAR" ~doc:"Objective variable.")
 
 let sat_cmd =
-  let run src =
+  let run stats src =
     with_errors @@ fun () ->
+    with_stats stats @@ fun () ->
     let ps, _ = parse_problems [ src ] in
     let p = List.hd ps in
     print_endline (if Elim.satisfiable p then "satisfiable" else "unsatisfiable")
   in
   Cmd.v
     (Cmd.info "sat" ~doc:"Integer satisfiability of a conjunction.")
-    Term.(const run $ problem_arg 0 "PROBLEM")
+    Term.(const run $ stats_arg $ problem_arg 0 "PROBLEM")
 
 let lookup_vars env names =
   List.map
@@ -112,8 +129,9 @@ let lookup_vars env names =
     names
 
 let projection_cmd name doc mode =
-  let run onto src =
+  let run stats onto src =
     with_errors @@ fun () ->
+    with_stats stats @@ fun () ->
     let ps, env = parse_problems [ src ] in
     let p = List.hd ps in
     let vars = lookup_vars env onto in
@@ -135,7 +153,8 @@ let projection_cmd name doc mode =
        | `Contra -> print_endline "FALSE"
        | `Ok q -> print_endline (Problem.to_string q))
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ onto_arg $ problem_arg 0 "PROBLEM")
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ stats_arg $ onto_arg $ problem_arg 0 "PROBLEM")
 
 let gist_cmd =
   let given_arg =
@@ -144,8 +163,9 @@ let gist_cmd =
       & opt (some string) None
       & info [ "given" ] ~docv:"PROBLEM" ~doc:"What is already known.")
   in
-  let run given src =
+  let run stats given src =
     with_errors @@ fun () ->
+    with_stats stats @@ fun () ->
     let ps, _ = parse_problems [ src; given ] in
     match ps with
     | [ p; q ] -> (
@@ -158,11 +178,12 @@ let gist_cmd =
   Cmd.v
     (Cmd.info "gist"
        ~doc:"The new information in PROBLEM relative to --given.")
-    Term.(const run $ given_arg $ problem_arg 0 "PROBLEM")
+    Term.(const run $ stats_arg $ given_arg $ problem_arg 0 "PROBLEM")
 
 let implies_cmd =
-  let run src1 src2 =
+  let run stats src1 src2 =
     with_errors @@ fun () ->
+    with_stats stats @@ fun () ->
     let ps, _ = parse_problems [ src1; src2 ] in
     match ps with
     | [ p; q ] ->
@@ -171,7 +192,7 @@ let implies_cmd =
   in
   Cmd.v
     (Cmd.info "implies" ~doc:"Is P => Q a tautology?")
-    Term.(const run $ problem_arg 0 "P" $ problem_arg 1 "Q")
+    Term.(const run $ stats_arg $ problem_arg 0 "P" $ problem_arg 1 "Q")
 
 let opt_cmd name doc which =
   let run var src =

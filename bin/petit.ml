@@ -107,6 +107,7 @@ let analyze_cmd =
     let prog = Lang.Sema.analyze (load file) in
     Analyses.Stats.reset ();
     Analyses.Memo.reset ();
+    Omega.Tuning.Stats.reset ();
     let result = Driver.analyze ~in_bounds prog in
     print_string "Live flow dependences:\n";
     print_string (Driver.render_flow_table (Driver.live_flows result));
@@ -132,9 +133,13 @@ let analyze_cmd =
       s.Analyses.Stats.fast_path_hits s.Analyses.Stats.general_calls;
     let m = Analyses.Memo.stats in
     Printf.printf
-      "memo: %d distinct problems, %d cache hits (%.0f%% hit rate)\n"
+      "memo: %d distinct problems, %d cache hits (%.0f%% hit rate), \
+       %d/%d entries held, %d evicted\n"
       m.Analyses.Memo.misses m.Analyses.Memo.hits
-      (100. *. Analyses.Memo.hit_rate ());
+      (100. *. Analyses.Memo.hit_rate ())
+      (Analyses.Memo.size ()) !Analyses.Memo.capacity
+      m.Analyses.Memo.evictions;
+    Printf.printf "solver: %s\n" (Omega.Tuning.Stats.summary ());
     print_governance ()
   in
   Cmd.v

@@ -57,18 +57,35 @@ let use_fast_path = ref true
    disable the cache ([Memo.enabled := false]) or they would measure
    hash lookups instead of eliminations. *)
 module Memo = struct
-  type t = { mutable hits : int; mutable misses : int }
+  type t = {
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
 
   let enabled = ref true
-  let stats = { hits = 0; misses = 0 }
+  let stats = { hits = 0; misses = 0; evictions = 0 }
 
   let table : (string, Budget.verdict * Budget.limits) Hashtbl.t =
     Hashtbl.create 4096
 
+  (* The cache is bounded: beyond [capacity] entries the oldest keys are
+     evicted first-in-first-out.  FIFO (rather than LRU) keeps hits
+     O(1) with no bookkeeping on the hot path; corpus-shaped workloads
+     re-ask a query soon after first posing it, so recency tracking buys
+     little.  [order] may retain keys whose entry was since replaced;
+     eviction skips the stale ones. *)
+  let capacity = ref 32_768
+  let order : string Queue.t = Queue.create ()
+
+  let size () = Hashtbl.length table
+
   let reset () =
     Hashtbl.reset table;
+    Queue.clear order;
     stats.hits <- 0;
-    stats.misses <- 0
+    stats.misses <- 0;
+    stats.evictions <- 0
 
   let hit_rate () =
     let total = stats.hits + stats.misses in
@@ -78,7 +95,37 @@ module Memo = struct
     match verdict with
     | Budget.Proved | Budget.Disproved -> true
     | Budget.Gave_up _ -> Budget.le !Budget.limits lims
+
+  let add key entry =
+    let fresh = not (Hashtbl.mem table key) in
+    Hashtbl.replace table key entry;
+    if fresh then begin
+      Queue.push key order;
+      while Hashtbl.length table > !capacity && not (Queue.is_empty order) do
+        let victim = Queue.pop order in
+        if Hashtbl.mem table victim then begin
+          Hashtbl.remove table victim;
+          stats.evictions <- stats.evictions + 1
+        end
+      done
+    end
 end
+
+(* Serializing a coefficient or a canonical id re-enters [string_of_int]
+   constantly with the same small values; a precomputed table of the
+   common range removes the allocation from the memo-key hot path (gated
+   with the other caches on [Tuning.hashcons]). *)
+let int_str =
+  let cache = Array.init 1024 (fun i -> string_of_int (i - 256)) in
+  fun n ->
+    if !Omega.Tuning.hashcons && n >= -256 && n < 768 then
+      Array.unsafe_get cache (n + 256)
+    else string_of_int n
+
+let zint_str z =
+  match Zint.to_int_opt z with
+  | Some n -> int_str n
+  | None -> Zint.to_string z
 
 let memo_key ~(hyp : Constr.t list) (lhs : Problem.t list)
     ~(evars : Var.t list) (rhs : Problem.t list) : string =
@@ -99,13 +146,13 @@ let memo_key ~(hyp : Constr.t list) (lhs : Problem.t list)
   let add_lin le =
     Linexpr.iter_terms
       (fun v c ->
-        Buffer.add_string buf (Zint.to_string c);
+        Buffer.add_string buf (zint_str c);
         Buffer.add_char buf '*';
         Buffer.add_char buf (kind_char v);
-        Buffer.add_string buf (string_of_int (cid v));
+        Buffer.add_string buf (int_str (cid v));
         Buffer.add_char buf '+')
       le;
-    Buffer.add_string buf (Zint.to_string (Linexpr.constant le))
+    Buffer.add_string buf (zint_str (Linexpr.constant le))
   in
   let add_constr c =
     Buffer.add_char buf
@@ -124,7 +171,7 @@ let memo_key ~(hyp : Constr.t list) (lhs : Problem.t list)
   Buffer.add_char buf '|';
   List.iter
     (fun v ->
-      Buffer.add_string buf (string_of_int (cid v));
+      Buffer.add_string buf (int_str (cid v));
       Buffer.add_char buf ',')
     evars;
   Buffer.add_char buf '|';
@@ -192,7 +239,7 @@ let implies_exists_verdict ?(label = "query") ~hyp lhs ~evars rhs :
     | _ ->
       Memo.stats.Memo.misses <- Memo.stats.Memo.misses + 1;
       let verdict = compute () in
-      Hashtbl.replace Memo.table key (verdict, !Budget.limits);
+      Memo.add key (verdict, !Budget.limits);
       verdict
   end
 

@@ -25,7 +25,11 @@ val use_fast_path : bool ref
     Presburger procedure. *)
 
 module Memo : sig
-  type t = { mutable hits : int; mutable misses : int }
+  type t = {
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
 
   val enabled : bool ref
   (** Verdict cache for {!implies_exists}, keyed on a canonical
@@ -38,9 +42,17 @@ module Memo : sig
       figures — a hit would measure a hash lookup, not an
       elimination. *)
 
+  val capacity : int ref
+  (** Maximum number of cached verdicts; beyond it the oldest entries
+      are evicted first-in-first-out, so long-running sessions hold a
+      bounded table instead of growing without limit. *)
+
+  val size : unit -> int
+  (** Entries currently cached. *)
+
   val stats : t
   val reset : unit -> unit
-  (** Clears the table and the hit/miss counters. *)
+  (** Clears the table, the eviction queue, and all counters. *)
 
   val hit_rate : unit -> float
   (** Hits over total queries since the last [reset]; [0.] when no

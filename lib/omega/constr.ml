@@ -3,14 +3,20 @@
    The [color] field supports the paper's red/black scheme (section 3.3.2):
    when computing [gist p given q] combined with projection, constraints
    from [p] are tagged [Red] and constraints from [q] are tagged [Black];
-   derived constraints are red iff any parent is red. *)
+   derived constraints are red iff any parent is red.
+
+   [norm] remembers that [normalize] already returned this very
+   constraint unchanged, so the simplifier's repeated passes stop
+   recomputing gcds over untouched constraints (used while
+   [Tuning.hashcons] is on; normalization is idempotent, so the flag is
+   only ever a cache). *)
 
 type kind = Eq | Geq
 type color = Black | Red
 
-type t = { kind : kind; expr : Linexpr.t; color : color }
+type t = { kind : kind; expr : Linexpr.t; color : color; mutable norm : bool }
 
-let make ?(color = Black) kind expr = { kind; expr; color }
+let make ?(color = Black) kind expr = { kind; expr; color; norm = false }
 let eq ?color e = make ?color Eq e
 let geq ?color e = make ?color Geq e
 
@@ -31,7 +37,8 @@ let combine_colors a b = if a = Red || b = Red then Red else Black
 
 (* Negation of a [Geq]: not (e >= 0) is (-e - 1 >= 0).  Equalities have no
    single-constraint negation (it is a disjunction); the Presburger layer
-   handles them. *)
+   handles them.  Negation preserves the coefficient gcd and (at gcd 1)
+   the tightened constant, so normalization status carries over. *)
 let negate_geq t =
   assert (t.kind = Geq);
   { t with expr = Linexpr.add_const (Linexpr.neg t.expr) Zint.minus_one }
@@ -42,33 +49,50 @@ type norm_result = Tauto | Contra | Ok of t
    constant is tightened with floor division (an integer-only step); for
    equalities a non-divisible constant is a contradiction. *)
 let normalize t =
-  let e = t.expr in
-  if Linexpr.is_const e then begin
-    let c = Linexpr.constant e in
-    match t.kind with
-    | Eq -> if Zint.is_zero c then Tauto else Contra
-    | Geq -> if Zint.sign c >= 0 then Tauto else Contra
-  end
+  if t.norm && !Tuning.hashcons then Ok t
   else begin
-    let g = Linexpr.content e in
-    if Zint.is_one g then Ok t
-    else
+    let e = t.expr in
+    if Linexpr.is_const e then begin
       let c = Linexpr.constant e in
       match t.kind with
-      | Eq ->
-        if Zint.divisible c g then Ok { t with expr = Linexpr.divexact e g }
-        else Contra
-      | Geq ->
-        let e' =
-          Linexpr.map_coeffs (fun x -> Zint.fdiv x g) e
-          (* map_coeffs applies to the constant too: floor is exactly the
-             integer tightening we want for the constant, and is exact for
-             the coefficients *)
-        in
-        Ok { t with expr = e' }
+      | Eq -> if Zint.is_zero c then Tauto else Contra
+      | Geq -> if Zint.sign c >= 0 then Tauto else Contra
+    end
+    else begin
+      let g = Linexpr.content e in
+      let reduced =
+        if Zint.is_one g then Some t
+        else
+          let c = Linexpr.constant e in
+          match t.kind with
+          | Eq ->
+            if Zint.divisible c g then
+              Some { t with expr = Linexpr.divexact e g }
+            else None
+          | Geq ->
+            let e' =
+              Linexpr.map_coeffs (fun x -> Zint.fdiv x g) e
+              (* map_coeffs applies to the constant too: floor is exactly
+                 the integer tightening we want for the constant, and is
+                 exact for the coefficients *)
+            in
+            Some { t with expr = e' }
+      in
+      match reduced with
+      | None -> Contra
+      | Some t' ->
+        (* Interning every normalized expression was measured to cost
+           more than the sharing bought back; the hash-consing that pays
+           here is the cached canonical key plus this flag, which makes
+           the simplifier's repeated passes O(1) on untouched
+           constraints. *)
+        t'.norm <- true;
+        Ok t'
+    end
   end
 
-let subst t v def = { t with expr = Linexpr.subst t.expr v def }
+let subst t v def =
+  { t with expr = Linexpr.subst t.expr v def; norm = false }
 
 let vars t = Linexpr.vars t.expr
 let mentions t v = Linexpr.mem t.expr v
@@ -95,8 +119,10 @@ let implies a b =
   | Geq, Eq -> false
 
 let compare a b =
-  let c = compare a.kind b.kind in
-  if c <> 0 then c else Linexpr.compare a.expr b.expr
+  if a == b then 0
+  else
+    let c = compare a.kind b.kind in
+    if c <> 0 then c else Linexpr.compare a.expr b.expr
 
 let equal a b = compare a b = 0
 

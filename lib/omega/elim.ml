@@ -241,6 +241,22 @@ let fm_exact lows ups =
   List.for_all (fun (cl, _, _) -> Zint.is_one cl) lows
   || List.for_all (fun (cu, _, _) -> Zint.is_one cu) ups
 
+(* Number of splinter problems an inexact elimination would create (used
+   by the pre-ordering scoring, kept as the [Tuning.order] ablation
+   baseline). *)
+let splinter_count lows ups =
+  let amax =
+    List.fold_left (fun acc (cu, _, _) -> Zint.max acc cu) Zint.one ups
+  in
+  List.fold_left
+    (fun acc (cl, _, _) ->
+      (* floor((amax*cl - amax - cl) / amax) + 1 splinters for this bound *)
+      let kmax =
+        Zint.fdiv (Zint.sub (Zint.mul amax cl) (Zint.add amax cl)) amax
+      in
+      if Zint.sign kmax < 0 then acc else acc + Zint.to_int kmax + 1)
+    0 lows
+
 let fm_combine ~dark lows ups others =
   let combos =
     List.concat_map
@@ -266,23 +282,6 @@ let fm_combine ~dark lows ups others =
       lows
   in
   Problem.of_list (combos @ others)
-
-(* Number of splinters the Pugh construction would create. *)
-let splinter_count lows ups =
-  let amax =
-    List.fold_left (fun acc (cu, _, _) -> Zint.max acc cu) Zint.one ups
-  in
-  List.fold_left
-    (fun acc (cl, _, _) ->
-      (* floor((amax*cl - amax - cl) / amax) + 1 splinters for this bound *)
-      let kmax =
-        Zint.fdiv
-          (Zint.sub (Zint.mul amax cl) (Zint.add amax cl))
-          amax
-      in
-      if Zint.sign kmax < 0 then acc
-      else acc + Zint.to_int kmax + 1)
-    0 lows
 
 (* Pugh's splinter construction: an integer solution outside the dark
    shadow must satisfy [cl*v + rl = k] for some lower bound and some
@@ -311,14 +310,31 @@ let make_splinters v p lows ups =
     lows
 
 let fm_eliminate p v : fm_result =
+  let s = Tuning.Stats.stats in
+  s.Tuning.Stats.fm_eliminations <- s.Tuning.Stats.fm_eliminations + 1;
   let lows, ups, others = bounds_on p v in
   match lows, ups with
-  | [], _ | _, [] -> Eliminated (Problem.of_list others)
+  | [], _ | _, [] ->
+    s.Tuning.Stats.fm_exact <- s.Tuning.Stats.fm_exact + 1;
+    Eliminated (Problem.of_list others)
   | _ ->
-    if fm_exact lows ups then Eliminated (fm_combine ~dark:true lows ups others)
+    (* the cross product multiplies the inequality count only when both
+       sides have several bounds; flag those results so [simplify] runs
+       the interval screen on them *)
+    let grown p =
+      (match lows, ups with
+      | _ :: _ :: _, _ :: _ :: _ -> Problem.mark_grown p
+      | _ -> ());
+      p
+    in
+    if fm_exact lows ups then begin
+      s.Tuning.Stats.fm_exact <- s.Tuning.Stats.fm_exact + 1;
+      Eliminated (grown (fm_combine ~dark:true lows ups others))
+    end
     else begin
-      let dark = fm_combine ~dark:true lows ups others in
-      let real = fm_combine ~dark:false lows ups others in
+      s.Tuning.Stats.fm_split <- s.Tuning.Stats.fm_split + 1;
+      let dark = grown (fm_combine ~dark:true lows ups others) in
+      let real = grown (fm_combine ~dark:false lows ups others) in
       Split { dark; real; splinters = make_splinters v p lows ups }
     end
 
@@ -326,16 +342,30 @@ let fm_eliminate p v : fm_result =
 (* Variable choice                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Pick the eliminable variable whose elimination is cheapest: free
-   (one-sided bounds) first, then exact eliminations with the fewest
-   combinations, then the fewest splinters. *)
-let pick_var ~keep p =
+(* Per-candidate tallies for Pugh's elimination-ordering heuristic,
+   gathered in ONE pass over the constraints (the previous version
+   rescanned the whole constraint list per candidate). *)
+type vinfo = {
+  vi_var : Var.t;
+  mutable vi_lows : int;  (* inequalities bounding the var from below *)
+  mutable vi_ups : int;  (* ... from above *)
+  mutable vi_low_unit : bool;  (* every lower coefficient is 1 *)
+  mutable vi_up_unit : bool;  (* every upper coefficient is 1 (in abs) *)
+  mutable vi_in_eq : bool;  (* still occurs in an equality: skip *)
+}
+
+(* Pick the eliminable variable whose elimination is cheapest, per Pugh:
+   free variables (one-sided bounds, no combinations at all) first, then
+   exact eliminations (some side all-unit), then inexact ones, in each
+   class minimizing the #lower-bounds x #upper-bounds product of new
+   constraints, with a deterministic (name, id) tie-break so the choice
+   does not depend on variable allocation order.  With [Tuning.order]
+   off, [pick_var_rescan] below — the previous implementation, which
+   rescans the constraint list per candidate — is used instead. *)
+let pick_var_rescan ~keep p =
   let candidates =
-    Var.Set.filter
-      (fun v -> Var.is_wild v || not (keep v))
-      (Problem.vars p)
+    Var.Set.filter (fun v -> Var.is_wild v || not (keep v)) (Problem.vars p)
   in
-  (* variables still in equalities are inert congruence wildcards: skip *)
   let in_eq v =
     List.exists
       (fun c -> Constr.kind c = Constr.Eq && Constr.mentions c v)
@@ -346,7 +376,7 @@ let pick_var ~keep p =
     else begin
       let lows, ups, _ = bounds_on p v in
       match lows, ups with
-      | [], [] -> None (* does not occur in inequalities either *)
+      | [], [] -> None
       | [], _ | _, [] -> Some (v, 0)
       | _ ->
         if fm_exact lows ups then
@@ -359,11 +389,77 @@ let pick_var ~keep p =
       match score v with
       | None -> best
       | Some (_, s) as cand -> (
-        match best with
-        | Some (_, s') when s' <= s -> best
-        | _ -> cand))
+        match best with Some (_, s') when s' <= s -> best | _ -> cand))
     candidates None
   |> Option.map fst
+
+let pick_var ~keep p =
+  if not !Tuning.order then pick_var_rescan ~keep p
+  else
+  let tbl : (int, vinfo) Hashtbl.t = Hashtbl.create 16 in
+  let info v =
+    match Hashtbl.find_opt tbl (Var.id v) with
+    | Some i -> i
+    | None ->
+      let i =
+        {
+          vi_var = v;
+          vi_lows = 0;
+          vi_ups = 0;
+          vi_low_unit = true;
+          vi_up_unit = true;
+          vi_in_eq = false;
+        }
+      in
+      Hashtbl.add tbl (Var.id v) i;
+      i
+  in
+  List.iter
+    (fun c ->
+      let is_eq = Constr.kind c = Constr.Eq in
+      Linexpr.iter_terms
+        (fun v cv ->
+          if Var.is_wild v || not (keep v) then begin
+            let i = info v in
+            if is_eq then i.vi_in_eq <- true
+            else if Zint.sign cv > 0 then begin
+              i.vi_lows <- i.vi_lows + 1;
+              if not (Zint.is_one cv) then i.vi_low_unit <- false
+            end
+            else begin
+              i.vi_ups <- i.vi_ups + 1;
+              if not (Zint.is_one (Zint.neg cv)) then i.vi_up_unit <- false
+            end
+          end)
+        (Constr.expr c))
+    (Problem.constraints p);
+  (* (class, product) score; lower is better *)
+  let score i =
+    if i.vi_in_eq || (i.vi_lows = 0 && i.vi_ups = 0) then None
+    else if i.vi_lows = 0 || i.vi_ups = 0 then Some (0, 0)
+    else if i.vi_low_unit || i.vi_up_unit then
+      Some (1, i.vi_lows * i.vi_ups)
+    else Some (2, i.vi_lows * i.vi_ups)
+  in
+  Hashtbl.fold
+    (fun _ i best ->
+      match score i with
+      | None -> best
+      | Some (cls, prod) -> (
+        match best with
+        | Some (cls', prod', v') ->
+          let c = Stdlib.compare (cls, prod) (cls', prod') in
+          let better =
+            c < 0
+            || (c = 0
+                &&
+                let n = String.compare (Var.name i.vi_var) (Var.name v') in
+                n < 0 || (n = 0 && Var.id i.vi_var < Var.id v'))
+          in
+          if better then Some (cls, prod, i.vi_var) else best
+        | None -> Some (cls, prod, i.vi_var)))
+    tbl None
+  |> Option.map (fun (_, _, v) -> v)
 
 (* ------------------------------------------------------------------ *)
 (* Drivers                                                             *)

@@ -1,17 +1,32 @@
 (* Affine expressions: a constant plus a linear combination of variables
    with exact integer coefficients.  The term map never stores zero
    coefficients, so structural equality of the map coincides with equality
-   of the linear part. *)
+   of the linear part.
 
-type t = { const : Zint.t; terms : Zint.t Var.Map.t }
+   Each expression lazily caches (when [Tuning.hashcons] is on) a
+   structural hash and the canonical coefficient-vector key used by
+   [Problem.simplify] to bucket parallel constraints, so the hot loops
+   stop re-walking coefficient lists.  Normalized expressions can also be
+   interned, making physical equality a useful fast path. *)
 
-let zero = { const = Zint.zero; terms = Var.Map.empty }
-let const c = { const = c; terms = Var.Map.empty }
+type cache = {
+  c_hash : int;  (* structural hash of constant + terms *)
+  c_key : (Var.t * Zint.t) list;
+      (* linear part in ascending variable order, leading coeff > 0 *)
+  c_flipped : bool;  (* whether the key negated the coefficients *)
+  c_khash : int;  (* hash of [c_key] alone *)
+}
+
+type t = { const : Zint.t; terms : Zint.t Var.Map.t; mutable cache : cache option }
+
+let mk const terms = { const; terms; cache = None }
+
+let zero = mk Zint.zero Var.Map.empty
+let const c = mk c Var.Map.empty
 let of_int n = const (Zint.of_int n)
 
 let term c v =
-  if Zint.is_zero c then zero
-  else { const = Zint.zero; terms = Var.Map.singleton v c }
+  if Zint.is_zero c then zero else mk Zint.zero (Var.Map.singleton v c)
 
 let var v = term Zint.one v
 
@@ -27,10 +42,10 @@ let set_coeff e v c =
     if Zint.is_zero c then Var.Map.remove v e.terms
     else Var.Map.add v c e.terms
   in
-  { e with terms }
+  mk e.const terms
 
 let add_term e c v = set_coeff e v (Zint.add (coeff e v) c)
-let add_const e c = { e with const = Zint.add e.const c }
+let add_const e c = mk (Zint.add e.const c) e.terms
 
 let add a b =
   let terms =
@@ -40,17 +55,16 @@ let add a b =
         if Zint.is_zero c then None else Some c)
       a.terms b.terms
   in
-  { const = Zint.add a.const b.const; terms }
+  mk (Zint.add a.const b.const) terms
 
-let neg e =
-  { const = Zint.neg e.const; terms = Var.Map.map Zint.neg e.terms }
+let neg e = mk (Zint.neg e.const) (Var.Map.map Zint.neg e.terms)
 
 let sub a b = add a (neg b)
 
 let scale c e =
   if Zint.is_zero c then zero
   else if Zint.is_one c then e
-  else { const = Zint.mul c e.const; terms = Var.Map.map (Zint.mul c) e.terms }
+  else mk (Zint.mul c e.const) (Var.Map.map (Zint.mul c) e.terms)
 
 let scale_int n e = scale (Zint.of_int n) e
 
@@ -75,10 +89,7 @@ let content e =
 
 (* Divide all coefficients and the constant exactly by [d]. *)
 let divexact e d =
-  {
-    const = Zint.divexact e.const d;
-    terms = Var.Map.map (fun c -> Zint.divexact c d) e.terms;
-  }
+  mk (Zint.divexact e.const d) (Var.Map.map (fun c -> Zint.divexact c d) e.terms)
 
 let map_coeffs f e =
   let terms =
@@ -88,23 +99,112 @@ let map_coeffs f e =
         if Zint.is_zero c' then None else Some c')
       e.terms
   in
-  { const = f e.const; terms }
+  mk (f e.const) terms
 
 let eval env e =
   Var.Map.fold
     (fun v c acc -> Zint.add acc (Zint.mul c (env v)))
     e.terms e.const
 
+(* ------------------------------------------------------------------ *)
+(* Cached hash / canonical key                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mix h x = (((h * 65599) + x) lxor (h lsr 17)) land max_int
+
+let compute_cache e =
+  (* one walk in ascending variable order; [Var.Map.fold] already
+     iterates in increasing key order, so no sort is needed *)
+  let rev_key, khash, h =
+    Var.Map.fold
+      (fun v c (key, kh, h) ->
+        let hv = Var.hash v and hc = Zint.hash c in
+        ((v, c) :: key, mix (mix kh hv) hc, mix (mix h hv) hc))
+      e.terms
+      ([], 0x9dc5, mix 0x811c (Zint.hash e.const))
+  in
+  let bindings = List.rev rev_key in
+  let flipped =
+    match bindings with (_, c0) :: _ -> Zint.sign c0 < 0 | [] -> false
+  in
+  let key, khash =
+    if not flipped then (bindings, khash)
+    else
+      List.fold_left
+        (fun (key, kh) (v, c) ->
+          let c = Zint.neg c in
+          ((v, c) :: key, mix (mix kh (Var.hash v)) (Zint.hash c)))
+        ([], 0x9dc5) bindings
+      |> fun (rk, kh) -> (List.rev rk, kh)
+  in
+  { c_hash = h; c_key = key; c_flipped = flipped; c_khash = khash }
+
+let cached e =
+  match e.cache with
+  | Some c when !Tuning.hashcons -> c
+  | _ ->
+    let c = compute_cache e in
+    if !Tuning.hashcons then e.cache <- Some c;
+    c
+
+let hash e = (cached e).c_hash
+
+let canon e =
+  let c = cached e in
+  (c.c_key, c.c_flipped, c.c_khash)
+
 (* Structural comparison, constant included. *)
 let compare a b =
-  let c = Zint.compare a.const b.const in
-  if c <> 0 then c else Var.Map.compare Zint.compare a.terms b.terms
+  if a == b then 0
+  else
+    let c = Zint.compare a.const b.const in
+    if c <> 0 then c else Var.Map.compare Zint.compare a.terms b.terms
 
 (* Comparison of the linear parts only (ignoring constants): used to detect
    parallel constraints. *)
-let compare_terms a b = Var.Map.compare Zint.compare a.terms b.terms
+let compare_terms a b =
+  if a == b then 0 else Var.Map.compare Zint.compare a.terms b.terms
 
-let equal a b = compare a b = 0
+let equal a b =
+  a == b
+  ||
+  match a.cache, b.cache with
+  | Some ca, Some cb when ca.c_hash <> cb.c_hash -> false
+  | _ -> compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Interning                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Hash -> expressions with that hash.  The table is an optimization
+   only (equality never depends on it), so when it fills up it is simply
+   cleared: sharing restarts, correctness is untouched. *)
+let intern_tbl : (int, t list) Hashtbl.t = Hashtbl.create 4096
+let intern_count = ref 0
+let intern_cap = 1 lsl 16
+
+let intern e =
+  if not !Tuning.hashcons then e
+  else begin
+    let s = Tuning.Stats.stats in
+    let h = hash e in
+    let bucket =
+      match Hashtbl.find_opt intern_tbl h with Some es -> es | None -> []
+    in
+    match List.find_opt (fun e' -> equal e' e) bucket with
+    | Some e' ->
+      s.Tuning.Stats.intern_hits <- s.Tuning.Stats.intern_hits + 1;
+      e'
+    | None ->
+      s.Tuning.Stats.intern_misses <- s.Tuning.Stats.intern_misses + 1;
+      if !intern_count >= intern_cap then begin
+        Hashtbl.reset intern_tbl;
+        intern_count := 0
+      end;
+      Hashtbl.replace intern_tbl h (e :: bucket);
+      incr intern_count;
+      e
+  end
 
 (* Inner product of the coefficient vectors of two expressions, used by the
    gist fast checks ("normals with positive inner product"). *)

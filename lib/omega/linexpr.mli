@@ -55,6 +55,22 @@ val compare_terms : t -> t -> int
 
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Structural hash (constant included).  Cached on the expression while
+    {!Tuning.hashcons} is on. *)
+
+val canon : t -> (Var.t * Zint.t) list * bool * int
+(** [canon e] is [(key, flipped, khash)]: the linear part in ascending
+    variable order with the leading coefficient made positive, whether
+    the sign was flipped to achieve that, and a hash of the key.  Two
+    expressions share a key iff their linear parts are equal or
+    opposite.  Cached while {!Tuning.hashcons} is on. *)
+
+val intern : t -> t
+(** Return a physically shared representative of a structurally equal
+    expression seen before (identity when {!Tuning.hashcons} is off).
+    Purely an optimization: [equal] never depends on interning. *)
+
 val dot : t -> t -> Zint.t
 (** Inner product of the coefficient vectors (used by the gist fast
     checks). *)

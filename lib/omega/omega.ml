@@ -10,6 +10,7 @@ module Linexpr = Linexpr
 module Constr = Constr
 module Problem = Problem
 module Budget = Budget
+module Tuning = Tuning
 module Elim = Elim
 module Gist = Gist
 module Presburger = Presburger

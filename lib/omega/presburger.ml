@@ -153,49 +153,55 @@ let rec neg_qf = function
 (* DNF of quantifier-free formulas                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Each disjunct is a list of atoms ([Atom]/[Cong]).  Contradictory
-   disjuncts are pruned with the cheap simplifier. *)
-let dnf (f : t) : t list list =
-  let rec go f : t list list =
+(* DNF expansion, producing each satisfiable-so-far disjunct as an
+   already-simplified problem.  Carrying problems (rather than atom
+   lists) through the [And] cross product means the per-level
+   contradiction pruning builds on the previous level's normalization
+   instead of re-deriving every disjunct from scratch; the constraints'
+   cached normal forms and canonical keys then make the per-level
+   resimplification cheap.  Congruence atoms materialize their wildcard
+   once, at the leaf. *)
+let dnf_problems (f : t) : Problem.t list =
+  let simp p =
+    match Problem.simplify p with
+    | Problem.Contra -> None
+    | Problem.Ok p -> Some p
+  in
+  let rec go f : Problem.t list =
     match f with
-    | True -> [ [] ]
+    | True -> [ Problem.trivial ]
     | False -> []
-    | Atom _ | Cong _ -> [ [ f ] ]
+    | Atom _ | Cong _ ->
+      Option.to_list (simp (problem_of_conjuncts [ f ]))
     | Not g -> go (neg_qf g)
     | Or fs -> List.concat_map go fs
     | And fs ->
       List.fold_left
         (fun acc g ->
           let dg = go g in
-          let next =
-            List.concat_map
-              (fun conj -> List.map (fun conj' -> conj @ conj') dg)
-              acc
-          in
           (* prune contradictory conjuncts as we go and keep the expansion
              bounded *)
           let next =
-            List.filter
-              (fun conj ->
-                match Problem.simplify (problem_of_conjuncts conj) with
-                | Problem.Contra -> false
-                | Problem.Ok _ -> true)
-              next
+            List.concat_map
+              (fun p -> List.filter_map (fun p' -> simp (Problem.conj p p')) dg)
+              acc
           in
           if List.length next > Budget.disjunct_limit () then
             raise (Budget.Exhausted Budget.Disjuncts);
           next)
-        [ [] ] fs
+        [ Problem.trivial ] fs
     | Exists _ | Forall _ -> invalid_arg "Presburger.dnf: quantified formula"
   in
   go f
-  |> List.filter (fun conj ->
-         match Problem.simplify (problem_of_conjuncts conj) with
-         | Problem.Contra -> false
-         | Problem.Ok _ -> true)
 
-let problems_of_qf (f : t) : Problem.t list =
-  List.map problem_of_conjuncts (dnf f)
+(* Each disjunct as its list of atoms (wildcard equalities folding back
+   into [Cong]); kept for callers that inspect the expansion. *)
+let dnf (f : t) : t list list =
+  List.map
+    (fun p -> List.map of_constr (Problem.constraints p))
+    (dnf_problems f)
+
+let problems_of_qf (f : t) : Problem.t list = dnf_problems f
 
 (* ------------------------------------------------------------------ *)
 (* Quantifier elimination and decision                                 *)

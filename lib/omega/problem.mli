@@ -22,6 +22,13 @@ val add : Constr.t -> t -> t
 val add_list : Constr.t list -> t -> t
 val conj : t -> t -> t
 
+val mark_grown : t -> unit
+(** Hint that this problem just came out of a multiplicative
+    Fourier-Motzkin step (the lower x upper cross product multiplied the
+    inequality count): the next {!simplify} additionally runs the
+    interval-redundancy screen on it.  Purely a performance hint — the
+    screen is equivalence-preserving either way. *)
+
 val eqs : t -> Constr.t list
 val geqs : t -> Constr.t list
 val vars : t -> Var.Set.t

@@ -1,0 +1,66 @@
+(* Ablation switches and counters for the solver's hot paths.
+
+   Each switch gates one of the inner-loop optimizations described in
+   DESIGN.md section 9; all default to [true].  The `bench analysis`
+   suite flips them off to measure each optimization's contribution and
+   to cross-check that results are identical either way (every gated
+   transform is equivalence-preserving, so only time may change). *)
+
+(* Pugh's elimination-variable ordering: prefer exact (unit-coefficient)
+   eliminations, then minimize the #lower-bounds x #upper-bounds product.
+   Off: eliminate the first candidate in variable-id order. *)
+let order = ref true
+
+(* Redundancy pruning in [Problem.simplify]: besides the always-on
+   parallel-constraint dedup, drop inequalities implied by the interval
+   box of the single-variable bounds. *)
+let redundancy = ref true
+
+(* Caching/interning: precomputed structural hashes and canonical
+   coefficient keys on [Linexpr], the normalized flag on [Constr],
+   interning of normalized expressions, and the small-integer string
+   cache of the verdict-memo key serializer. *)
+let hashcons = ref true
+
+let set ~order:o ~redundancy:r ~hashcons:h =
+  order := o;
+  redundancy := r;
+  hashcons := h
+
+let all_on () = set ~order:true ~redundancy:true ~hashcons:true
+
+module Stats = struct
+  type t = {
+    mutable fm_eliminations : int;  (* variables eliminated by FM *)
+    mutable fm_exact : int;  (* of which exact (incl. one-sided) *)
+    mutable fm_split : int;  (* of which dark-shadow + splinters *)
+    mutable pruned_interval : int;  (* constraints dropped by the screen *)
+    mutable intern_hits : int;
+    mutable intern_misses : int;
+  }
+
+  let stats =
+    {
+      fm_eliminations = 0;
+      fm_exact = 0;
+      fm_split = 0;
+      pruned_interval = 0;
+      intern_hits = 0;
+      intern_misses = 0;
+    }
+
+  let reset () =
+    stats.fm_eliminations <- 0;
+    stats.fm_exact <- 0;
+    stats.fm_split <- 0;
+    stats.pruned_interval <- 0;
+    stats.intern_hits <- 0;
+    stats.intern_misses <- 0
+
+  let summary () =
+    Printf.sprintf
+      "%d FM eliminations (%d exact, %d split), %d constraints \
+       interval-pruned, intern %d hits / %d misses"
+      stats.fm_eliminations stats.fm_exact stats.fm_split
+      stats.pruned_interval stats.intern_hits stats.intern_misses
+end

@@ -11,4 +11,5 @@ let () =
       Test_vm.suite;
       Test_misc.suite;
       Test_robust.suite;
+      Test_perf.suite;
     ]

@@ -1,0 +1,164 @@
+(* Regression tests for the solver's performance work (DESIGN.md
+   section 9): every hot-path optimization is equivalence-preserving
+   and the analysis is deterministic.
+
+   - determinism: the full analysis yields identical dead/live sets and
+     doall plans across repeated runs, and across a shift of the global
+     Var-id space (fresh variables allocated between runs), so nothing
+     in the optimized solver depends on allocation order or on values
+     of internal ids;
+   - elimination order: [Elim.satisfiable] answers the same with the
+     ordering heuristic on or off (any elimination order is
+     equisatisfiable), and both agree with brute-force enumeration;
+   - redundancy pruning: [Problem.simplify] preserves the exact integer
+     solution set with pruning on or off, pointwise over the box;
+   - memo bound: the verdict cache never exceeds its capacity, evicts
+     FIFO under pressure, and a tiny capacity changes no results. *)
+
+open Omega
+open Depend
+
+let check = Alcotest.check
+let slist = Alcotest.(list string)
+
+type outcome = {
+  dead : string list;
+  live : string list;
+  std_doalls : string list;
+  ext_doalls : string list;
+}
+
+let pair_key (fr : Driver.flow_result) =
+  Printf.sprintf "%d->%d (%s->%s)" fr.Driver.dep.Deps.src.Lang.Ir.acc_id
+    fr.Driver.dep.Deps.dst.Lang.Ir.acc_id
+    fr.Driver.dep.Deps.src.Lang.Ir.label fr.Driver.dep.Deps.dst.Lang.Ir.label
+
+(* Parse anew on every call: each run allocates fresh [Var]s for the
+   program's loop indices and symbolic constants, so comparing two runs
+   also compares analyses over distinct id spaces. *)
+let outcome_of src : outcome =
+  Analyses.Memo.reset ();
+  let prog = Lang.Sema.analyze (Lang.Parser.parse_string src) in
+  let r = Driver.analyze prog in
+  let dead = Driver.dead_flows r |> List.map pair_key |> List.sort compare in
+  let live = Driver.live_flows r |> List.map pair_key |> List.sort compare in
+  let vs = Xform.Parallel.analyze (Xform.Graph.build prog) in
+  let doalls side =
+    List.filter_map
+      (fun (v : Xform.Parallel.verdict) ->
+        if side v then Some (Xform.Parallel.loop_path v.Xform.Parallel.v_loop)
+        else None)
+      vs
+    |> List.sort compare
+  in
+  {
+    dead;
+    live;
+    std_doalls = doalls (fun v -> v.Xform.Parallel.v_std_doall);
+    ext_doalls = doalls (fun v -> v.Xform.Parallel.v_ext_doall);
+  }
+
+let check_outcome name (a : outcome) (b : outcome) =
+  check slist (name ^ ": dead") a.dead b.dead;
+  check slist (name ^ ": live") a.live b.live;
+  check slist (name ^ ": std doalls") a.std_doalls b.std_doalls;
+  check slist (name ^ ": ext doalls") a.ext_doalls b.ext_doalls
+
+let test_determinism_reruns () =
+  List.iter
+    (fun (name, src) -> check_outcome name (outcome_of src) (outcome_of src))
+    Corpus.all
+
+let test_determinism_var_ids () =
+  List.iter
+    (fun (name, src) ->
+      let a = outcome_of src in
+      (* shift the global id space by a prime stride so the second run's
+         variables land on unrelated ids (and unrelated hash buckets) *)
+      for _ = 1 to 997 do
+        ignore (Var.fresh "pad")
+      done;
+      let b = outcome_of src in
+      check_outcome name a b)
+    Corpus.all
+
+(* ------------------------------------------------------------------ *)
+(* Ablation equivalence properties                                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_flags ~order ~redundancy ~hashcons f =
+  Tuning.set ~order ~redundancy ~hashcons;
+  Fun.protect ~finally:Tuning.all_on f
+
+let prop_order_equisatisfiable =
+  QCheck.Test.make ~count:200 ~name:"heuristic order is equisatisfiable"
+    (Oracle.arb_problem ())
+    (fun (p, vars, lo, hi) ->
+      let sat_heuristic =
+        with_flags ~order:true ~redundancy:true ~hashcons:true (fun () ->
+            Elim.satisfiable p)
+      in
+      let sat_rescan =
+        with_flags ~order:false ~redundancy:true ~hashcons:true (fun () ->
+            Elim.satisfiable p)
+      in
+      sat_heuristic = sat_rescan
+      && sat_heuristic = Oracle.exists_solution vars lo hi p)
+
+let prop_redundancy_preserves_solutions =
+  QCheck.Test.make ~count:200
+    ~name:"redundancy pruning preserves the solution set"
+    (Oracle.arb_problem ())
+    (fun (p, vars, lo, hi) ->
+      let simplify_under redundancy =
+        with_flags ~order:true ~redundancy ~hashcons:true (fun () ->
+            Problem.simplify p)
+      in
+      let holds s env =
+        match s with
+        | Problem.Contra -> false
+        | Problem.Ok q -> Oracle.holds_at env q
+      in
+      let pruned = simplify_under true in
+      let plain = simplify_under false in
+      Seq.for_all
+        (fun env ->
+          let reference = Oracle.holds_at env p in
+          holds pruned env = reference && holds plain env = reference)
+        (Oracle.assignments vars lo hi))
+
+(* ------------------------------------------------------------------ *)
+(* Memo bound                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_bound () =
+  let saved = !Analyses.Memo.capacity in
+  Fun.protect
+    ~finally:(fun () ->
+      Analyses.Memo.capacity := saved;
+      Analyses.Memo.reset ())
+    (fun () ->
+      let unbounded = outcome_of Corpus.cholsky in
+      Analyses.Memo.capacity := 4;
+      let bounded = outcome_of Corpus.cholsky in
+      check Alcotest.bool "size stays within capacity" true
+        (Analyses.Memo.size () <= 4);
+      check Alcotest.bool "pressure causes evictions" true
+        (Analyses.Memo.stats.Analyses.Memo.evictions > 0);
+      check_outcome "cholsky under tiny memo" unbounded bounded)
+
+let unit_tests =
+  [
+    Alcotest.test_case "determinism across reruns" `Quick
+      test_determinism_reruns;
+    Alcotest.test_case "determinism across Var-id shifts" `Quick
+      test_determinism_var_ids;
+    Alcotest.test_case "memo bound and eviction" `Quick test_memo_bound;
+  ]
+
+let suite =
+  ( "perf",
+    unit_tests
+    @ List.map
+        (QCheck_alcotest.to_alcotest ~long:false)
+        [ prop_order_equisatisfiable; prop_redundancy_preserves_solutions ] )
