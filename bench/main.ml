@@ -9,9 +9,33 @@
    kill tests resolved without consulting the Omega test. *)
 
 open Depend
+module Json = Serve.Json
+module Protocol = Serve.Protocol
+module Client = Serve.Client
+module Server = Serve.Server
+module Service = Serve.Service
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* All bench artifacts go through the shared serialization module
+   (lib/serve/json.ml) — the same one behind the wire protocol and the
+   CLI [--json] modes — so escaping and number formatting are decided
+   in exactly one place.  Timing figures keep their historical six
+   decimal places. *)
+let jf x = Json.Float (Float.round (x *. 1e6) /. 1e6)
+
+let write_json ~out j =
+  let oc = open_out out in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+(* Budget telemetry renders itself to JSON text; lift it into a value
+   so it nests in an artifact without double encoding. *)
+let telemetry_json tj =
+  match Json.parse tj with Ok j -> j | Error _ -> Json.Str tj
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -585,36 +609,38 @@ type speedup_row = {
 }
 
 let json_of_speedup ~domains ~smoke (rows : speedup_row list) =
-  let jf x = Printf.sprintf "%.6f" x in
   let row r =
-    Printf.sprintf
-      "{\"name\":\"%s\",\"syms\":{%s},\"loops\":%d,\"std_doall\":%d,\
-       \"ext_doall\":%d,\"serial_ms\":%s,\"std_ms\":%s,\"ext_ms\":%s,\
-       \"std_speedup\":%s,\"ext_speedup\":%s,\"std_regions\":%d,\
-       \"ext_regions\":%d,\"ext_beats_std\":%b,\"identical\":%b}"
-      r.sp_name
-      (String.concat ","
-         (List.map (fun (s, v) -> Printf.sprintf "\"%s\":%d" s v) r.sp_syms))
-      r.sp_loops r.sp_std_doall r.sp_ext_doall
-      (jf (ms r.sp_serial)) (jf (ms r.sp_std)) (jf (ms r.sp_ext))
-      (jf (r.sp_serial /. r.sp_std))
-      (jf (r.sp_serial /. r.sp_ext))
-      r.sp_std_regions r.sp_ext_regions
-      (r.sp_ext < r.sp_std)
-      r.sp_identical
+    Json.Obj
+      [
+        ("name", Json.Str r.sp_name);
+        ("syms", Json.Obj (List.map (fun (s, v) -> (s, Json.Int v)) r.sp_syms));
+        ("loops", Json.Int r.sp_loops);
+        ("std_doall", Json.Int r.sp_std_doall);
+        ("ext_doall", Json.Int r.sp_ext_doall);
+        ("serial_ms", jf (ms r.sp_serial));
+        ("std_ms", jf (ms r.sp_std));
+        ("ext_ms", jf (ms r.sp_ext));
+        ("std_speedup", jf (r.sp_serial /. r.sp_std));
+        ("ext_speedup", jf (r.sp_serial /. r.sp_ext));
+        ("std_regions", Json.Int r.sp_std_regions);
+        ("ext_regions", Json.Int r.sp_ext_regions);
+        ("ext_beats_std", Json.Bool (r.sp_ext < r.sp_std));
+        ("identical", Json.Bool r.sp_identical);
+      ]
   in
-  Printf.sprintf
-    "{\n\"domains\":%d,\n\"smoke\":%b,\n\"all_identical\":%b,\n\
-     \"ext_beats_std\":[%s],\n\"kernels\":[\n%s\n]\n}\n"
-    domains smoke
-    (List.for_all (fun r -> r.sp_identical) rows)
-    (String.concat ","
-       (List.filter_map
-          (fun r ->
-            if r.sp_ext < r.sp_std then Some ("\"" ^ r.sp_name ^ "\"")
-            else None)
-          rows))
-    (String.concat ",\n" (List.map row rows))
+  Json.Obj
+    [
+      ("domains", Json.Int domains);
+      ("smoke", Json.Bool smoke);
+      ("all_identical", Json.Bool (List.for_all (fun r -> r.sp_identical) rows));
+      ( "ext_beats_std",
+        Json.List
+          (List.filter_map
+             (fun r ->
+               if r.sp_ext < r.sp_std then Some (Json.Str r.sp_name) else None)
+             rows) );
+      ("kernels", Json.List (List.map row rows));
+    ]
 
 (* Warmup + best-of-N: one untimed run heats caches, allocators and (for
    the VM) branch predictors, then the minimum of [reps] timed runs is
@@ -730,10 +756,7 @@ let speedup_suite_interp ~smoke ~domains ~repeat ~out () =
      parallelizes more loops on %d; all final states identical to serial: %b\n"
     (List.length rows) (List.length wins) (List.length plan_wins)
     (List.for_all (fun r -> r.sp_identical) rows);
-  let oc = open_out out in
-  output_string oc (json_of_speedup ~domains ~smoke rows);
-  close_out oc;
-  Printf.printf "wrote %s\n" out;
+  write_json ~out (json_of_speedup ~domains ~smoke rows);
   if not (List.for_all (fun r -> r.sp_identical) rows) then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -779,46 +802,50 @@ let ratio num den =
   Float.max num tick /. Float.max den tick
 
 let json_of_vm_speedup ~domains ~smoke ~repeat (rows : vm_row list) =
-  let jf x = Printf.sprintf "%.6f" x in
   let row r =
-    Printf.sprintf
-      "{\"name\":\"%s\",\"syms\":{%s},\"loops\":%d,\"std_doall\":%d,\
-       \"ext_doall\":%d,\"interp_ms\":%s,\"vm_ms\":%s,\"std_ms\":%s,\
-       \"ext_ms\":%s,\"compile_speedup\":%s,\"std_speedup\":%s,\
-       \"ext_speedup\":%s,\"std_regions\":%d,\"ext_regions\":%d,\
-       \"std_inline\":%d,\"ext_inline\":%d,\"ext_beats_serial\":%b,\
-       \"identical\":%b}"
-      r.vr_name
-      (String.concat ","
-         (List.map (fun (s, v) -> Printf.sprintf "\"%s\":%d" s v) r.vr_syms))
-      r.vr_loops r.vr_std_doall r.vr_ext_doall
-      (jf (ms r.vr_interp)) (jf (ms r.vr_vm)) (jf (ms r.vr_std))
-      (jf (ms r.vr_ext))
-      (jf (ratio r.vr_interp r.vr_vm))
-      (jf (ratio r.vr_vm r.vr_std))
-      (jf (ratio r.vr_vm r.vr_ext))
-      r.vr_std_regions r.vr_ext_regions r.vr_std_inline r.vr_ext_inline
-      (r.vr_ext < r.vr_vm)
-      r.vr_identical
+    Json.Obj
+      [
+        ("name", Json.Str r.vr_name);
+        ("syms", Json.Obj (List.map (fun (s, v) -> (s, Json.Int v)) r.vr_syms));
+        ("loops", Json.Int r.vr_loops);
+        ("std_doall", Json.Int r.vr_std_doall);
+        ("ext_doall", Json.Int r.vr_ext_doall);
+        ("interp_ms", jf (ms r.vr_interp));
+        ("vm_ms", jf (ms r.vr_vm));
+        ("std_ms", jf (ms r.vr_std));
+        ("ext_ms", jf (ms r.vr_ext));
+        ("compile_speedup", jf (ratio r.vr_interp r.vr_vm));
+        ("std_speedup", jf (ratio r.vr_vm r.vr_std));
+        ("ext_speedup", jf (ratio r.vr_vm r.vr_ext));
+        ("std_regions", Json.Int r.vr_std_regions);
+        ("ext_regions", Json.Int r.vr_ext_regions);
+        ("std_inline", Json.Int r.vr_std_inline);
+        ("ext_inline", Json.Int r.vr_ext_inline);
+        ("ext_beats_serial", Json.Bool (r.vr_ext < r.vr_vm));
+        ("identical", Json.Bool r.vr_identical);
+      ]
   in
   let names p =
-    String.concat ","
+    Json.List
       (List.filter_map
-         (fun r -> if p r then Some ("\"" ^ r.vr_name ^ "\"") else None)
+         (fun r -> if p r then Some (Json.Str r.vr_name) else None)
          rows)
   in
-  Printf.sprintf
-    "{\n\"backend\":\"vm\",\n\"domains\":%d,\n\"smoke\":%b,\n\"repeat\":%d,\n\
-     \"all_identical\":%b,\n\"geomean_compile_speedup\":%s,\n\
-     \"geomean_ext_speedup\":%s,\n\"ext_beats_serial\":[%s],\n\
-     \"ext_beats_std\":[%s],\n\"kernels\":[\n%s\n]\n}\n"
-    domains smoke repeat
-    (List.for_all (fun r -> r.vr_identical) rows)
-    (jf (geomean (List.map (fun r -> ratio r.vr_interp r.vr_vm) rows)))
-    (jf (geomean (List.map (fun r -> ratio r.vr_vm r.vr_ext) rows)))
-    (names (fun r -> r.vr_ext < r.vr_vm))
-    (names (fun r -> r.vr_ext < r.vr_std))
-    (String.concat ",\n" (List.map row rows))
+  Json.Obj
+    [
+      ("backend", Json.Str "vm");
+      ("domains", Json.Int domains);
+      ("smoke", Json.Bool smoke);
+      ("repeat", Json.Int repeat);
+      ("all_identical", Json.Bool (List.for_all (fun r -> r.vr_identical) rows));
+      ( "geomean_compile_speedup",
+        jf (geomean (List.map (fun r -> ratio r.vr_interp r.vr_vm) rows)) );
+      ( "geomean_ext_speedup",
+        jf (geomean (List.map (fun r -> ratio r.vr_vm r.vr_ext) rows)) );
+      ("ext_beats_serial", names (fun r -> r.vr_ext < r.vr_vm));
+      ("ext_beats_std", names (fun r -> r.vr_ext < r.vr_std));
+      ("kernels", Json.List (List.map row rows));
+    ]
 
 let speedup_vm_suite ~smoke ~domains ~repeat ~out () =
   let pool = Xform.Exec.create_pool ?size:domains () in
@@ -947,10 +974,7 @@ let speedup_vm_suite ~smoke ~domains ~repeat ~out () =
     (n (fun r -> r.vr_ext < r.vr_vm))
     (n (fun r -> r.vr_ext < r.vr_std))
     all_ok;
-  let oc = open_out out in
-  output_string oc (json_of_vm_speedup ~domains ~smoke ~repeat rows);
-  close_out oc;
-  Printf.printf "wrote %s\n" out;
+  write_json ~out (json_of_vm_speedup ~domains ~smoke ~repeat rows);
   if not all_ok then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1003,17 +1027,6 @@ let robust_outcome src : robust_outcome =
     ro_std = doalls (fun v -> v.Xform.Parallel.v_std_doall);
     ro_ext = doalls (fun v -> v.Xform.Parallel.v_ext_doall);
   }
-
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
 
 let robustness_suite ~out ~seeds () =
   section "Robustness: governance sweep + fault-injection soundness";
@@ -1146,31 +1159,35 @@ let robustness_suite ~out ~seeds () =
     (List.length programs)
     (List.length (robust_programs ()) - List.length Corpus.all)
     (List.length rungs) (List.length seeds) sound;
-  let json =
-    Printf.sprintf
-      "{\n\"programs\":%d,\n\"rate\":%.2f,\n\"budgets\":[\n%s\n],\n\
-       \"seeds\":[\n%s\n],\n\"violations\":[%s],\n\"sound\":%b\n}\n"
-      (List.length programs) rate
-      (String.concat ",\n"
-         (List.map
-            (fun (rname, _, tj) ->
-              Printf.sprintf "{\"budget\":\"%s\",\"telemetry\":%s}" rname tj)
-            rung_rows))
-      (String.concat ",\n"
-         (List.map
-            (fun (seed, injected, tj) ->
-              Printf.sprintf
-                "{\"seed\":%d,\"injected\":%d,\"telemetry\":%s}" seed injected
-                tj)
-            seed_rows))
-      (String.concat ","
-         (List.map (fun v -> "\"" ^ json_escape v ^ "\"") !violations))
-      sound
-  in
-  let oc = open_out out in
-  output_string oc json;
-  close_out oc;
-  Printf.printf "wrote %s\n" out;
+  write_json ~out
+    (Json.Obj
+       [
+         ("programs", Json.Int (List.length programs));
+         ("rate", Json.Float rate);
+         ( "budgets",
+           Json.List
+             (List.map
+                (fun (rname, _, tj) ->
+                  Json.Obj
+                    [
+                      ("budget", Json.Str rname);
+                      ("telemetry", telemetry_json tj);
+                    ])
+                rung_rows) );
+         ( "seeds",
+           Json.List
+             (List.map
+                (fun (seed, injected, tj) ->
+                  Json.Obj
+                    [
+                      ("seed", Json.Int seed);
+                      ("injected", Json.Int injected);
+                      ("telemetry", telemetry_json tj);
+                    ])
+                seed_rows) );
+         ("violations", Json.List (List.map (fun v -> Json.Str v) !violations));
+         ("sound", Json.Bool sound);
+       ]);
   if not sound then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1357,41 +1374,52 @@ let measure_subject ~reps cfg_opt s =
 
 let json_of_analysis ~smoke ~repeat ~flags ~geo ~corpus ~pairs_speedup
     ~geo_programs ~divergences ~rows ~ablation_rows =
-  let jf x = Printf.sprintf "%.6f" x in
   let order, redundancy, hashcons = flags in
   let corpus_abl, corpus_opt, corpus_speedup = corpus in
-  Printf.sprintf
-    "{\n\"smoke\":%b,\n\"repeat\":%d,\n\
-     \"flags\":{\"order\":%b,\"redundancy\":%b,\"hashcons\":%b},\n\
-     \"geomean_speedup\":%s,\n\
-     \"corpus_ablated_ms\":%s,\n\"corpus_optimized_ms\":%s,\n\
-     \"corpus_speedup\":%s,\n\"pairs_speedup\":%s,\n\
-     \"per_program_geomean\":%s,\n\"identical\":%b,\n\
-     \"divergences\":[%s],\n\"programs\":[\n%s\n],\n\"ablations\":[%s]\n}\n"
-    smoke repeat order redundancy hashcons (jf geo) (jf (ms corpus_abl))
-    (jf (ms corpus_opt)) (jf corpus_speedup) (jf pairs_speedup)
-    (jf geo_programs)
-    (divergences = [])
-    (String.concat ","
-       (List.map (fun d -> "\"" ^ json_escape d ^ "\"") divergences))
-    (String.concat ",\n"
-       (List.map
-          (fun (name, t_abl, t_opt) ->
-            Printf.sprintf
-              "{\"name\":\"%s\",\"ablated_ms\":%s,\"optimized_ms\":%s,\
-               \"speedup\":%s}"
-              name (jf (ms t_abl)) (jf (ms t_opt))
-              (jf (ratio t_abl t_opt)))
-          rows))
-    (String.concat ",\n"
-       (List.map
-          (fun (flag, t_off, t_on) ->
-            Printf.sprintf
-              "{\"disabled\":\"%s\",\"off_ms\":%s,\"on_ms\":%s,\
-               \"slowdown\":%s}"
-              flag (jf (ms t_off)) (jf (ms t_on))
-              (jf (ratio t_off t_on)))
-          ablation_rows))
+  Json.Obj
+    [
+      ("smoke", Json.Bool smoke);
+      ("repeat", Json.Int repeat);
+      ( "flags",
+        Json.Obj
+          [
+            ("order", Json.Bool order);
+            ("redundancy", Json.Bool redundancy);
+            ("hashcons", Json.Bool hashcons);
+          ] );
+      ("geomean_speedup", jf geo);
+      ("corpus_ablated_ms", jf (ms corpus_abl));
+      ("corpus_optimized_ms", jf (ms corpus_opt));
+      ("corpus_speedup", jf corpus_speedup);
+      ("pairs_speedup", jf pairs_speedup);
+      ("per_program_geomean", jf geo_programs);
+      ("identical", Json.Bool (divergences = []));
+      ("divergences", Json.List (List.map (fun d -> Json.Str d) divergences));
+      ( "programs",
+        Json.List
+          (List.map
+             (fun (name, t_abl, t_opt) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str name);
+                   ("ablated_ms", jf (ms t_abl));
+                   ("optimized_ms", jf (ms t_opt));
+                   ("speedup", jf (ratio t_abl t_opt));
+                 ])
+             rows) );
+      ( "ablations",
+        Json.List
+          (List.map
+             (fun (flag, t_off, t_on) ->
+               Json.Obj
+                 [
+                   ("disabled", Json.Str flag);
+                   ("off_ms", jf (ms t_off));
+                   ("on_ms", jf (ms t_on));
+                   ("slowdown", jf (ratio t_off t_on));
+                 ])
+             ablation_rows) );
+    ]
 
 let analysis_suite ~smoke ~repeat ~out ~order ~redundancy ~hashcons () =
   section
@@ -1525,16 +1553,287 @@ let analysis_suite ~smoke ~repeat ~out ~order ~redundancy ~hashcons () =
         ]
     end
   in
-  let oc = open_out out in
-  output_string oc
+  write_json ~out
     (json_of_analysis ~smoke ~repeat ~flags:(order, redundancy, hashcons)
        ~geo
        ~corpus:(corpus_abl, corpus_opt, corpus_speedup)
        ~pairs_speedup:(ratio pairs_abl pairs_opt)
        ~geo_programs ~divergences:!divergences ~rows ~ablation_rows);
-  close_out oc;
-  Printf.printf "wrote %s\n" out;
   if !divergences <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Serving suite: petitd under concurrent load                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon's two claims, measured.  (1) Serving changes nothing:
+   every payload that comes back over the socket is compared
+   byte-for-byte against a fresh in-process run through the very
+   payload builders the daemon uses.  (2) The shared verdict cache
+   pays: the warm pass must report per-request memo hits on every
+   request that does solver work at all.  [clients] threads each
+   replay the corpus (analyze + parallelize per program) against an
+   in-process server on a private Unix socket, twice - a cold pass on
+   a fresh cache, then a warm pass on the heated one - and every
+   request's latency lands in a per-client slot, aggregated to
+   p50/p99 and throughput per pass. *)
+
+type serve_sample = {
+  sv_name : string;
+  sv_op : string; (* "analyze" | "parallelize" *)
+  sv_latency : float; (* seconds *)
+  sv_payload : string; (* canonical rendering of the result payload *)
+  sv_req_hits : int;
+  sv_req_misses : int;
+}
+
+(* Nearest-rank percentile over an unsorted sample. *)
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    List.nth sorted (max 0 (min (n - 1) rank))
+
+let serve_programs ~smoke =
+  if smoke then
+    List.filter
+      (fun (n, _) ->
+        List.mem n [ "example1"; "example2"; "example4"; "temp_reuse"; "copyin" ])
+      Corpus.all
+  else Corpus.all
+
+(* One pass: every client replays every program over its own
+   connection.  Returns the per-client samples and the pass wall time;
+   any transport error fails the bench. *)
+let serve_pass path ~clients ~programs =
+  let results = Array.make clients ([] : serve_sample list) in
+  let errors = Array.make clients "" in
+  let worker k () =
+    match Client.connect (Protocol.Unix_path path) with
+    | Error e -> errors.(k) <- "connect: " ^ e
+    | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          try
+            List.iter
+              (fun (name, src) ->
+                List.iter
+                  (fun (op, req) ->
+                    let t0 = Unix.gettimeofday () in
+                    match Client.request c req with
+                    | Error e -> failwith (Printf.sprintf "%s %s: %s" op name e)
+                    | Ok resp -> (
+                      let latency = Unix.gettimeofday () -. t0 in
+                      match Client.result_payload resp with
+                      | Error e ->
+                        failwith (Printf.sprintf "%s %s: %s" op name e)
+                      | Ok (payload, memo) ->
+                        let hits, misses =
+                          match memo with
+                          | Some m ->
+                            (m.Protocol.mr_req_hits, m.Protocol.mr_req_misses)
+                          | None -> (0, 0)
+                        in
+                        results.(k) <-
+                          {
+                            sv_name = name;
+                            sv_op = op;
+                            sv_latency = latency;
+                            sv_payload = Json.to_string payload;
+                            sv_req_hits = hits;
+                            sv_req_misses = misses;
+                          }
+                          :: results.(k)))
+                  [
+                    ( "analyze",
+                      Protocol.Analyze
+                        {
+                          program = src;
+                          in_bounds = false;
+                          budget = Protocol.no_budget;
+                        } );
+                    ( "parallelize",
+                      Protocol.Parallelize
+                        {
+                          program = src;
+                          in_bounds = false;
+                          budget = Protocol.no_budget;
+                        } );
+                  ])
+              programs
+          with Failure e -> errors.(k) <- e)
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun k -> Thread.create (worker k) ()) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.iteri
+    (fun k e ->
+      if e <> "" then (
+        Printf.eprintf "serve bench: client %d: %s\n" k e;
+        exit 1))
+    errors;
+  (Array.to_list results, wall)
+
+let serve_pass_json ~samples ~wall =
+  let lats = List.map (fun s -> s.sv_latency) samples in
+  let n = List.length samples in
+  Json.Obj
+    [
+      ("requests", Json.Int n);
+      ("wall_ms", jf (ms wall));
+      ("throughput_rps", jf (float_of_int n /. Float.max wall 1e-9));
+      ("p50_ms", jf (ms (percentile 50. lats)));
+      ("p99_ms", jf (ms (percentile 99. lats)));
+      ( "mean_ms",
+        jf (ms (List.fold_left ( +. ) 0. lats /. float_of_int (max 1 n))) );
+      ( "req_memo_hits",
+        Json.Int (List.fold_left (fun a s -> a + s.sv_req_hits) 0 samples) );
+      ( "req_memo_misses",
+        Json.Int (List.fold_left (fun a s -> a + s.sv_req_misses) 0 samples) );
+    ]
+
+let serve_suite ~smoke ~clients ~out () =
+  section
+    (Printf.sprintf
+       "Serving: petitd, %d concurrent client%s replaying the corpus, cold \
+        and warm%s"
+       clients
+       (if clients = 1 then "" else "s")
+       (if smoke then ", smoke" else ""));
+  let programs = serve_programs ~smoke in
+  (* Fresh in-process expectations first: the server shares this
+     process's verdict cache, so the baseline is computed before the
+     daemon resets it, through the same payload builders. *)
+  Analyses.Memo.reset ();
+  let expected =
+    List.concat_map
+      (fun (name, src) ->
+        let prog = Lang.Sema.analyze (Lang.Parser.parse_string src) in
+        [
+          ( (name, "analyze"),
+            Json.to_string (Service.analyze_payload ~in_bounds:false prog) );
+          ( (name, "parallelize"),
+            Json.to_string (Service.parallelize_payload ~in_bounds:false prog)
+          );
+        ])
+      programs
+  in
+  let path = Printf.sprintf "/tmp/petitd-bench-%d.sock" (Unix.getpid ()) in
+  let server = Server.start (Server.default_config (Protocol.Unix_path path)) in
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.printf "VIOLATION: %s\n" s;
+        violations := !violations @ [ s ])
+      fmt
+  in
+  let check_payloads pass per_client =
+    List.iteri
+      (fun k samples ->
+        List.iter
+          (fun s ->
+            match List.assoc_opt (s.sv_name, s.sv_op) expected with
+            | Some e when e = s.sv_payload -> ()
+            | Some _ ->
+              violate "%s pass, client %d: %s %s diverges from in-process run"
+                pass k s.sv_op s.sv_name
+            | None -> assert false)
+          samples)
+      per_client
+  in
+  let stats_payload, cold_json, warm_json, cold_summary, warm_summary =
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop server;
+        Server.wait server;
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+      (fun () ->
+        let cold, cold_wall = serve_pass path ~clients ~programs in
+        let warm, warm_wall = serve_pass path ~clients ~programs in
+        check_payloads "cold" cold;
+        check_payloads "warm" warm;
+        (* Requests that did solver work cold must replay from the
+           shared cache warm: hits > 0 on the matching warm request. *)
+        let cold_traffic =
+          List.filter_map
+            (fun s ->
+              if s.sv_req_hits + s.sv_req_misses > 0 then
+                Some (s.sv_name, s.sv_op)
+              else None)
+            (List.concat cold)
+        in
+        List.iteri
+          (fun k samples ->
+            List.iter
+              (fun s ->
+                if
+                  List.mem (s.sv_name, s.sv_op) cold_traffic
+                  && s.sv_req_hits = 0
+                then
+                  violate "warm pass, client %d: %s %s reports no memo hits" k
+                    s.sv_op s.sv_name)
+              samples)
+          warm;
+        let stats =
+          match Client.connect (Protocol.Unix_path path) with
+          | Error e ->
+            Printf.eprintf "serve bench: stats connect: %s\n" e;
+            exit 1
+          | Ok c ->
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                match Client.request c Protocol.Stats with
+                | Ok resp -> (
+                  match Client.result_payload resp with
+                  | Ok (payload, _) -> payload
+                  | Error e ->
+                    Printf.eprintf "serve bench: stats: %s\n" e;
+                    exit 1)
+                | Error e ->
+                  Printf.eprintf "serve bench: stats: %s\n" e;
+                  exit 1)
+        in
+        let summary label samples wall =
+          let lats = List.map (fun s -> s.sv_latency) samples in
+          Printf.sprintf
+            "%-5s %5d requests in %8.1f ms: %8.1f req/s, p50 %6.2f ms, p99 \
+             %6.2f ms"
+            label (List.length samples) (ms wall)
+            (float_of_int (List.length samples) /. Float.max wall 1e-9)
+            (ms (percentile 50. lats))
+            (ms (percentile 99. lats))
+        in
+        let cold_all = List.concat cold and warm_all = List.concat warm in
+        ( stats,
+          serve_pass_json ~samples:cold_all ~wall:cold_wall,
+          serve_pass_json ~samples:warm_all ~wall:warm_wall,
+          summary "cold" cold_all cold_wall,
+          summary "warm" warm_all warm_wall ))
+  in
+  print_endline cold_summary;
+  print_endline warm_summary;
+  let sound = !violations = [] in
+  Printf.printf
+    "%d programs x %d clients x 2 ops; daemon identical to in-process: %b\n"
+    (List.length programs) clients sound;
+  write_json ~out
+    (Json.Obj
+       [
+         ("smoke", Json.Bool smoke);
+         ("clients", Json.Int clients);
+         ("programs", Json.Int (List.length programs));
+         ("cold", cold_json);
+         ("warm", warm_json);
+         ("daemon_stats", stats_payload);
+         ("identical", Json.Bool sound);
+         ("divergences", Json.List (List.map (fun v -> Json.Str v) !violations));
+       ]);
+  if not sound then exit 1
 
 (* ------------------------------------------------------------------ *)
 
@@ -1610,11 +1909,26 @@ let () =
       ~redundancy:(not (List.mem "--no-redundancy" rest))
       ~hashcons:(not (List.mem "--no-hashcons" rest))
       ()
+  | _ :: "serve" :: rest ->
+    let smoke = List.mem "--smoke" rest in
+    let rec opt key = function
+      | k :: v :: _ when k = key -> Some v
+      | _ :: rest -> opt key rest
+      | [] -> None
+    in
+    let out = Option.value (opt "--out" rest) ~default:"BENCH_serve.json" in
+    let clients =
+      match Option.map int_of_string (opt "--clients" rest) with
+      | Some n -> max 1 n
+      | None -> 8
+    in
+    serve_suite ~smoke ~clients ~out ()
   | _ :: [] | [] -> full_run ()
   | _ ->
     prerr_endline
       "usage: main.exe [speedup [--smoke] [--domains N] [--out FILE] \
        [--repeat N] [--backend vm|interp] | robustness [--out FILE] \
        [--seeds S1,S2] | analysis [--smoke] [--out FILE] [--repeat N] \
-       [--no-order] [--no-redundancy] [--no-hashcons]]";
+       [--no-order] [--no-redundancy] [--no-hashcons] | serve [--smoke] \
+       [--clients N] [--out FILE]]";
     exit 2

@@ -4,6 +4,11 @@
    Problems are conjunctions of (possibly chained) linear comparisons over
    named integer variables, e.g. "0 <= x <= 5 and y < x and x <= 5*y".
 
+   Every subcommand evaluates through Serve.Calc — the same path the
+   petitd daemon uses for omega_calc requests — so an answer here and an
+   answer over the wire are structurally identical.  [--json] prints the
+   daemon's result payload instead of the classic one-line rendering.
+
    Subcommands:
      sat "P"                       integer satisfiability
      project --onto x,y "P"        exact projection (may print a union)
@@ -16,69 +21,37 @@
 open Cmdliner
 open Omega
 
-(* Translate parsed conditions to a Problem, creating a variable per
-   name. *)
-let build_problem (conds : Lang.Ast.cond list list) :
-    Problem.t list * (string * Var.t) list =
-  let env : (string * Var.t) list ref = ref [] in
-  let var name =
-    match List.assoc_opt name !env with
-    | Some v -> v
-    | None ->
-      let v = Var.fresh name in
-      env := (name, v) :: !env;
-      v
-  in
-  let rec expr (e : Lang.Ast.expr) : Linexpr.t =
-    match e with
-    | Lang.Ast.Int n -> Linexpr.of_int n
-    | Lang.Ast.Name s -> Linexpr.var (var s)
-    | Lang.Ast.Neg a -> Linexpr.neg (expr a)
-    | Lang.Ast.Add (a, b) -> Linexpr.add (expr a) (expr b)
-    | Lang.Ast.Sub (a, b) -> Linexpr.sub (expr a) (expr b)
-    | Lang.Ast.Mul (a, b) -> (
-      let ea = expr a and eb = expr b in
-      if Linexpr.is_const ea then Linexpr.scale (Linexpr.constant ea) eb
-      else if Linexpr.is_const eb then
-        Linexpr.scale (Linexpr.constant eb) ea
-      else failwith "non-linear product")
-    | Lang.Ast.Max _ | Lang.Ast.Min _ | Lang.Ast.Ref _ ->
-      failwith "max/min/array references are not allowed here"
-  in
-  let constr (c : Lang.Ast.cond) : Constr.t =
-    let l = expr c.Lang.Ast.left and r = expr c.Lang.Ast.right in
-    match c.Lang.Ast.op with
-    | Lang.Ast.Eq -> Constr.eq2 l r
-    | Lang.Ast.Le -> Constr.le l r
-    | Lang.Ast.Lt -> Constr.lt l r
-    | Lang.Ast.Ge -> Constr.ge l r
-    | Lang.Ast.Gt -> Constr.gt l r
-    | Lang.Ast.Ne -> failwith "!= is a disjunction; not allowed here"
-  in
-  let problems =
-    List.map (fun cs -> Problem.of_list (List.map constr cs)) conds
-  in
-  (problems, !env)
-
-let parse_problems (srcs : string list) =
-  build_problem (List.map Lang.Parser.parse_conds_string srcs)
-
 let with_errors f =
   try f () with
-  | Lang.Parser.Error (msg, pos) ->
-    Printf.eprintf "parse error at column %d: %s\n" pos.Lang.Ast.col msg;
-    exit 1
-  | Failure msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
   | Budget.Exhausted r ->
     (* the calculator talks to the solver without a query boundary, so a
        blown budget surfaces here: report it as a structured give-up *)
     Printf.eprintf "gave up (%s)\n" (Budget.reason_to_string r);
     exit 2
 
+(* Evaluate one calculator operation and print it, plain or as the
+   daemon's JSON payload. *)
+let emit json op =
+  with_errors @@ fun () ->
+  match Serve.Calc.eval op with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Ok r ->
+    print_endline
+      (if json then Serve.Json.to_string (Serve.Calc.result_json r)
+       else Serve.Calc.result_plain r)
+
 let problem_arg pos_idx docv =
   Arg.(required & pos pos_idx (some string) None & info [] ~docv)
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print the result as JSON (the same payload a petitd daemon \
+           returns for this query).")
 
 let stats_arg =
   Arg.(
@@ -109,52 +82,20 @@ let var_arg =
     & info [ "var" ] ~docv:"VAR" ~doc:"Objective variable.")
 
 let sat_cmd =
-  let run stats src =
-    with_errors @@ fun () ->
-    with_stats stats @@ fun () ->
-    let ps, _ = parse_problems [ src ] in
-    let p = List.hd ps in
-    print_endline (if Elim.satisfiable p then "satisfiable" else "unsatisfiable")
+  let run stats json src =
+    with_stats stats @@ fun () -> emit json (Serve.Protocol.Sat src)
   in
   Cmd.v
     (Cmd.info "sat" ~doc:"Integer satisfiability of a conjunction.")
-    Term.(const run $ stats_arg $ problem_arg 0 "PROBLEM")
-
-let lookup_vars env names =
-  List.map
-    (fun n ->
-      match List.assoc_opt n env with
-      | Some v -> v
-      | None -> failwith (Printf.sprintf "variable %s not in the problem" n))
-    names
+    Term.(const run $ stats_arg $ json_arg $ problem_arg 0 "PROBLEM")
 
 let projection_cmd name doc mode =
-  let run stats onto src =
-    with_errors @@ fun () ->
+  let run stats json onto src =
     with_stats stats @@ fun () ->
-    let ps, env = parse_problems [ src ] in
-    let p = List.hd ps in
-    let vars = lookup_vars env onto in
-    let keep v = List.exists (Var.equal v) vars in
-    match mode with
-    | `Exact ->
-      let pieces = Elim.project ~keep p in
-      if pieces = [] then print_endline "FALSE"
-      else
-        List.iteri
-          (fun i q ->
-            Printf.printf "%s%s\n"
-              (if i > 0 then "union " else "")
-              (Problem.to_string q))
-          pieces
-    | (`Dark | `Real) as m ->
-      let f = match m with `Dark -> Elim.project_dark | `Real -> Elim.project_real in
-      (match f ~keep p with
-       | `Contra -> print_endline "FALSE"
-       | `Ok q -> print_endline (Problem.to_string q))
+    emit json (Serve.Protocol.Project { mode; onto; problem = src })
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ stats_arg $ onto_arg $ problem_arg 0 "PROBLEM")
+    Term.(const run $ stats_arg $ json_arg $ onto_arg $ problem_arg 0 "PROBLEM")
 
 let gist_cmd =
   let given_arg =
@@ -163,63 +104,31 @@ let gist_cmd =
       & opt (some string) None
       & info [ "given" ] ~docv:"PROBLEM" ~doc:"What is already known.")
   in
-  let run stats given src =
-    with_errors @@ fun () ->
+  let run stats json given src =
     with_stats stats @@ fun () ->
-    let ps, _ = parse_problems [ src; given ] in
-    match ps with
-    | [ p; q ] -> (
-      match Gist.gist p ~given:q with
-      | Gist.Tautology -> print_endline "TRUE (implied by the given)"
-      | Gist.False -> print_endline "FALSE (inconsistent with the given)"
-      | Gist.Gist g -> print_endline (Problem.to_string g))
-    | _ -> assert false
+    emit json (Serve.Protocol.Gist { problem = src; given })
   in
   Cmd.v
     (Cmd.info "gist"
        ~doc:"The new information in PROBLEM relative to --given.")
-    Term.(const run $ stats_arg $ given_arg $ problem_arg 0 "PROBLEM")
+    Term.(const run $ stats_arg $ json_arg $ given_arg $ problem_arg 0 "PROBLEM")
 
 let implies_cmd =
-  let run stats src1 src2 =
-    with_errors @@ fun () ->
+  let run stats json src1 src2 =
     with_stats stats @@ fun () ->
-    let ps, _ = parse_problems [ src1; src2 ] in
-    match ps with
-    | [ p; q ] ->
-      print_endline (if Gist.implies p q then "tautology" else "not a tautology")
-    | _ -> assert false
+    emit json (Serve.Protocol.Implies (src1, src2))
   in
   Cmd.v
     (Cmd.info "implies" ~doc:"Is P => Q a tautology?")
-    Term.(const run $ stats_arg $ problem_arg 0 "P" $ problem_arg 1 "Q")
+    Term.(
+      const run $ stats_arg $ json_arg $ problem_arg 0 "P" $ problem_arg 1 "Q")
 
 let opt_cmd name doc which =
-  let run var src =
-    with_errors @@ fun () ->
-    let ps, env = parse_problems [ src ] in
-    let p = List.hd ps in
-    let v = List.hd (lookup_vars env [ var ]) in
-    let show = function
-      | `Unsat -> print_endline "unsatisfiable"
-      | `Unbounded -> print_endline "unbounded"
-      | `Val x -> print_endline (Zint.to_string x)
-    in
-    match which with
-    | `Min ->
-      show
-        (match Omega.minimize p v with
-         | `Min x -> `Val x
-         | `Unsat -> `Unsat
-         | `Unbounded -> `Unbounded)
-    | `Max ->
-      show
-        (match Omega.maximize p v with
-         | `Max x -> `Val x
-         | `Unsat -> `Unsat
-         | `Unbounded -> `Unbounded)
+  let run json var src =
+    emit json (Serve.Protocol.Optimize { dir = which; var; problem = src })
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ var_arg $ problem_arg 0 "PROBLEM")
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ json_arg $ var_arg $ problem_arg 0 "PROBLEM")
 
 (* Quantified Presburger formulas (section 3.2), via Depend.Fparse. *)
 let formula_cmd name doc which =
@@ -279,99 +188,53 @@ let repl_eval (line : string) : unit =
           String.trim (String.sub line i (String.length line - i)) )
       | None -> (line, "")
     in
-    let parse1 src =
-      let ps, env = parse_problems [ src ] in
-      (List.hd ps, env)
+    let show op =
+      match Serve.Calc.eval op with
+      | Ok r -> print_endline (Serve.Calc.result_plain r)
+      | Error msg -> Printf.printf "error: %s\n" msg
+    in
+    let split_colon usage k =
+      match String.index_opt rest ':' with
+      | None -> print_endline usage
+      | Some i ->
+        k
+          (String.trim (String.sub rest 0 i))
+          (String.sub rest (i + 1) (String.length rest - i - 1))
     in
     match cmd with
-    | "sat" ->
-      let p, _ = parse1 rest in
-      print_endline
-        (if Elim.satisfiable p then "satisfiable" else "unsatisfiable")
-    | "project" | "dark" | "real" -> (
-      match String.index_opt rest ':' with
-      | None -> print_endline "usage: project x,y: <constraints>"
-      | Some i ->
-        let names =
-          String.sub rest 0 i |> String.split_on_char ','
-          |> List.map String.trim
-        in
-        let src = String.sub rest (i + 1) (String.length rest - i - 1) in
-        let p, env = parse1 src in
-        let vars = lookup_vars env names in
-        let keep v = List.exists (Var.equal v) vars in
-        (match cmd with
-         | "project" ->
-           let pieces = Elim.project ~keep p in
-           if pieces = [] then print_endline "FALSE"
-           else
-             List.iteri
-               (fun i q ->
-                 Printf.printf "%s%s
-"
-                   (if i > 0 then "union " else "")
-                   (Problem.to_string q))
-               pieces
-         | _ ->
-           let f = if cmd = "dark" then Elim.project_dark else Elim.project_real in
-           (match f ~keep p with
-            | `Contra -> print_endline "FALSE"
-            | `Ok q -> print_endline (Problem.to_string q))))
+    | "sat" -> show (Serve.Protocol.Sat rest)
+    | "project" | "dark" | "real" ->
+      split_colon "usage: project x,y: <constraints>" (fun names src ->
+          let onto =
+            String.split_on_char ',' names |> List.map String.trim
+          in
+          let mode =
+            match cmd with
+            | "project" -> `Exact
+            | "dark" -> `Dark
+            | _ -> `Real
+          in
+          show (Serve.Protocol.Project { mode; onto; problem = src }))
     | "gist" -> (
       match split_kw " given " rest with
       | None -> print_endline "usage: gist <constraints> given <constraints>"
-      | Some (psrc, qsrc) -> (
-        let ps, _ = parse_problems [ psrc; qsrc ] in
-        match ps with
-        | [ p; q ] -> (
-          match Gist.gist p ~given:q with
-          | Gist.Tautology -> print_endline "TRUE (implied by the given)"
-          | Gist.False -> print_endline "FALSE (inconsistent with the given)"
-          | Gist.Gist g -> print_endline (Problem.to_string g))
-        | _ -> assert false))
+      | Some (psrc, qsrc) ->
+        show (Serve.Protocol.Gist { problem = psrc; given = qsrc }))
     | "implies" -> (
       match split_kw " => " rest with
       | None -> print_endline "usage: implies <constraints> => <constraints>"
-      | Some (psrc, qsrc) -> (
-        let ps, _ = parse_problems [ psrc; qsrc ] in
-        match ps with
-        | [ p; q ] ->
-          print_endline
-            (if Gist.implies p q then "tautology" else "not a tautology")
-        | _ -> assert false))
-    | "min" | "max" -> (
-      match String.index_opt rest ':' with
-      | None -> print_endline "usage: min x: <constraints>"
-      | Some i ->
-        let name = String.trim (String.sub rest 0 i) in
-        let src = String.sub rest (i + 1) (String.length rest - i - 1) in
-        let p, env = parse1 src in
-        let v = List.hd (lookup_vars env [ name ]) in
-        let show = function
-          | `Unsat -> print_endline "unsatisfiable"
-          | `Unbounded -> print_endline "unbounded"
-          | `Val x -> print_endline (Zint.to_string x)
-        in
-        if cmd = "min" then
-          show
-            (match Omega.minimize p v with
-             | `Min x -> `Val x
-             | `Unsat -> `Unsat
-             | `Unbounded -> `Unbounded)
-        else
-          show
-            (match Omega.maximize p v with
-             | `Max x -> `Val x
-             | `Unsat -> `Unsat
-             | `Unbounded -> `Unbounded))
+      | Some (psrc, qsrc) -> show (Serve.Protocol.Implies (psrc, qsrc)))
+    | "min" | "max" ->
+      split_colon "usage: min x: <constraints>" (fun name src ->
+          let dir = if cmd = "min" then `Min else `Max in
+          show (Serve.Protocol.Optimize { dir; var = name; problem = src }))
     | "help" ->
       print_endline
         "commands: sat P | project VARS: P | dark VARS: P | real VARS: P |
         \          gist P given Q | implies P => Q | min VAR: P | max VAR: P |
         \          help | quit"
     | "quit" | "exit" -> raise Exit
-    | other -> Printf.printf "unknown command %s (try 'help')
-" other
+    | other -> Printf.printf "unknown command %s (try 'help')\n" other
   end
 
 let repl_cmd =
@@ -386,13 +249,8 @@ let repl_cmd =
          | None -> raise Exit
          | Some line -> (
            try repl_eval line with
-           | Lang.Parser.Error (msg, _) -> Printf.printf "parse error: %s
-" msg
-           | Failure msg -> Printf.printf "error: %s
-" msg
            | Budget.Exhausted r ->
-             Printf.printf "gave up (%s)
-" (Budget.reason_to_string r))
+             Printf.printf "gave up (%s)\n" (Budget.reason_to_string r))
        done
      with Exit -> ());
     print_endline "bye"

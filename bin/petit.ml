@@ -48,8 +48,9 @@ let in_bounds_arg =
 (* Per-query resource budgets (see DESIGN.md, "Resource governance").
    Exhaustion never aborts the analysis: the affected query reports
    [gave up] and its client falls back to the sound conservative
-   answer. *)
-let budget_term =
+   answer.  The flags build a Protocol.budget_spec so the same values
+   can ride a --connect request unchanged. *)
+let budget_spec_term =
   let fuel_arg =
     Arg.(
       value
@@ -78,20 +79,30 @@ let budget_term =
       & info [ "deadline-ms" ] ~docv:"MS"
           ~doc:"Wall-clock deadline per solver query, in milliseconds.")
   in
-  let make fuel splinters disjuncts deadline_ms =
-    let d = Omega.Budget.default in
-    {
-      Omega.Budget.fuel = Option.value fuel ~default:d.Omega.Budget.fuel;
-      splinters = Option.value splinters ~default:d.Omega.Budget.splinters;
-      disjuncts = Option.value disjuncts ~default:d.Omega.Budget.disjuncts;
-      deadline_ms =
-        (match deadline_ms with
-        | Some _ -> deadline_ms
-        | None -> d.Omega.Budget.deadline_ms);
-    }
+  let make b_fuel b_splinters b_disjuncts b_deadline_ms =
+    { Serve.Protocol.b_fuel; b_splinters; b_disjuncts; b_deadline_ms }
   in
   Term.(
     const make $ fuel_arg $ splinters_arg $ disjuncts_arg $ deadline_arg)
+
+(* A local run honors the flags verbatim (they may exceed the default,
+   unlike a daemon request, which is clamped to the daemon's quota). *)
+let limits_of_spec (s : Serve.Protocol.budget_spec) =
+  let d = Omega.Budget.default in
+  {
+    Omega.Budget.fuel =
+      Option.value s.Serve.Protocol.b_fuel ~default:d.Omega.Budget.fuel;
+    splinters =
+      Option.value s.Serve.Protocol.b_splinters
+        ~default:d.Omega.Budget.splinters;
+    disjuncts =
+      Option.value s.Serve.Protocol.b_disjuncts
+        ~default:d.Omega.Budget.disjuncts;
+    deadline_ms =
+      (match s.Serve.Protocol.b_deadline_ms with
+      | Some _ as d -> d
+      | None -> d.Omega.Budget.deadline_ms);
+  }
 
 let with_budget limits f =
   Omega.Budget.Telemetry.reset ();
@@ -100,10 +111,85 @@ let with_budget limits f =
 let print_governance () =
   Printf.printf "governance: %s\n" (Omega.Budget.Telemetry.summary ())
 
+(* ------------------------------------------------------------------ *)
+(* Daemon client mode                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print the result as JSON — the same payload a petitd daemon \
+           returns for this request.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:
+          "Send the request to a running petitd at ADDR (a Unix-socket \
+           path or host:port) instead of analyzing in-process.  Implies \
+           JSON output.")
+
+let source file =
+  if Sys.file_exists file then
+    In_channel.with_open_bin file In_channel.input_all
+  else Corpus.find file
+
+let daemon_request addr req =
+  let fail msg =
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  in
+  match Serve.Protocol.addr_of_string addr with
+  | Error msg -> fail msg
+  | Ok a -> (
+    match Serve.Client.connect a with
+    | Error msg -> fail msg
+    | Ok c ->
+      let r = Serve.Client.request c req in
+      Serve.Client.close c;
+      (match r with Error msg -> fail msg | Ok resp -> resp))
+
+(* Payload on stdout (diffable against a local --json run), cache
+   telemetry on stderr. *)
+let print_daemon_result resp =
+  let open Serve.Protocol in
+  match Serve.Client.result_payload resp with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Ok (payload, memo) ->
+    print_endline (Serve.Json.pretty payload);
+    (match memo with
+    | Some m ->
+      Printf.eprintf
+        "memo: this request %d hit(s), %d miss(es); daemon lifetime %d \
+         hit(s), %d miss(es), %d/%d entries, %d evicted\n"
+        m.mr_req_hits m.mr_req_misses m.mr_hits m.mr_misses m.mr_size
+        m.mr_capacity m.mr_evictions
+    | None -> ())
+
 let analyze_cmd =
-  let run file in_bounds limits =
+  let run file in_bounds spec json connect =
+    match connect with
+    | Some addr ->
+      print_daemon_result
+        (daemon_request addr
+           (Serve.Protocol.Analyze
+              { program = source file; in_bounds; budget = spec }))
+    | None when json ->
+      with_errors @@ fun () ->
+      with_budget (limits_of_spec spec) @@ fun () ->
+      let prog = Lang.Sema.analyze (load file) in
+      Analyses.Memo.reset ();
+      print_endline
+        (Serve.Json.pretty (Serve.Service.analyze_payload ~in_bounds prog))
+    | None ->
     with_errors @@ fun () ->
-    with_budget limits @@ fun () ->
+    with_budget (limits_of_spec spec) @@ fun () ->
     let prog = Lang.Sema.analyze (load file) in
     Analyses.Stats.reset ();
     Analyses.Memo.reset ();
@@ -147,7 +233,9 @@ let analyze_cmd =
        ~doc:
          "Full analysis: flow dependences classified live/dead with \
           refinement, covering and killing.")
-    Term.(const run $ file_arg $ in_bounds_arg $ budget_term)
+    Term.(
+      const run $ file_arg $ in_bounds_arg $ budget_spec_term $ json_arg
+      $ connect_arg)
 
 let parallelize_cmd =
   let oracle_arg =
@@ -195,9 +283,38 @@ let parallelize_cmd =
              overlay stores ($(b,interp)), or compiled bytecode over a flat \
              arena with slab privatization ($(b,vm)).")
   in
-  let run file in_bounds limits oracle exec backend domains syms =
+  let run file in_bounds spec json connect oracle exec backend domains syms =
+    (match connect with
+    | Some addr ->
+      if oracle || exec then begin
+        prerr_endline
+          "error: --oracle and --exec run programs locally and cannot be \
+           combined with --connect";
+        exit 1
+      end;
+      print_daemon_result
+        (daemon_request addr
+           (Serve.Protocol.Parallelize
+              { program = source file; in_bounds; budget = spec }));
+      exit 0
+    | None -> ());
+    if json then begin
+      if oracle || exec then begin
+        prerr_endline "error: --json covers the analysis report only; drop \
+                       --oracle/--exec";
+        exit 1
+      end;
+      with_errors (fun () ->
+          with_budget (limits_of_spec spec) @@ fun () ->
+          let prog = Lang.Sema.analyze (load file) in
+          Analyses.Memo.reset ();
+          print_endline
+            (Serve.Json.pretty
+               (Serve.Service.parallelize_payload ~in_bounds prog)));
+      exit 0
+    end;
     with_errors @@ fun () ->
-    with_budget limits @@ fun () ->
+    with_budget (limits_of_spec spec) @@ fun () ->
     let prog = Lang.Sema.analyze (load file) in
     let g = Xform.Graph.build ~in_bounds prog in
     let vs = Xform.Parallel.analyze g in
@@ -339,8 +456,9 @@ let parallelize_cmd =
          "Per-loop doall legality, standard vs extended analysis, with the \
           annotated program.")
     Term.(
-      const run $ file_arg $ in_bounds_arg $ budget_term $ oracle_arg
-      $ exec_arg $ backend_arg $ domains_arg $ syms_arg)
+      const run $ file_arg $ in_bounds_arg $ budget_spec_term $ json_arg
+      $ connect_arg $ oracle_arg $ exec_arg $ backend_arg $ domains_arg
+      $ syms_arg)
 
 let graph_cmd =
   let format_arg =
@@ -533,6 +651,32 @@ let symbolic_cmd =
       const run $ file_arg $ src_arg $ dst_arg $ restraint_arg $ hide_arg
       $ induction_arg)
 
+let connect_required =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:"Address of the running petitd (Unix-socket path or host:port).")
+
+let serve_stats_cmd =
+  let run addr =
+    print_daemon_result (daemon_request addr Serve.Protocol.Stats)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Request counters, verdict-cache telemetry and the budget quota \
+          of a running petitd.")
+    Term.(const run $ connect_required)
+
+let shutdown_cmd =
+  let run addr =
+    print_daemon_result (daemon_request addr Serve.Protocol.Shutdown)
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask a running petitd to shut down.")
+    Term.(const run $ connect_required)
+
 let corpus_cmd =
   let run name =
     match name with
@@ -562,4 +706,6 @@ let () =
             run_cmd;
             symbolic_cmd;
             corpus_cmd;
+            serve_stats_cmd;
+            shutdown_cmd;
           ]))

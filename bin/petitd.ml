@@ -1,0 +1,135 @@
+(* petitd: the analysis daemon.  Binds a Unix-domain or TCP socket,
+   keeps one verdict cache warm across every connection, and serves
+   analyze / parallelize / omega_calc / stats requests over the
+   length-prefixed JSON protocol (lib/serve).  Per-request budgets are
+   clamped to the quota set here, so one pathological client degrades
+   its own queries to [gave up] instead of starving the rest. *)
+
+open Cmdliner
+
+let addr_term =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv) (the default, at \
+                $(b,/tmp/petitd.sock)).")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Listen on TCP $(docv) instead.")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST"
+          ~doc:"Interface to bind with $(b,--port).")
+  in
+  let make socket port host =
+    match (socket, port) with
+    | Some _, Some _ ->
+      `Error (false, "--socket and --port are mutually exclusive")
+    | None, Some p -> `Ok (Serve.Protocol.Tcp (host, p))
+    | Some s, None -> `Ok (Serve.Protocol.Unix_path s)
+    | None, None -> `Ok (Serve.Protocol.Unix_path "/tmp/petitd.sock")
+  in
+  Term.(ret (const make $ socket_arg $ port_arg $ host_arg))
+
+let memo_capacity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "memo-capacity" ] ~docv:"N"
+        ~doc:"Bound on the shared verdict cache (entries; FIFO eviction \
+              beyond it).")
+
+let max_frame_arg =
+  Arg.(
+    value
+    & opt int Serve.Protocol.default_max_frame
+    & info [ "max-frame" ] ~docv:"BYTES"
+        ~doc:"Largest accepted request frame.")
+
+(* The daemon-wide budget ceiling: per-request budgets are clamped to
+   it (Protocol.clamp_budget), never raised above it. *)
+let quota_term =
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Elimination-step quota per solver query.")
+  in
+  let splinters_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "splinters" ] ~docv:"N"
+          ~doc:"Splinter-problem quota per solver query.")
+  in
+  let disjuncts_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "disjuncts" ] ~docv:"N"
+          ~doc:"DNF-disjunct quota per Presburger formula.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Wall-clock quota per solver query, in milliseconds.")
+  in
+  let make fuel splinters disjuncts deadline_ms =
+    let d = Omega.Budget.default in
+    {
+      Omega.Budget.fuel = Option.value fuel ~default:d.Omega.Budget.fuel;
+      splinters = Option.value splinters ~default:d.Omega.Budget.splinters;
+      disjuncts = Option.value disjuncts ~default:d.Omega.Budget.disjuncts;
+      deadline_ms =
+        (match deadline_ms with
+        | Some _ as d -> d
+        | None -> d.Omega.Budget.deadline_ms);
+    }
+  in
+  Term.(const make $ fuel_arg $ splinters_arg $ disjuncts_arg $ deadline_arg)
+
+let () =
+  let run addr memo_capacity max_frame quota =
+    let config =
+      {
+        (Serve.Server.default_config addr) with
+        Serve.Server.c_max_frame = max_frame;
+        c_memo_capacity = memo_capacity;
+        c_quota = quota;
+      }
+    in
+    (match addr with
+    | Serve.Protocol.Unix_path p ->
+      Printf.eprintf "petitd: listening on %s\n%!" p
+    | Serve.Protocol.Tcp (h, p) ->
+      Printf.eprintf "petitd: listening on %s:%d\n%!" h p);
+    match Serve.Server.run config with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, arg) ->
+      Printf.eprintf "petitd: %s%s\n" (Unix.error_message e)
+        (if arg = "" then "" else ": " ^ arg);
+      exit 1
+  in
+  let info =
+    Cmd.info "petitd" ~version:"1.0"
+      ~doc:
+        "Dependence-analysis daemon: petit's analyses as a service over a \
+         Unix or TCP socket, with a shared verdict cache and per-client \
+         budget quotas."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            const run $ addr_term $ memo_capacity_arg $ max_frame_arg
+            $ quota_term)))

@@ -69,6 +69,22 @@ module Memo = struct
   let table : (string, Budget.verdict * Budget.limits) Hashtbl.t =
     Hashtbl.create 4096
 
+  (* The daemon shares one cache across connection threads, so the
+     table, the eviction queue, and the counters live behind a mutex.
+     The lock covers only lookup and insertion — solver work happens
+     outside it — so contention is a hash probe, not an elimination. *)
+  let lock = Mutex.create ()
+
+  let locked f =
+    Mutex.lock lock;
+    match f () with
+    | v ->
+      Mutex.unlock lock;
+      v
+    | exception e ->
+      Mutex.unlock lock;
+      raise e
+
   (* The cache is bounded: beyond [capacity] entries the oldest keys are
      evicted first-in-first-out.  FIFO (rather than LRU) keeps hits
      O(1) with no bookkeeping on the hot path; corpus-shaped workloads
@@ -78,37 +94,56 @@ module Memo = struct
   let capacity = ref 32_768
   let order : string Queue.t = Queue.create ()
 
-  let size () = Hashtbl.length table
+  let size () = locked (fun () -> Hashtbl.length table)
 
   let reset () =
-    Hashtbl.reset table;
-    Queue.clear order;
-    stats.hits <- 0;
-    stats.misses <- 0;
-    stats.evictions <- 0
+    locked (fun () ->
+        Hashtbl.reset table;
+        Queue.clear order;
+        stats.hits <- 0;
+        stats.misses <- 0;
+        stats.evictions <- 0)
 
   let hit_rate () =
-    let total = stats.hits + stats.misses in
-    if total = 0 then 0. else float_of_int stats.hits /. float_of_int total
+    locked (fun () ->
+        let total = stats.hits + stats.misses in
+        if total = 0 then 0.
+        else float_of_int stats.hits /. float_of_int total)
 
   let replayable (verdict, lims) =
     match verdict with
     | Budget.Proved | Budget.Disproved -> true
     | Budget.Gave_up _ -> Budget.le !Budget.limits lims
 
-  let add key entry =
-    let fresh = not (Hashtbl.mem table key) in
-    Hashtbl.replace table key entry;
-    if fresh then begin
-      Queue.push key order;
-      while Hashtbl.length table > !capacity && not (Queue.is_empty order) do
-        let victim = Queue.pop order in
-        if Hashtbl.mem table victim then begin
-          Hashtbl.remove table victim;
-          stats.evictions <- stats.evictions + 1
-        end
-      done
-    end
+  let add key verdict =
+    (* Read the ambient limits before taking the lock: the entry
+       records the budget the verdict was computed under. *)
+    let entry = (verdict, !Budget.limits) in
+    locked (fun () ->
+        let fresh = not (Hashtbl.mem table key) in
+        Hashtbl.replace table key entry;
+        if fresh then begin
+          Queue.push key order;
+          while
+            Hashtbl.length table > !capacity && not (Queue.is_empty order)
+          do
+            let victim = Queue.pop order in
+            if Hashtbl.mem table victim then begin
+              Hashtbl.remove table victim;
+              stats.evictions <- stats.evictions + 1
+            end
+          done
+        end)
+
+  let find key =
+    locked (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some entry when replayable entry ->
+          stats.hits <- stats.hits + 1;
+          Some (fst entry)
+        | _ ->
+          stats.misses <- stats.misses + 1;
+          None)
 end
 
 (* Serializing a coefficient or a canonical id re-enters [string_of_int]
@@ -232,14 +267,14 @@ let implies_exists_verdict ?(label = "query") ~hyp lhs ~evars rhs :
   if (not !Memo.enabled) || Budget.fault_injection_active () then compute ()
   else begin
     let key = memo_key ~hyp lhs ~evars rhs in
-    match Hashtbl.find_opt Memo.table key with
-    | Some entry when Memo.replayable entry ->
-      Memo.stats.Memo.hits <- Memo.stats.Memo.hits + 1;
-      fst entry
-    | _ ->
-      Memo.stats.Memo.misses <- Memo.stats.Memo.misses + 1;
+    match Memo.find key with
+    | Some verdict -> verdict
+    | None ->
+      (* Two threads racing on a fresh key both compute and both add;
+         the solver is deterministic, so the duplicated work is the only
+         cost and the second [add] just replaces an equal entry. *)
       let verdict = compute () in
-      Memo.add key (verdict, !Budget.limits);
+      Memo.add key verdict;
       verdict
   end
 

@@ -57,6 +57,23 @@ module Memo : sig
   val hit_rate : unit -> float
   (** Hits over total queries since the last [reset]; [0.] when no
       query ran. *)
+
+  (** {2 Concurrency}
+
+      The table, the eviction queue, and the counters are guarded by an
+      internal mutex, so the cache is safe to share across threads (the
+      petitd daemon keeps one warm across every connection).  The lock
+      covers lookups and insertions only — never solver work — and the
+      counter fields of {!stats} must be read, not written, by
+      clients. *)
+
+  val find : string -> Budget.verdict option
+  (** Replayable cached verdict under the current ambient
+      {!Budget.limits}; counts a hit or a miss. *)
+
+  val add : string -> Budget.verdict -> unit
+  (** Record a verdict computed under the current ambient
+      {!Budget.limits}, evicting FIFO beyond {!capacity}. *)
 end
 
 val implies_exists_verdict :

@@ -1,0 +1,22 @@
+(** The omega_calc operations as one shared evaluation path: the
+    [omega_calc] CLI (plain and [--json]) and the daemon's [omega_calc]
+    requests all answer through {!eval}, so their results are
+    structurally identical by construction. *)
+
+type result =
+  | R_sat of bool
+  | R_implies of bool
+  | R_project of string list
+      (** rendered disjuncts of the projection; [[]] means FALSE *)
+  | R_gist of [ `Tautology | `False | `Gist of string ]
+  | R_opt of [ `Val of string | `Unsat | `Unbounded ]
+
+val eval : Protocol.calc_op -> (result, string) Stdlib.result
+(** [Error msg] covers parse failures and unknown variables.  A blown
+    budget escapes as {!Omega.Budget.Exhausted} (the calculator talks to
+    the solver without a query boundary); callers map it to their
+    gave-up surface. *)
+
+val result_json : result -> Json.t
+val result_plain : result -> string
+(** The CLI's historical one-answer-per-line rendering. *)

@@ -1,0 +1,78 @@
+type t = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let connect ?(max_frame = Protocol.default_max_frame) addr =
+  let sockaddr =
+    match addr with
+    | Protocol.Unix_path p -> Ok (Unix.ADDR_UNIX p)
+    | Protocol.Tcp (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | ip -> Ok (Unix.ADDR_INET (ip, port))
+      | exception Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } ->
+          Error (Printf.sprintf "cannot resolve %s" host)
+        | exception Not_found ->
+          Error (Printf.sprintf "cannot resolve %s" host)
+        | h -> Ok (Unix.ADDR_INET (h.Unix.h_addr_list.(0), port))))
+  in
+  match sockaddr with
+  | Error _ as e -> e
+  | Ok sa -> (
+    let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () -> Ok { fd; max_frame; next_id = 1; closed = false }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s"
+           (Protocol.addr_to_string addr) (Unix.error_message e)))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let request t req =
+  if t.closed then Error "connection is closed"
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let frame = Json.to_string (Protocol.encode_request ~id req) in
+    match Protocol.write_frame t.fd frame with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error ("write failed: " ^ Unix.error_message e)
+    | () -> (
+      match Protocol.read_frame ~max:t.max_frame t.fd with
+      | Error Protocol.Closed -> Error "server closed the connection"
+      | Error Protocol.Truncated -> Error "truncated response frame"
+      | Error (Protocol.Oversized n | Protocol.Poisoned n) ->
+        Error (Printf.sprintf "response frame of %d bytes is too large" n)
+      | Ok payload -> (
+        match Json.parse payload with
+        | Error msg -> Error ("invalid response JSON: " ^ msg)
+        | Ok json -> (
+          match Protocol.decode_response json with
+          | Error msg -> Error ("invalid response: " ^ msg)
+          | Ok resp ->
+            let rid =
+              match resp with
+              | Protocol.Result { id; _ } | Protocol.Error_ { id; _ } -> id
+            in
+            (* id 0 marks server-side failures decoding the request id *)
+            if rid = id || rid = 0 then Ok resp
+            else
+              Error
+                (Printf.sprintf "response id %d does not match request %d"
+                   rid id))))
+  end
+
+let result_payload = function
+  | Protocol.Result { payload; memo; _ } -> Ok (payload, memo)
+  | Protocol.Error_ { code; message; _ } ->
+    Error (Protocol.error_code_to_string code ^ ": " ^ message)

@@ -1,0 +1,19 @@
+(** Typed client for the petitd wire protocol: one connection, one
+    outstanding request at a time, ids managed internally. *)
+
+type t
+
+val connect : ?max_frame:int -> Protocol.addr -> (t, string) result
+val close : t -> unit
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and block for its response.  [Error] means the
+    transport or the response decoding failed (the connection should be
+    abandoned); protocol-level failures come back as
+    [Ok (Protocol.Error_ ...)].  A response whose id does not match the
+    request is a transport error. *)
+
+val result_payload :
+  Protocol.response -> (Json.t * Protocol.memo_report option, string) result
+(** Collapse a response into its payload (and memo telemetry),
+    rendering protocol errors as ["code: message"] strings. *)

@@ -1,0 +1,235 @@
+(* Accept loop and per-connection sessions.  All analytical work is
+   serialized inside Service (the Omega meter is ambient state); the
+   threads here only do socket I/O, so slow readers never hold the
+   solver lock. *)
+
+type config = {
+  c_addr : Protocol.addr;
+  c_max_frame : int;
+  c_memo_capacity : int option;
+  c_quota : Omega.Budget.limits;
+  c_backlog : int;
+}
+
+let default_config addr =
+  {
+    c_addr = addr;
+    c_max_frame = Protocol.default_max_frame;
+    c_memo_capacity = None;
+    c_quota = Omega.Budget.default;
+    c_backlog = 16;
+  }
+
+type t = {
+  config : config;
+  service : Service.t;
+  listen_fd : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  lock : Mutex.t;
+  mutable stopping : bool;
+  mutable sessions : Thread.t list;
+}
+
+let service t = t.service
+let addr t = t.config.c_addr
+
+let sockaddr_of = function
+  | Protocol.Unix_path p -> Unix.ADDR_UNIX p
+  | Protocol.Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } ->
+          failwith (Printf.sprintf "cannot resolve %s" host)
+        | h -> h.Unix.h_addr_list.(0)
+        | exception Not_found ->
+          failwith (Printf.sprintf "cannot resolve %s" host))
+    in
+    Unix.ADDR_INET (ip, port)
+
+let write_response fd resp =
+  match Protocol.write_frame fd (Json.to_string (Protocol.encode_response resp)) with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+  | exception Sys_error _ -> false
+
+let stop t =
+  Mutex.lock t.lock;
+  let was = t.stopping in
+  t.stopping <- true;
+  Mutex.unlock t.lock;
+  if not was then (
+    (* Unblock the accept loop.  shutdown works for TCP; for Unix
+       sockets close is what interrupts accept. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+
+(* One connection: read frames until EOF, a poisoned frame, or a
+   shutdown request.  Frame-level failures that leave the stream in
+   sync (oversized, bad JSON, bad request shape) earn an error response
+   and the loop continues. *)
+let session t fd peer =
+  Service.note_connect t.service;
+  let stop_server = ref false in
+  let rec loop () =
+    match Protocol.read_frame ~max:t.config.c_max_frame fd with
+    | Error Protocol.Closed | Error Protocol.Truncated -> ()
+    | Error (Protocol.Poisoned n) ->
+      ignore
+        (write_response fd
+           (Protocol.Error_
+              {
+                id = 0;
+                code = Protocol.Frame_too_large;
+                message =
+                  Printf.sprintf
+                    "frame of %d bytes is beyond recovery; closing" n;
+              }))
+    | Error (Protocol.Oversized n) ->
+      let ok =
+        write_response fd
+          (Protocol.Error_
+             {
+               id = 0;
+               code = Protocol.Frame_too_large;
+               message =
+                 Printf.sprintf "frame of %d bytes exceeds the %d-byte limit"
+                   n t.config.c_max_frame;
+             })
+      in
+      if ok then loop ()
+    | Ok payload -> (
+      match Json.parse payload with
+      | Error msg ->
+        let ok =
+          write_response fd
+            (Protocol.Error_
+               {
+                 id = 0;
+                 code = Protocol.Bad_request;
+                 message = "invalid JSON: " ^ msg;
+               })
+        in
+        if ok then loop ()
+      | Ok json -> (
+        match Protocol.decode_request json with
+        | Error msg ->
+          let id =
+            match Json.member "id" json with
+            | Some j -> Option.value (Json.to_int_opt j) ~default:0
+            | None -> 0
+          in
+          let ok =
+            write_response fd
+              (Protocol.Error_
+                 { id; code = Protocol.Bad_request; message = msg })
+          in
+          if ok then loop ()
+        | Ok (id, req) ->
+          let resp, verdict = Service.handle t.service ~peer ~id req in
+          let ok = write_response fd resp in
+          (match verdict with
+          | `Shutdown -> stop_server := true
+          | `Continue -> if ok then loop ())))
+  in
+  (try loop () with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Service.note_disconnect t.service;
+  if !stop_server then stop t
+
+let accept_loop t =
+  let rec go () =
+    let accepted =
+      try `Conn (Unix.accept t.listen_fd)
+      with Unix.Unix_error (e, _, _) -> (
+        match e with
+        | Unix.EBADF | Unix.EINVAL -> `Stop
+        | Unix.ECONNABORTED | Unix.EINTR when not t.stopping -> `Retry
+        | _ -> `Stop)
+    in
+    match accepted with
+    | `Stop -> ()
+    | `Retry -> go ()
+    | `Conn (fd, peer_addr) ->
+      if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+      else begin
+        let peer =
+          match peer_addr with
+          | Unix.ADDR_UNIX _ -> "unix"
+          | Unix.ADDR_INET (ip, port) ->
+            Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+        in
+        let th = Thread.create (fun () -> session t fd peer) () in
+        Mutex.lock t.lock;
+        t.sessions <- th :: t.sessions;
+        Mutex.unlock t.lock;
+        go ()
+      end
+  in
+  go ()
+
+let start config =
+  (* A peer vanishing mid-write must surface as EPIPE, not kill the
+     daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let sockaddr = sockaddr_of config.c_addr in
+  (match config.c_addr with
+  | Protocol.Unix_path p ->
+    (* A stale socket file from a dead daemon would make bind fail. *)
+    (try if (Unix.lstat p).Unix.st_kind = Unix.S_SOCK then Unix.unlink p
+     with Unix.Unix_error _ -> ())
+  | Protocol.Tcp _ -> ());
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     if domain <> Unix.PF_UNIX then Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd sockaddr;
+     Unix.listen fd config.c_backlog
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let service =
+    Service.create ?memo_capacity:config.c_memo_capacity
+      ~quota:config.c_quota ()
+  in
+  let t =
+    {
+      config;
+      service;
+      listen_fd = fd;
+      accept_thread = None;
+      lock = Mutex.create ();
+      stopping = false;
+      sessions = [];
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (* Sessions can still be spawned only before the accept loop exits,
+     so the list is now stable modulo completed threads. *)
+  let rec drain () =
+    Mutex.lock t.lock;
+    let ss = t.sessions in
+    t.sessions <- [];
+    Mutex.unlock t.lock;
+    match ss with
+    | [] -> ()
+    | _ ->
+      List.iter Thread.join ss;
+      drain ()
+  in
+  drain ();
+  match t.config.c_addr with
+  | Protocol.Unix_path p ->
+    (try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Protocol.Tcp _ -> ()
+
+let run config =
+  let t = start config in
+  wait t

@@ -1,0 +1,40 @@
+(** The petitd socket server: an accept loop over a Unix-domain or TCP
+    socket, one session thread per connection, all requests served by a
+    shared {!Service.t}.
+
+    Connection failures are contained: a malformed or oversized frame
+    earns an error response on the same connection, a truncated frame or
+    dropped peer closes only that session.  A [shutdown] request (or
+    {!stop}) closes the listening socket, lets in-flight sessions
+    finish, and {!wait} returns. *)
+
+type config = {
+  c_addr : Protocol.addr;
+  c_max_frame : int;  (** per-frame payload cap, bytes *)
+  c_memo_capacity : int option;  (** verdict-cache bound; [None] keeps the default *)
+  c_quota : Omega.Budget.limits;  (** per-request budget ceiling *)
+  c_backlog : int;
+}
+
+val default_config : Protocol.addr -> config
+
+type t
+
+val start : config -> t
+(** Bind, listen, and return with the accept loop running in a
+    background thread.  Raises [Unix.Unix_error] if the address cannot
+    be bound. *)
+
+val service : t -> Service.t
+val addr : t -> Protocol.addr
+
+val wait : t -> unit
+(** Block until the server shuts down (via a [shutdown] request or
+    {!stop}) and every session thread has been joined. *)
+
+val stop : t -> unit
+(** Ask the server to stop accepting; idempotent. *)
+
+val run : config -> unit
+(** [start] + [wait]: the blocking entry point used by the petitd
+    binary. *)

@@ -1,0 +1,330 @@
+(* The request-to-response core of petitd.
+
+   Threading model: the solver stack (ambient budget meter, variable
+   allocator, tuning counters) is single-domain mutable state, so every
+   piece of analytical work — parsing included, since sema and the
+   dependence context mint variables from a global counter — runs under
+   [solver_lock].  Connection threads overlap on socket I/O only.  The
+   verdict memo is shared across requests deliberately: a warm daemon
+   answers repeated queries from cache, and each response reports how
+   much of it this request hit. *)
+
+open Omega
+module D = Depend
+
+exception Calc_error of string
+
+type stats = {
+  mutable s_analyze : int;
+  mutable s_parallelize : int;
+  mutable s_calc : int;
+  mutable s_stats : int;
+  mutable s_errors : int;
+  mutable s_conns : int;  (* currently open *)
+  mutable s_conns_total : int;
+}
+
+type t = {
+  solver_lock : Mutex.t;
+  quota : Budget.limits;
+  stats_lock : Mutex.t;
+  stats : stats;
+}
+
+let create ?memo_capacity ?(quota = Budget.default) () =
+  (match memo_capacity with
+  | Some cap -> D.Analyses.Memo.capacity := max 1 cap
+  | None -> ());
+  D.Analyses.Memo.reset ();
+  {
+    solver_lock = Mutex.create ();
+    quota;
+    stats_lock = Mutex.create ();
+    stats =
+      {
+        s_analyze = 0;
+        s_parallelize = 0;
+        s_calc = 0;
+        s_stats = 0;
+        s_errors = 0;
+        s_conns = 0;
+        s_conns_total = 0;
+      };
+  }
+
+let quota t = t.quota
+
+let bump t f =
+  Mutex.lock t.stats_lock;
+  f t.stats;
+  Mutex.unlock t.stats_lock
+
+let note_connect t =
+  bump t (fun s ->
+      s.s_conns <- s.s_conns + 1;
+      s.s_conns_total <- s.s_conns_total + 1)
+
+let note_disconnect t = bump t (fun s -> s.s_conns <- s.s_conns - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic payloads                                              *)
+(* ------------------------------------------------------------------ *)
+
+let strs xs = Json.List (List.map (fun s -> Json.Str s) xs)
+let ints xs = Json.List (List.map (fun i -> Json.Int i) xs)
+
+let vectors_json vs = strs (List.map D.Dirvec.to_string vs)
+
+let access_fields prefix (a : Lang.Ir.access) =
+  [ (prefix, Json.Str a.Lang.Ir.label) ]
+
+let dep_json (d : D.Deps.dep) =
+  Json.Obj
+    (access_fields "src" d.D.Deps.src
+    @ access_fields "dst" d.D.Deps.dst
+    @ [
+        ("array", Json.Str d.D.Deps.src.Lang.Ir.array);
+        ("kind", Json.Str (D.Deps.kind_to_string d.D.Deps.kind));
+        ("vectors", vectors_json d.D.Deps.vectors);
+        ("levels", ints d.D.Deps.levels);
+        ("assumed", Json.Bool d.D.Deps.assumed);
+      ])
+
+let flow_json (fr : D.Driver.flow_result) =
+  let dead =
+    match fr.D.Driver.dead with
+    | None -> Json.Null
+    | Some (D.Driver.Killed k) ->
+      Json.Obj
+        [ ("reason", Json.Str "killed"); ("by", Json.Str k.Lang.Ir.label) ]
+    | Some (D.Driver.Covered c) ->
+      Json.Obj
+        [ ("reason", Json.Str "covered"); ("by", Json.Str c.Lang.Ir.label) ]
+  in
+  let refined =
+    match fr.D.Driver.refined with
+    | None -> Json.Null
+    | Some vs -> vectors_json vs
+  in
+  Json.Obj
+    [
+      ("dep", dep_json fr.D.Driver.dep);
+      ("refined", refined);
+      ("covers", Json.Bool fr.D.Driver.covers);
+      ("dead", dead);
+    ]
+
+let analyze_payload ~in_bounds (prog : Lang.Ir.program) =
+  let r = D.Driver.analyze ~in_bounds prog in
+  Json.Obj
+    [
+      ( "live_flows",
+        Json.List (List.map flow_json (D.Driver.live_flows r)) );
+      ( "dead_flows",
+        Json.List (List.map flow_json (D.Driver.dead_flows r)) );
+      ("antis", Json.List (List.map dep_json r.D.Driver.antis));
+      ("outputs", Json.List (List.map dep_json r.D.Driver.outputs));
+    ]
+
+let priv_json (p : Xform.Privatize.priv) =
+  Json.Obj
+    [
+      ("array", Json.Str p.Xform.Privatize.p_array);
+      ("copy_in", Json.Bool p.Xform.Privatize.p_copy_in);
+      ("finalize", Json.Bool p.Xform.Privatize.p_finalize);
+    ]
+
+let parallelize_payload ~in_bounds (prog : Lang.Ir.program) =
+  let g = Xform.Graph.build ~in_bounds prog in
+  let vs = Xform.Parallel.analyze g in
+  let std, ext = Xform.Parallel.count_doall vs in
+  let verdict (v : Xform.Parallel.verdict) =
+    Json.Obj
+      [
+        ("loop", Json.Str (Xform.Parallel.loop_path v.Xform.Parallel.v_loop));
+        ("std_doall", Json.Bool v.Xform.Parallel.v_std_doall);
+        ("ext_doall", Json.Bool v.Xform.Parallel.v_ext_doall);
+        ( "std_blockers",
+          strs
+            (List.map Xform.Parallel.blocker_string
+               v.Xform.Parallel.v_std_blockers) );
+        ( "ext_blockers",
+          strs
+            (List.map Xform.Parallel.blocker_string
+               v.Xform.Parallel.v_ext_blockers) );
+        ( "privatized",
+          Json.List (List.map priv_json v.Xform.Parallel.v_private) );
+      ]
+  in
+  Json.Obj
+    [
+      ("loops", Json.List (List.map verdict vs));
+      ("std_doall", Json.Int std);
+      ("ext_doall", Json.Int ext);
+      ("annotated", Json.Str (Xform.Emit.annotate g vs));
+    ]
+
+let governance_json () =
+  let t = Budget.Telemetry.stats in
+  let s = D.Analyses.Stats.stats in
+  Json.Obj
+    [
+      ("queries", Json.Int t.Budget.Telemetry.queries);
+      ( "gave_up",
+        Json.Obj
+          [
+            ("fuel", Json.Int t.Budget.Telemetry.gave_up_fuel);
+            ("splinters", Json.Int t.Budget.Telemetry.gave_up_splinters);
+            ("disjuncts", Json.Int t.Budget.Telemetry.gave_up_disjuncts);
+            ("deadline", Json.Int t.Budget.Telemetry.gave_up_deadline);
+            ("injected", Json.Int t.Budget.Telemetry.gave_up_injected);
+          ] );
+      ("peak_fuel", Json.Int t.Budget.Telemetry.peak_fuel);
+      ("peak_splinters", Json.Int t.Budget.Telemetry.peak_splinters);
+      ("worst_query", Json.Str t.Budget.Telemetry.worst_label);
+      ("worst_fuel", Json.Int t.Budget.Telemetry.worst_fuel);
+      ( "screens",
+        Json.Obj
+          [
+            ("quick", Json.Int s.D.Analyses.Stats.quick_screen_hits);
+            ("fast_path", Json.Int s.D.Analyses.Stats.fast_path_hits);
+            ("general", Json.Int s.D.Analyses.Stats.general_calls);
+          ] );
+    ]
+
+let memo_report ~req_hits ~req_misses =
+  let m = D.Analyses.Memo.stats in
+  {
+    Protocol.mr_req_hits = req_hits;
+    mr_req_misses = req_misses;
+    mr_hits = m.D.Analyses.Memo.hits;
+    mr_misses = m.D.Analyses.Memo.misses;
+    mr_size = D.Analyses.Memo.size ();
+    mr_capacity = !D.Analyses.Memo.capacity;
+    mr_evictions = m.D.Analyses.Memo.evictions;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One governed unit of solver work: the solver lock, fresh per-request
+   telemetry, the clamped budget, and the memo hit/miss deltas for the
+   response. *)
+let solve t budget (f : unit -> Json.t) :
+    (Json.t * Protocol.memo_report * Json.t, exn) result =
+  Mutex.lock t.solver_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.solver_lock)
+    (fun () ->
+      Budget.Telemetry.reset ();
+      D.Analyses.Stats.reset ();
+      let m = D.Analyses.Memo.stats in
+      let h0 = m.D.Analyses.Memo.hits and s0 = m.D.Analyses.Memo.misses in
+      match
+        Budget.with_limits (Protocol.clamp_budget budget t.quota) f
+      with
+      | payload ->
+        Ok
+          ( payload,
+            memo_report
+              ~req_hits:(m.D.Analyses.Memo.hits - h0)
+              ~req_misses:(m.D.Analyses.Memo.misses - s0),
+            governance_json () )
+      | exception e -> Error e)
+
+let err t ~id code message =
+  bump t (fun s -> s.s_errors <- s.s_errors + 1);
+  (Protocol.Error_ { id; code; message }, `Continue)
+
+let program_request t ~id ~program ~in_bounds ~budget payload_of =
+  match
+    solve t budget (fun () ->
+        let prog = Lang.Sema.analyze (Lang.Parser.parse_string program) in
+        payload_of ~in_bounds prog)
+  with
+  | Ok (payload, memo, governance) ->
+    ( Protocol.Result
+        { id; payload; memo = Some memo; governance = Some governance },
+      `Continue )
+  | Error (Lang.Parser.Error (msg, pos)) ->
+    err t ~id Protocol.Parse_error
+      (Printf.sprintf "line %d, column %d: %s" pos.Lang.Ast.line
+         pos.Lang.Ast.col msg)
+  | Error (Lang.Sema.Error msg) -> err t ~id Protocol.Semantic_error msg
+  | Error (Invalid_argument msg) -> err t ~id Protocol.Semantic_error msg
+  | Error e -> err t ~id Protocol.Server_error (Printexc.to_string e)
+
+let stats_payload t =
+  let s = t.stats in
+  let m = memo_report ~req_hits:0 ~req_misses:0 in
+  let total = m.Protocol.mr_hits + m.Protocol.mr_misses in
+  Json.Obj
+    [
+      ( "requests",
+        Json.Obj
+          [
+            ("analyze", Json.Int s.s_analyze);
+            ("parallelize", Json.Int s.s_parallelize);
+            ("omega_calc", Json.Int s.s_calc);
+            ("stats", Json.Int s.s_stats);
+            ("errors", Json.Int s.s_errors);
+          ] );
+      ( "connections",
+        Json.Obj
+          [
+            ("open", Json.Int s.s_conns); ("total", Json.Int s.s_conns_total);
+          ] );
+      ("memo", Protocol.memo_json m);
+      ( "memo_hit_rate",
+        Json.Float
+          (if total = 0 then 0.
+           else float_of_int m.Protocol.mr_hits /. float_of_int total) );
+      ( "quota",
+        Json.Obj
+          [
+            ("fuel", Json.Int t.quota.Budget.fuel);
+            ("splinters", Json.Int t.quota.Budget.splinters);
+            ("disjuncts", Json.Int t.quota.Budget.disjuncts);
+            ( "deadline_ms",
+              match t.quota.Budget.deadline_ms with
+              | Some d -> Json.Float d
+              | None -> Json.Null );
+          ] );
+    ]
+
+let handle t ~peer:_ ~id (req : Protocol.request) =
+  match req with
+  | Protocol.Analyze { program; in_bounds; budget } ->
+    bump t (fun s -> s.s_analyze <- s.s_analyze + 1);
+    program_request t ~id ~program ~in_bounds ~budget analyze_payload
+  | Protocol.Parallelize { program; in_bounds; budget } ->
+    bump t (fun s -> s.s_parallelize <- s.s_parallelize + 1);
+    program_request t ~id ~program ~in_bounds ~budget parallelize_payload
+  | Protocol.Omega_calc { op; budget } -> (
+    bump t (fun s -> s.s_calc <- s.s_calc + 1);
+    match
+      solve t budget (fun () ->
+          match Calc.eval op with
+          | Ok r -> Calc.result_json r
+          | Error msg -> raise (Calc_error msg))
+    with
+    | Ok (payload, memo, governance) ->
+      ( Protocol.Result
+          { id; payload; memo = Some memo; governance = Some governance },
+        `Continue )
+    | Error (Budget.Exhausted r) ->
+      err t ~id Protocol.Gave_up
+        (Printf.sprintf "budget exhausted (%s)" (Budget.reason_to_string r))
+    | Error (Calc_error msg) -> err t ~id Protocol.Parse_error msg
+    | Error e -> err t ~id Protocol.Server_error (Printexc.to_string e))
+  | Protocol.Stats ->
+    bump t (fun s -> s.s_stats <- s.s_stats + 1);
+    ( Protocol.Result
+        { id; payload = stats_payload t; memo = None; governance = None },
+      `Continue )
+  | Protocol.Shutdown ->
+    ( Protocol.Result
+        { id; payload = Json.Obj [ ("shutdown", Json.Bool true) ];
+          memo = None; governance = None },
+      `Shutdown )

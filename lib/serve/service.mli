@@ -1,0 +1,56 @@
+(** The analysis service behind petitd: turns decoded protocol requests
+    into responses over a shared, long-lived solver state.
+
+    The Omega solver stack meters work through ambient, dynamically
+    scoped state (see {!Omega.Budget}), so analytical work is serialized
+    behind one solver lock; connection threads overlap only on I/O.
+    The verdict cache ({!Depend.Analyses.Memo}) persists across requests
+    and clients — that sharing is the daemon's whole point — and every
+    response reports its telemetry, both lifetime and per-request.
+
+    Per-client fairness is budget governance, not preemption: each
+    request's limits are clamped to the service quota
+    ({!Protocol.clamp_budget}), so a pathological query burns its own
+    budget, degrades to [Gave_up] conservatively, and the next request
+    (any tenant's) starts with a fresh meter. *)
+
+type t
+
+val create :
+  ?memo_capacity:int -> ?quota:Omega.Budget.limits -> unit -> t
+(** Fresh service state: resets the verdict cache (and bounds it at
+    [memo_capacity] when given); [quota] is the per-request budget
+    ceiling (default {!Omega.Budget.default}). *)
+
+val quota : t -> Omega.Budget.limits
+
+val handle :
+  t -> peer:string -> id:int -> Protocol.request ->
+  Protocol.response * [ `Continue | `Shutdown ]
+(** Serve one request.  Never raises: program/problem errors and blown
+    calculator budgets come back as protocol errors.  [`Shutdown] is
+    returned exactly for a shutdown request (whose response still must
+    be written). *)
+
+val note_connect : t -> unit
+val note_disconnect : t -> unit
+(** Connection accounting for the stats payload; called by the server. *)
+
+(** {1 Deterministic payloads}
+
+    Exposed so the CLI's [--json] mode and the serving bench's
+    fresh-in-process cross-check build byte-identical answers through
+    the very functions the daemon uses.  Both run the analysis
+    themselves; they only read ambient budget limits, so wrap them in
+    {!Omega.Budget.with_limits} to reproduce a request's budget. *)
+
+val analyze_payload : in_bounds:bool -> Lang.Ir.program -> Json.t
+val parallelize_payload : in_bounds:bool -> Lang.Ir.program -> Json.t
+
+val governance_json : unit -> Json.t
+(** Current solver telemetry + quick-screen counters, as attached to
+    responses.  Not part of the deterministic payload: a warm cache
+    legitimately answers with fewer solver queries than a cold one. *)
+
+val memo_report : req_hits:int -> req_misses:int -> Protocol.memo_report
+(** Lifetime memo counters paired with the given per-request deltas. *)

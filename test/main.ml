@@ -12,4 +12,5 @@ let () =
       Test_misc.suite;
       Test_robust.suite;
       Test_perf.suite;
+      Test_serve.suite;
     ]

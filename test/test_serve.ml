@@ -1,0 +1,571 @@
+(* The serving subsystem: JSON round-trips, wire-protocol framing,
+   server survival under malformed input, concurrent-client determinism
+   and the thread safety of the shared verdict cache.
+
+   Server tests run a real petitd core on a Unix socket under /tmp and
+   talk to it with the typed client; every test that wounds a
+   connection (oversized frame, truncated frame) then proves the server
+   still answers — failures must be contained to the connection that
+   caused them. *)
+
+open Serve
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_roundtrip j =
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> Json.equal j j'
+  | Error _ -> false
+
+let test_json_basic () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 0.1;
+      Json.Float (-1e300);
+      Json.Float 3.0;
+      Json.Str "";
+      Json.Str "a\"b\\c\nd\te\x01f";
+      Json.Str "héllo – ωmega";
+      Json.List [];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.List [ Json.Int 1; Json.Null; Json.Str "x" ]);
+          ("b", Json.Obj [ ("nested", Json.Bool false) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      check bool_t ("roundtrip " ^ Json.to_string j) true (json_roundtrip j))
+    samples;
+  (* pretty output parses back to the same value too *)
+  let j =
+    Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.Float 2.5 ]) ]
+  in
+  (match Json.parse (Json.pretty j) with
+  | Ok j' -> check bool_t "pretty roundtrip" true (Json.equal j j')
+  | Error e -> Alcotest.failf "pretty did not parse: %s" e);
+  (* escapes decode *)
+  (match Json.parse {|"Aé😀\n"|} with
+  | Ok (Json.Str s) -> check string_t "unicode escapes" "Aé😀\n" s
+  | _ -> Alcotest.fail "unicode escape parse failed");
+  (* garbage is an error, not an exception *)
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parsed garbage %S" s)
+    [ ""; "{"; "[1,"; "tru"; "1 2"; "\"unterminated"; "{\"a\":}"; "nan" ]
+
+let json_gen : Json.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float f) (float_bound_inclusive 1e15);
+        map (fun s -> Json.Str s) string_printable;
+      ]
+  in
+  let rec sized n =
+    if n <= 0 then scalar
+    else
+      frequency
+        [
+          (2, scalar);
+          (1, map (fun xs -> Json.List xs) (list_size (0 -- 4) (sized (n / 2))));
+          ( 1,
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (0 -- 4)
+                 (pair string_printable (sized (n / 2)))) );
+        ]
+  in
+  QCheck.make ~print:Json.to_string (sized 4)
+
+let qcheck_json_roundtrip =
+  QCheck.Test.make ~name:"serialize/parse is the identity" ~count:500
+    json_gen json_roundtrip
+
+let qcheck_parse_total =
+  QCheck.Test.make ~name:"parse never raises on random bytes" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_bound 64))
+    (fun s ->
+      match Json.parse s with
+      | Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round-trips                                                *)
+(* ------------------------------------------------------------------ *)
+
+let some_budget =
+  {
+    Protocol.b_fuel = Some 1000;
+    b_splinters = None;
+    b_disjuncts = Some 64;
+    b_deadline_ms = Some 12.5;
+  }
+
+let all_requests : Protocol.request list =
+  [
+    Protocol.Analyze
+      { program = "for i := 1 to n do\na(i) := 0\nendfor";
+        in_bounds = true; budget = Protocol.no_budget };
+    Protocol.Analyze
+      { program = ""; in_bounds = false; budget = some_budget };
+    Protocol.Parallelize
+      { program = "x := 1"; in_bounds = false; budget = some_budget };
+    Protocol.Omega_calc
+      { op = Protocol.Sat "0 <= x <= 5"; budget = Protocol.no_budget };
+    Protocol.Omega_calc
+      { op = Protocol.Implies ("x >= 1", "x >= 0"); budget = some_budget };
+    Protocol.Omega_calc
+      {
+        op =
+          Protocol.Project
+            { mode = `Exact; onto = [ "x"; "y" ]; problem = "x = 2*y" };
+        budget = Protocol.no_budget;
+      };
+    Protocol.Omega_calc
+      {
+        op = Protocol.Project { mode = `Dark; onto = []; problem = "x = 1" };
+        budget = Protocol.no_budget;
+      };
+    Protocol.Omega_calc
+      {
+        op = Protocol.Project { mode = `Real; onto = [ "z" ]; problem = "z < 9" };
+        budget = Protocol.no_budget;
+      };
+    Protocol.Omega_calc
+      {
+        op = Protocol.Gist { problem = "x >= 0 and x <= 5"; given = "x >= 3" };
+        budget = Protocol.no_budget;
+      };
+    Protocol.Omega_calc
+      {
+        op = Protocol.Optimize { dir = `Min; var = "x"; problem = "x >= 7" };
+        budget = Protocol.no_budget;
+      };
+    Protocol.Omega_calc
+      {
+        op = Protocol.Optimize { dir = `Max; var = "x"; problem = "x <= -3" };
+        budget = some_budget;
+      };
+    Protocol.Stats;
+    Protocol.Shutdown;
+  ]
+
+let memo_sample =
+  {
+    Protocol.mr_req_hits = 3;
+    mr_req_misses = 1;
+    mr_hits = 10;
+    mr_misses = 7;
+    mr_size = 7;
+    mr_capacity = 64;
+    mr_evictions = 0;
+  }
+
+let all_responses : Protocol.response list =
+  [
+    Protocol.Result
+      { id = 1; payload = Json.Obj [ ("sat", Json.Bool true) ];
+        memo = None; governance = None };
+    Protocol.Result
+      {
+        id = 42;
+        payload = Json.List [ Json.Int 1; Json.Str "x" ];
+        memo = Some memo_sample;
+        governance = Some (Json.Obj [ ("queries", Json.Int 9) ]);
+      };
+    Protocol.Error_
+      { id = 7; code = Protocol.Parse_error; message = "line 1: nope" };
+    Protocol.Error_
+      { id = 0; code = Protocol.Frame_too_large; message = "too big" };
+    Protocol.Error_ { id = 3; code = Protocol.Gave_up; message = "fuel" };
+    Protocol.Error_ { id = 3; code = Protocol.Bad_request; message = "?" };
+    Protocol.Error_ { id = 3; code = Protocol.Semantic_error; message = "s" };
+    Protocol.Error_ { id = 3; code = Protocol.Server_error; message = "e" };
+  ]
+
+(* Round-trips are checked on the canonical encoded string: decode of
+   the encoding must re-encode to the same bytes. *)
+let test_protocol_roundtrip () =
+  List.iteri
+    (fun i req ->
+      let j = Protocol.encode_request ~id:(i + 1) req in
+      let s = Json.to_string j in
+      match Protocol.decode_request j with
+      | Error e -> Alcotest.failf "request %d did not decode: %s" i e
+      | Ok (id, req') ->
+        check int_t "id" (i + 1) id;
+        check string_t
+          (Printf.sprintf "request %d" i)
+          s
+          (Json.to_string (Protocol.encode_request ~id req')))
+    all_requests;
+  List.iteri
+    (fun i resp ->
+      let j = Protocol.encode_response resp in
+      let s = Json.to_string j in
+      match Protocol.decode_response j with
+      | Error e -> Alcotest.failf "response %d did not decode: %s" i e
+      | Ok resp' ->
+        check string_t
+          (Printf.sprintf "response %d" i)
+          s
+          (Json.to_string (Protocol.encode_response resp')))
+    all_responses
+
+let test_decode_rejects () =
+  List.iter
+    (fun j ->
+      match Protocol.decode_request j with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "decoded bad request %s" (Json.to_string j))
+    [
+      Json.Null;
+      Json.Obj [];
+      Json.Obj [ ("id", Json.Int 1) ];
+      Json.Obj [ ("id", Json.Int 1); ("op", Json.Str "frobnicate") ];
+      Json.Obj [ ("id", Json.Str "one"); ("op", Json.Str "stats") ];
+      Json.Obj [ ("id", Json.Int 1); ("op", Json.Str "analyze") ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* A live server on a Unix socket                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "/tmp/petitd-test-%d-%d.sock" (Unix.getpid ()) !n
+
+let with_server ?max_frame f =
+  let path = fresh_path () in
+  let config =
+    match max_frame with
+    | None -> Server.default_config (Protocol.Unix_path path)
+    | Some m ->
+      { (Server.default_config (Protocol.Unix_path path)) with
+        Server.c_max_frame = m }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Server.wait server;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f path)
+
+let connect_exn path =
+  match Client.connect (Protocol.Unix_path path) with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let request_exn c req =
+  match Client.request c req with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "request: %s" e
+
+let expect_error code resp =
+  match resp with
+  | Protocol.Error_ e ->
+    check string_t "error code"
+      (Protocol.error_code_to_string code)
+      (Protocol.error_code_to_string e.code)
+  | Protocol.Result _ -> Alcotest.fail "expected an error response"
+
+let test_server_calc () =
+  with_server @@ fun path ->
+  let c = connect_exn path in
+  (match
+     request_exn c
+       (Protocol.Omega_calc
+          { op = Protocol.Sat "0 <= x <= 5 and 2*x = 3";
+            budget = Protocol.no_budget })
+   with
+  | Protocol.Result { payload; _ } ->
+    check bool_t "unsat"
+      true
+      (Json.equal payload (Json.Obj [ ("sat", Json.Bool false) ]))
+  | Protocol.Error_ e -> Alcotest.failf "calc failed: %s" e.message);
+  (* an unparsable problem is an error response, not a dead server *)
+  expect_error Protocol.Parse_error
+    (request_exn c
+       (Protocol.Omega_calc
+          { op = Protocol.Sat "0 <= <="; budget = Protocol.no_budget }));
+  (* and the connection still answers *)
+  (match
+     request_exn c
+       (Protocol.Omega_calc
+          { op = Protocol.Implies ("x >= 1", "x >= 0");
+            budget = Protocol.no_budget })
+   with
+  | Protocol.Result { payload; _ } ->
+    check bool_t "implies" true
+      (Json.equal payload (Json.Obj [ ("implies", Json.Bool true) ]))
+  | Protocol.Error_ e -> Alcotest.failf "implies failed: %s" e.message);
+  Client.close c
+
+let test_server_malformed_frame () =
+  with_server @@ fun path ->
+  let c = connect_exn path in
+  (* raw socket next to the typed client: a frame of garbage bytes *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Protocol.write_frame fd "this is not json {";
+  (match Protocol.read_frame ~max:Protocol.default_max_frame fd with
+  | Ok payload -> (
+    match Json.parse payload with
+    | Ok j -> (
+      match Protocol.decode_response j with
+      | Ok resp -> expect_error Protocol.Bad_request resp
+      | Error e -> Alcotest.failf "undecodable error response: %s" e)
+    | Error e -> Alcotest.failf "error response is not JSON: %s" e)
+  | Error _ -> Alcotest.fail "no response to the malformed frame");
+  (* a valid request on the same wounded connection still works *)
+  Protocol.write_frame fd
+    (Json.to_string (Protocol.encode_request ~id:9 Protocol.Stats));
+  (match Protocol.read_frame ~max:Protocol.default_max_frame fd with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "connection died after a malformed frame");
+  Unix.close fd;
+  (* and so do other clients *)
+  (match request_exn c Protocol.Stats with
+  | Protocol.Result _ -> ()
+  | Protocol.Error_ _ -> Alcotest.fail "stats failed after malformed frame");
+  Client.close c
+
+let test_server_oversized_frame () =
+  with_server ~max_frame:256 @@ fun path ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Protocol.write_frame fd (String.make 1024 'x');
+  (match Protocol.read_frame ~max:Protocol.default_max_frame fd with
+  | Ok payload -> (
+    match Json.parse payload with
+    | Ok j -> (
+      match Protocol.decode_response j with
+      | Ok resp -> expect_error Protocol.Frame_too_large resp
+      | Error e -> Alcotest.failf "undecodable error response: %s" e)
+    | Error e -> Alcotest.failf "error response is not JSON: %s" e)
+  | Error _ -> Alcotest.fail "no response to the oversized frame");
+  (* the oversized payload was drained: the stream is still in sync *)
+  Protocol.write_frame fd
+    (Json.to_string (Protocol.encode_request ~id:2 Protocol.Stats));
+  (match Protocol.read_frame ~max:Protocol.default_max_frame fd with
+  | Ok payload -> (
+    match Json.parse payload with
+    | Ok j -> (
+      match Protocol.decode_response j with
+      | Ok (Protocol.Result { id; _ }) -> check int_t "id" 2 id
+      | Ok (Protocol.Error_ e) ->
+        Alcotest.failf "stats errored: %s" e.message
+      | Error e -> Alcotest.failf "undecodable response: %s" e)
+    | Error e -> Alcotest.failf "response is not JSON: %s" e)
+  | Error _ -> Alcotest.fail "connection died after an oversized frame");
+  Unix.close fd
+
+let test_server_truncated_frame () =
+  with_server @@ fun path ->
+  (* announce 100 bytes, send 10, hang up mid-frame *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let header = Bytes.create 4 in
+  Bytes.set_uint8 header 0 0;
+  Bytes.set_uint8 header 1 0;
+  Bytes.set_uint8 header 2 0;
+  Bytes.set_uint8 header 3 100;
+  ignore (Unix.write fd header 0 4);
+  ignore (Unix.write_substring fd "0123456789" 0 10);
+  Unix.close fd;
+  (* the server dropped that session only: new connections answer *)
+  let c = connect_exn path in
+  (match request_exn c Protocol.Stats with
+  | Protocol.Result _ -> ()
+  | Protocol.Error_ _ -> Alcotest.fail "stats failed after truncated frame");
+  Client.close c
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent clients: same corpus, 1 vs 8 clients, verdicts identical *)
+(* ------------------------------------------------------------------ *)
+
+let determinism_programs =
+  [
+    "example1"; "example2"; "example3"; "example4"; "example5"; "example9";
+    "temp_reuse"; "cholsky";
+  ]
+  |> List.filter_map (fun n ->
+         match Corpus.find n with
+         | src -> Some (n, src)
+         | exception Invalid_argument _ -> None)
+
+(* Fresh in-process expectations, through the very payload builders the
+   daemon uses. *)
+let expected_payloads () =
+  Depend.Analyses.Memo.reset ();
+  List.map
+    (fun (name, src) ->
+      let prog = Lang.Sema.analyze (Lang.Parser.parse_string src) in
+      ( name,
+        Json.to_string (Service.analyze_payload ~in_bounds:false prog),
+        Json.to_string (Service.parallelize_payload ~in_bounds:false prog) ))
+    determinism_programs
+
+let run_clients path ~clients ~programs =
+  (* Each client replays the whole corpus; results land in a per-client
+     slot, compared after the joins. *)
+  let results =
+    Array.make clients ([] : (string * string * string) list)
+  in
+  let errors = Array.make clients "" in
+  let worker k () =
+    match Client.connect (Protocol.Unix_path path) with
+    | Error e -> errors.(k) <- e
+    | Ok c ->
+      let rs =
+        List.map
+          (fun (name, src) ->
+            let payload req =
+              match Client.request c req with
+              | Error e -> Printf.sprintf "<transport error: %s>" e
+              | Ok resp -> (
+                match Client.result_payload resp with
+                | Ok (p, _) -> Json.to_string p
+                | Error e -> Printf.sprintf "<error: %s>" e)
+            in
+            ( name,
+              payload
+                (Protocol.Analyze
+                   { program = src; in_bounds = false;
+                     budget = Protocol.no_budget }),
+              payload
+                (Protocol.Parallelize
+                   { program = src; in_bounds = false;
+                     budget = Protocol.no_budget }) ))
+          programs
+      in
+      Client.close c;
+      results.(k) <- rs
+  in
+  let threads =
+    List.init clients (fun k -> Thread.create (worker k) ())
+  in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun k e -> if e <> "" then Alcotest.failf "client %d: %s" k e)
+    errors;
+  Array.to_list results
+
+let test_concurrent_determinism () =
+  let expected = expected_payloads () in
+  let check_result client (name, an, par) =
+    let _, ean, epar =
+      List.find (fun (n, _, _) -> n = name) expected
+    in
+    check string_t (Printf.sprintf "%s analyze (client %d)" name client)
+      ean an;
+    check string_t (Printf.sprintf "%s parallelize (client %d)" name client)
+      epar par
+  in
+  (* one client, cold daemon *)
+  with_server (fun path ->
+      List.iteri
+        (fun _ rs -> List.iter (check_result 0) rs)
+        (run_clients path ~clients:1 ~programs:determinism_programs));
+  (* eight clients hammering a fresh daemon concurrently *)
+  with_server (fun path ->
+      let per_client =
+        run_clients path ~clients:8 ~programs:determinism_programs
+      in
+      List.iteri
+        (fun k rs -> List.iter (check_result k) rs)
+        per_client;
+      (* the shared cache was actually shared: lifetime hits observed *)
+      let c = connect_exn path in
+      (match request_exn c Protocol.Stats with
+      | Protocol.Result { payload; _ } ->
+        let hits =
+          match Json.member "memo" payload with
+          | Some m ->
+            Option.value ~default:0
+              (Option.bind (Json.member "hits" m) Json.to_int_opt)
+          | None -> 0
+        in
+        check bool_t "memo hits > 0 across clients" true (hits > 0)
+      | Protocol.Error_ _ -> Alcotest.fail "stats failed");
+      Client.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Memo thread safety                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_stress () =
+  let open Depend.Analyses in
+  let saved_capacity = !Memo.capacity in
+  Fun.protect
+    ~finally:(fun () ->
+      Memo.capacity := saved_capacity;
+      Memo.reset ())
+    (fun () ->
+      Memo.capacity := 64;
+      Memo.reset ();
+      let threads = 8 and rounds = 2000 in
+      let worker k () =
+        for i = 0 to rounds - 1 do
+          (* overlapping key ranges: plenty of sharing and eviction *)
+          let key = Printf.sprintf "k%d" ((i + (k * 37)) mod 512) in
+          (match Memo.find key with
+          | Some _ -> ()
+          | None ->
+            Memo.add key
+              (if i land 1 = 0 then Omega.Budget.Proved
+               else Omega.Budget.Disproved));
+          let size = Memo.size () in
+          if size > 64 then
+            Alcotest.failf "cache exceeded capacity: %d > 64" size
+        done
+      in
+      let ts = List.init threads (fun k -> Thread.create (worker k) ()) in
+      List.iter Thread.join ts;
+      let m = Memo.stats in
+      let total = m.Memo.hits + m.Memo.misses in
+      check int_t "every probe accounted" (threads * rounds) total;
+      check bool_t "bounded" true (Memo.size () <= 64))
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "json round-trips" `Quick test_json_basic;
+      QCheck_alcotest.to_alcotest qcheck_json_roundtrip;
+      QCheck_alcotest.to_alcotest qcheck_parse_total;
+      Alcotest.test_case "protocol round-trips" `Quick
+        test_protocol_roundtrip;
+      Alcotest.test_case "bad requests rejected" `Quick test_decode_rejects;
+      Alcotest.test_case "server: calc requests" `Quick test_server_calc;
+      Alcotest.test_case "server: malformed frame survives" `Quick
+        test_server_malformed_frame;
+      Alcotest.test_case "server: oversized frame survives" `Quick
+        test_server_oversized_frame;
+      Alcotest.test_case "server: truncated frame contained" `Quick
+        test_server_truncated_frame;
+      Alcotest.test_case "1 vs 8 clients, identical verdicts" `Slow
+        test_concurrent_determinism;
+      Alcotest.test_case "memo: concurrent stress" `Quick test_memo_stress;
+    ] )
