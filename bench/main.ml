@@ -207,6 +207,42 @@ let pair_timings () : pair_timing list =
         writes)
     Corpus.timing_population
 
+(* The same figure 6/7 pair population, verdicts only (no timings): a
+   canonical line per write/read pair — dependence vectors, whether a
+   general extended test ran, whether the vectors split.  The --domains
+   differential runs this serial and sharded and demands equality.
+   Programs are the sharding unit ([Par.map_list] keeps input order, and
+   is exactly [List.map] at width 1). *)
+let pair_verdicts () : string list =
+  Par.map_list
+    (fun name ->
+      let prog = Lang.Sema.parse_and_analyze (Corpus.find name) in
+      let ctx = Depctx.create prog in
+      let outputs = Deps.all ctx Deps.Output in
+      let writes = Lang.Ir.writes prog and reads = Lang.Ir.reads prog in
+      List.concat_map
+        (fun (a : Lang.Ir.access) ->
+          List.filter_map
+            (fun (b : Lang.Ir.access) ->
+              if a.Lang.Ir.array <> b.Lang.Ir.array then None
+              else begin
+                let dep =
+                  match Deps.compute ctx ~src:a ~dst:b ~kind:Deps.Flow with
+                  | None -> "none"
+                  | Some d ->
+                    String.concat ","
+                      (List.map Dirvec.to_string d.Deps.vectors)
+                in
+                let ran, split = extended_pair ctx outputs a b in
+                Some
+                  (Printf.sprintf "%s %s->%s %s ran=%b split=%b" name
+                     a.Lang.Ir.label b.Lang.Ir.label dep ran split)
+              end)
+            reads)
+        writes)
+    Corpus.timing_population
+  |> List.concat
+
 let figure6_left (timings : pair_timing list) =
   section "Figure 6 (left): extended vs standard analysis time per array pair";
   Printf.printf "%d write/read array pairs (paper: 417)\n" (List.length timings);
@@ -1115,7 +1151,7 @@ let robustness_suite ~out ~seeds () =
                       faulty.ro_live))
               programs;
             let injected =
-              Omega.Budget.Telemetry.stats
+              (Omega.Budget.Telemetry.current ())
                 .Omega.Budget.Telemetry.gave_up_injected
             in
             if injected = 0 then
@@ -1373,11 +1409,12 @@ let measure_subject ~reps cfg_opt s =
   (s.as_name, t_opt, t_abl, o_opt, o_abl)
 
 let json_of_analysis ~smoke ~repeat ~flags ~geo ~corpus ~pairs_speedup
-    ~geo_programs ~divergences ~rows ~ablation_rows =
+    ~geo_programs ~divergences ~rows ~ablation_rows ~parallel =
   let order, redundancy, hashcons = flags in
   let corpus_abl, corpus_opt, corpus_speedup = corpus in
   Json.Obj
-    [
+    (parallel
+    @ [
       ("smoke", Json.Bool smoke);
       ("repeat", Json.Int repeat);
       ( "flags",
@@ -1419,9 +1456,10 @@ let json_of_analysis ~smoke ~repeat ~flags ~geo ~corpus ~pairs_speedup
                    ("slowdown", jf (ratio t_off t_on));
                  ])
              ablation_rows) );
-    ]
+    ])
 
-let analysis_suite ~smoke ~repeat ~out ~order ~redundancy ~hashcons () =
+let analysis_suite ~smoke ~repeat ~out ~order ~redundancy ~hashcons ~domains
+    () =
   section
     (Printf.sprintf
        "Analysis time: solver core (order=%b redundancy=%b hashcons=%b) vs \
@@ -1553,12 +1591,132 @@ let analysis_suite ~smoke ~repeat ~out ~order ~redundancy ~hashcons () =
         ]
     end
   in
+  (* --- serial vs domain-sharded differential (the --domains gate):
+     the same corpus pass and the same fig 6/7 pair population, once at
+     width 1 and once sharded, must produce structurally identical
+     outcomes — dependence sets, direction vectors, doall verdicts.
+     Only the clock may change. *)
+  let parallel_fields =
+    match domains with
+    | None -> []
+    | Some n ->
+      let n = max 2 n in
+      (* Whole programs are the sharding unit: one task re-analyzes one
+         subject, so the expensive stress nests run concurrently with
+         the rest of the corpus, and the per-destination sharding inside
+         [Driver.analyze] stays inline on the worker ([Par.map] nests
+         without re-entering the pool).  At width 1 [Par.map_list] is
+         exactly [List.map], so the serial pass is untouched. *)
+      let corpus_pass () =
+        Par.map_list (fun s -> (s.as_name, analysis_outcome s.as_prog)) subjects
+      in
+      let pass () =
+        time (fun () ->
+            under cfg_opt (fun () -> (corpus_pass (), pair_verdicts ())))
+      in
+      Par.set_domains 1;
+      let (serial_out, serial_pairs), t_serial = pass () in
+      Par.set_domains n;
+      let (par_out, par_pairs), t_par = pass () in
+      (* per-domain memo traffic over one sharded corpus pass *)
+      Analyses.Memo.reset ();
+      under cfg_opt (fun () ->
+          ignore
+            (Par.map_list
+               (fun s -> ignore (Driver.analyze s.as_prog))
+               subjects));
+      let by_domain = Analyses.Memo.domain_stats () in
+      Par.set_domains 1;
+      List.iter2
+        (fun (name, (o : robust_outcome)) (_, (p : robust_outcome)) ->
+          if o <> p then begin
+            let d =
+              Printf.sprintf
+                "%s: %d-domain analysis diverges from serial (dead %d/%d, \
+                 live %d/%d, std doall %d/%d, ext doall %d/%d)"
+                name n
+                (List.length p.ro_dead) (List.length o.ro_dead)
+                (List.length p.ro_live) (List.length o.ro_live)
+                (List.length p.ro_std) (List.length o.ro_std)
+                (List.length p.ro_ext) (List.length o.ro_ext)
+            in
+            Printf.printf "VIOLATION: %s\n" d;
+            divergences := !divergences @ [ d ]
+          end)
+        serial_out par_out;
+      if serial_pairs <> par_pairs then begin
+        let d =
+          Printf.sprintf
+            "fig6/7 pair verdicts diverge between serial and %d-domain runs"
+            n
+        in
+        Printf.printf "VIOLATION: %s\n" d;
+        divergences := !divergences @ [ d ]
+      end;
+      let cores = Domain.recommended_domain_count () in
+      Printf.printf
+        "\nserial vs %d domains: corpus+pairs %8.1f ms -> %8.1f ms (x%.2f), \
+         identical verdicts: %b\n"
+        n (ms t_serial) (ms t_par) (ratio t_serial t_par)
+        (not
+           (List.exists2
+              (fun (_, o) (_, p) -> o <> p)
+              serial_out par_out)
+        && serial_pairs = par_pairs);
+      if cores < n then
+        Printf.printf
+          "  (host has %d core(s) for %d domains: the sharded pass \
+           time-slices and pays cross-domain GC sync, so the timing is \
+           not meaningful here — the gate is identity, not speed)\n"
+          cores n;
+      List.iter
+        (fun (d, (m : Analyses.Memo.t)) ->
+          let tot = m.Analyses.Memo.hits + m.Analyses.Memo.misses in
+          Printf.printf "  domain %d: %d memo hits, %d misses (%.0f%%)\n" d
+            m.Analyses.Memo.hits m.Analyses.Memo.misses
+            (if tot = 0 then 0.
+             else 100. *. float_of_int m.Analyses.Memo.hits /. float_of_int tot))
+        by_domain;
+      [
+        ("domains", Json.Int n);
+        ("host_cores", Json.Int cores);
+        ("serial_ms", jf (ms t_serial));
+        ("parallel_ms", jf (ms t_par));
+        ("parallel_speedup", jf (ratio t_serial t_par));
+        ( "parallel_identical",
+          Json.Bool
+            (not
+               (List.exists2
+                  (fun (_, o) (_, p) -> o <> p)
+                  serial_out par_out)
+            && serial_pairs = par_pairs) );
+        ( "memo_by_domain",
+          Json.List
+            (List.map
+               (fun (d, (m : Analyses.Memo.t)) ->
+                 let tot = m.Analyses.Memo.hits + m.Analyses.Memo.misses in
+                 Json.Obj
+                   [
+                     ("domain", Json.Int d);
+                     ("hits", Json.Int m.Analyses.Memo.hits);
+                     ("misses", Json.Int m.Analyses.Memo.misses);
+                     ( "hit_rate",
+                       jf
+                         (if tot = 0 then 0.
+                          else
+                            float_of_int m.Analyses.Memo.hits
+                            /. float_of_int tot) );
+                   ])
+               by_domain) );
+      ]
+  in
   write_json ~out
     (json_of_analysis ~smoke ~repeat ~flags:(order, redundancy, hashcons)
        ~geo
        ~corpus:(corpus_abl, corpus_opt, corpus_speedup)
        ~pairs_speedup:(ratio pairs_abl pairs_opt)
-       ~geo_programs ~divergences:!divergences ~rows ~ablation_rows);
+       ~geo_programs ~divergences:!divergences ~rows ~ablation_rows
+       ~parallel:parallel_fields);
   if !divergences <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1695,13 +1853,16 @@ let serve_pass_json ~samples ~wall =
         Json.Int (List.fold_left (fun a s -> a + s.sv_req_misses) 0 samples) );
     ]
 
-let serve_suite ~smoke ~clients ~out () =
+let serve_suite ~smoke ~clients ~domains ~out () =
   section
     (Printf.sprintf
        "Serving: petitd, %d concurrent client%s replaying the corpus, cold \
-        and warm%s"
+        and warm%s%s"
        clients
        (if clients = 1 then "" else "s")
+       (match domains with
+       | Some n -> Printf.sprintf ", %d solver domain(s)" (max 1 n)
+       | None -> "")
        (if smoke then ", smoke" else ""));
   let programs = serve_programs ~smoke in
   (* Fresh in-process expectations first: the server shares this
@@ -1722,7 +1883,14 @@ let serve_suite ~smoke ~clients ~out () =
       programs
   in
   let path = Printf.sprintf "/tmp/petitd-bench-%d.sock" (Unix.getpid ()) in
-  let server = Server.start (Server.default_config (Protocol.Unix_path path)) in
+  let config =
+    let base = Server.default_config (Protocol.Unix_path path) in
+    match domains with
+    | Some n -> { base with Server.c_domains = max 1 n }
+    | None -> base
+  in
+  let server = Server.start config in
+  let sdomains = Service.domains (Server.service server) in
   let violations = ref [] in
   let violate fmt =
     Printf.ksprintf
@@ -1819,13 +1987,16 @@ let serve_suite ~smoke ~clients ~out () =
   print_endline warm_summary;
   let sound = !violations = [] in
   Printf.printf
-    "%d programs x %d clients x 2 ops; daemon identical to in-process: %b\n"
-    (List.length programs) clients sound;
+    "%d programs x %d clients x 2 ops over %d solver domain(s); daemon \
+     identical to in-process: %b\n"
+    (List.length programs) clients sdomains sound;
   write_json ~out
     (Json.Obj
        [
          ("smoke", Json.Bool smoke);
          ("clients", Json.Int clients);
+         ("domains", Json.Int sdomains);
+         ("host_cores", Json.Int (Domain.recommended_domain_count ()));
          ("programs", Json.Int (List.length programs));
          ("cold", cold_json);
          ("warm", warm_json);
@@ -1908,6 +2079,7 @@ let () =
       ~order:(not (List.mem "--no-order" rest))
       ~redundancy:(not (List.mem "--no-redundancy" rest))
       ~hashcons:(not (List.mem "--no-hashcons" rest))
+      ~domains:(Option.map int_of_string (opt "--domains" rest))
       ()
   | _ :: "serve" :: rest ->
     let smoke = List.mem "--smoke" rest in
@@ -1922,13 +2094,15 @@ let () =
       | Some n -> max 1 n
       | None -> 8
     in
-    serve_suite ~smoke ~clients ~out ()
+    serve_suite ~smoke ~clients
+      ~domains:(Option.map int_of_string (opt "--domains" rest))
+      ~out ()
   | _ :: [] | [] -> full_run ()
   | _ ->
     prerr_endline
       "usage: main.exe [speedup [--smoke] [--domains N] [--out FILE] \
        [--repeat N] [--backend vm|interp] | robustness [--out FILE] \
        [--seeds S1,S2] | analysis [--smoke] [--out FILE] [--repeat N] \
-       [--no-order] [--no-redundancy] [--no-hashcons] | serve [--smoke] \
-       [--clients N] [--out FILE]]";
+       [--domains N] [--no-order] [--no-redundancy] [--no-hashcons] | \
+       serve [--smoke] [--clients N] [--domains N] [--out FILE]]";
     exit 2

@@ -172,8 +172,21 @@ let print_daemon_result resp =
         m.mr_capacity m.mr_evictions
     | None -> ())
 
+let analyze_domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Shard the dependence analysis across $(docv) OCaml domains \
+           (default 1: serial).  Verdicts are bit-identical to a serial \
+           run; only wall-clock changes.")
+
 let analyze_cmd =
-  let run file in_bounds spec json connect =
+  let run file in_bounds spec json connect domains =
+    (match domains with
+    | Some n -> Par.set_domains n
+    | None -> ());
     match connect with
     | Some addr ->
       print_daemon_result
@@ -210,7 +223,7 @@ let analyze_cmd =
     (* the section 4.5 / 4.7 claim, visible on every run: most kill, cover
        and refinement questions are settled without consulting the Omega
        test *)
-    let s = Analyses.Stats.stats in
+    let s = Analyses.Stats.current () in
     Printf.printf
       "\nscreens: %d quick-screen hits (no Omega test), %d Omega-test \
        invocations (%d dark-shadow fast path, %d general Presburger)\n"
@@ -235,7 +248,7 @@ let analyze_cmd =
           refinement, covering and killing.")
     Term.(
       const run $ file_arg $ in_bounds_arg $ budget_spec_term $ json_arg
-      $ connect_arg)
+      $ connect_arg $ analyze_domains_arg)
 
 let parallelize_cmd =
   let oracle_arg =

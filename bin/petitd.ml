@@ -53,6 +53,16 @@ let max_frame_arg =
     & info [ "max-frame" ] ~docv:"BYTES"
         ~doc:"Largest accepted request frame.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains running solver work; concurrent sessions analyze \
+           in parallel up to $(docv) (default: the machine's recommended \
+           domain count minus one).")
+
 (* The daemon-wide budget ceiling: per-request budgets are clamped to
    it (Protocol.clamp_budget), never raised above it. *)
 let quota_term =
@@ -99,13 +109,18 @@ let quota_term =
   Term.(const make $ fuel_arg $ splinters_arg $ disjuncts_arg $ deadline_arg)
 
 let () =
-  let run addr memo_capacity max_frame quota =
+  let run addr memo_capacity max_frame quota domains =
+    let base = Serve.Server.default_config addr in
     let config =
       {
-        (Serve.Server.default_config addr) with
+        base with
         Serve.Server.c_max_frame = max_frame;
         c_memo_capacity = memo_capacity;
         c_quota = quota;
+        c_domains =
+          (match domains with
+          | Some n -> max 1 n
+          | None -> base.Serve.Server.c_domains);
       }
     in
     (match addr with
@@ -132,4 +147,4 @@ let () =
        (Cmd.v info
           Term.(
             const run $ addr_term $ memo_capacity_arg $ max_frame_arg
-            $ quota_term)))
+            $ quota_term $ domains_arg)))

@@ -10,7 +10,10 @@
 
 open Omega
 
-(* Statistics for the evaluation section benches. *)
+(* Statistics for the evaluation section benches.  Per-domain, like
+   Budget's telemetry: increments stay plain stores on the hot path and
+   parallel tasks merge their record back at batch boundaries (the scope
+   hook registered with Par below). *)
 module Stats = struct
   type t = {
     mutable fast_path_hits : int;
@@ -18,13 +21,38 @@ module Stats = struct
     mutable quick_screen_hits : int;
   }
 
-  let stats = { fast_path_hits = 0; general_calls = 0; quick_screen_hits = 0 }
+  let make () = { fast_path_hits = 0; general_calls = 0; quick_screen_hits = 0 }
+  let key = Domain.DLS.new_key make
+  let current () = Domain.DLS.get key
+  let reset () = Domain.DLS.set key (make ())
 
-  let reset () =
-    stats.fast_path_hits <- 0;
-    stats.general_calls <- 0;
-    stats.quick_screen_hits <- 0
+  let exchange fresh =
+    let old = current () in
+    Domain.DLS.set key fresh;
+    old
+
+  let merge_into dst src =
+    dst.fast_path_hits <- dst.fast_path_hits + src.fast_path_hits;
+    dst.general_calls <- dst.general_calls + src.general_calls;
+    dst.quick_screen_hits <- dst.quick_screen_hits + src.quick_screen_hits
 end
+
+let () =
+  Par.register_scope_hook (fun () ->
+      let target = Stats.current () in
+      let lock = Mutex.create () in
+      {
+        Par.wrap =
+          (fun f ->
+            let saved = Stats.exchange (Stats.make ()) in
+            let finish () =
+              let mine = Stats.exchange saved in
+              Mutex.lock lock;
+              Stats.merge_into target mine;
+              Mutex.unlock lock
+            in
+            Fun.protect ~finally:finish f);
+      })
 
 (* Ablation switch for the benches: when false, every query goes through
    the complete Presburger procedure instead of trying the dark-shadow +
@@ -85,6 +113,49 @@ module Memo = struct
       Mutex.unlock lock;
       raise e
 
+  (* Attribution of the shared cache's traffic.
+
+     [local]: per-domain hit/miss counters a client may reset and read
+     around a request.  The petitd service reports per-request memo
+     traffic this way: a request's solver work runs entirely on one
+     worker domain, so the domain-local delta is exact even while other
+     sessions hammer the shared table (the old scheme — deltas of the
+     shared lifetime counters — would misattribute concurrent traffic).
+
+     [by_domain]: lifetime per-domain totals, bumped under the same lock
+     as the shared counters; `bench analysis` reports per-domain hit
+     rates from it. *)
+  type local = { mutable l_hits : int; mutable l_misses : int }
+
+  let local_key = Domain.DLS.new_key (fun () -> { l_hits = 0; l_misses = 0 })
+
+  let local_reset () =
+    let l = Domain.DLS.get local_key in
+    l.l_hits <- 0;
+    l.l_misses <- 0
+
+  let local_counts () =
+    let l = Domain.DLS.get local_key in
+    (l.l_hits, l.l_misses)
+
+  let by_domain : (int, t) Hashtbl.t = Hashtbl.create 8
+
+  let domain_slot () =
+    let id = (Domain.self () :> int) in
+    match Hashtbl.find_opt by_domain id with
+    | Some s -> s
+    | None ->
+      let s = { hits = 0; misses = 0; evictions = 0 } in
+      Hashtbl.add by_domain id s;
+      s
+
+  let domain_stats () =
+    locked (fun () ->
+        Hashtbl.fold
+          (fun id s acc -> (id, { s with evictions = s.evictions }) :: acc)
+          by_domain []
+        |> List.sort (fun (a, _) (b, _) -> compare a b))
+
   (* The cache is bounded: beyond [capacity] entries the oldest keys are
      evicted first-in-first-out.  FIFO (rather than LRU) keeps hits
      O(1) with no bookkeeping on the hot path; corpus-shaped workloads
@@ -102,7 +173,8 @@ module Memo = struct
         Queue.clear order;
         stats.hits <- 0;
         stats.misses <- 0;
-        stats.evictions <- 0)
+        stats.evictions <- 0;
+        Hashtbl.reset by_domain)
 
   let hit_rate () =
     locked (fun () ->
@@ -113,12 +185,12 @@ module Memo = struct
   let replayable (verdict, lims) =
     match verdict with
     | Budget.Proved | Budget.Disproved -> true
-    | Budget.Gave_up _ -> Budget.le !Budget.limits lims
+    | Budget.Gave_up _ -> Budget.le (Budget.current_limits ()) lims
 
   let add key verdict =
     (* Read the ambient limits before taking the lock: the entry
        records the budget the verdict was computed under. *)
-    let entry = (verdict, !Budget.limits) in
+    let entry = (verdict, Budget.current_limits ()) in
     locked (fun () ->
         let fresh = not (Hashtbl.mem table key) in
         Hashtbl.replace table key entry;
@@ -136,82 +208,26 @@ module Memo = struct
         end)
 
   let find key =
+    let l = Domain.DLS.get local_key in
     locked (fun () ->
         match Hashtbl.find_opt table key with
         | Some entry when replayable entry ->
           stats.hits <- stats.hits + 1;
+          (domain_slot ()).hits <- (domain_slot ()).hits + 1;
+          l.l_hits <- l.l_hits + 1;
           Some (fst entry)
         | _ ->
           stats.misses <- stats.misses + 1;
+          (domain_slot ()).misses <- (domain_slot ()).misses + 1;
+          l.l_misses <- l.l_misses + 1;
           None)
 end
 
-(* Serializing a coefficient or a canonical id re-enters [string_of_int]
-   constantly with the same small values; a precomputed table of the
-   common range removes the allocation from the memo-key hot path (gated
-   with the other caches on [Tuning.hashcons]). *)
-let int_str =
-  let cache = Array.init 1024 (fun i -> string_of_int (i - 256)) in
-  fun n ->
-    if !Omega.Tuning.hashcons && n >= -256 && n < 768 then
-      Array.unsafe_get cache (n + 256)
-    else string_of_int n
-
-let zint_str z =
-  match Zint.to_int_opt z with
-  | Some n -> int_str n
-  | None -> Zint.to_string z
-
-let memo_key ~(hyp : Constr.t list) (lhs : Problem.t list)
-    ~(evars : Var.t list) (rhs : Problem.t list) : string =
-  let buf = Buffer.create 256 in
-  let canon : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let cid v =
-    let id = Var.id v in
-    match Hashtbl.find_opt canon id with
-    | Some c -> c
-    | None ->
-      let c = Hashtbl.length canon in
-      Hashtbl.add canon id c;
-      c
-  in
-  let kind_char v =
-    match Var.kind v with Var.Input -> 'i' | Var.Sym -> 's' | Var.Wild -> 'w'
-  in
-  let add_lin le =
-    Linexpr.iter_terms
-      (fun v c ->
-        Buffer.add_string buf (zint_str c);
-        Buffer.add_char buf '*';
-        Buffer.add_char buf (kind_char v);
-        Buffer.add_string buf (int_str (cid v));
-        Buffer.add_char buf '+')
-      le;
-    Buffer.add_string buf (zint_str (Linexpr.constant le))
-  in
-  let add_constr c =
-    Buffer.add_char buf
-      (match Constr.kind c with Constr.Eq -> 'E' | Constr.Geq -> 'G');
-    add_lin (Constr.expr c);
-    Buffer.add_char buf ';'
-  in
-  let add_problem p =
-    Buffer.add_char buf '[';
-    List.iter add_constr (Problem.constraints p);
-    Buffer.add_char buf ']'
-  in
-  List.iter add_constr hyp;
-  Buffer.add_char buf '|';
-  List.iter add_problem lhs;
-  Buffer.add_char buf '|';
-  List.iter
-    (fun v ->
-      Buffer.add_string buf (int_str (cid v));
-      Buffer.add_char buf ',')
-    evars;
-  Buffer.add_char buf '|';
-  List.iter add_problem rhs;
-  Buffer.contents buf
+(* The canonical alpha-renamed serialization lives in [Canon]: it is
+   both the memo key (shareable across domains — renumbering by first
+   occurrence erases the allocating domain's id slot) and, prefixed with
+   the query label, the content-derived fault-injection key. *)
+let memo_key ~hyp lhs ~evars rhs = Canon.key ~hyp lhs ~evars rhs
 
 (* [p => exists vs. q] checked first via dark-shadow projection + gist
    implication (sound when it answers [true]), then via the full
@@ -240,11 +256,13 @@ let implies_exists_uncached ~(hyp : Constr.t list) (lhs : Problem.t list)
          lhs
   in
   if fast_ok then begin
-    Stats.stats.fast_path_hits <- Stats.stats.fast_path_hits + 1;
+    let s = Stats.current () in
+    s.Stats.fast_path_hits <- s.Stats.fast_path_hits + 1;
     true
   end
   else begin
-    Stats.stats.general_calls <- Stats.stats.general_calls + 1;
+    let s = Stats.current () in
+    s.Stats.general_calls <- s.Stats.general_calls + 1;
     let open Presburger in
     let f =
       implies_
@@ -261,12 +279,19 @@ let implies_exists_uncached ~(hyp : Constr.t list) (lhs : Problem.t list)
    exception. *)
 let implies_exists_verdict ?(label = "query") ~hyp lhs ~evars rhs :
     Budget.verdict =
+  (* The fault key is the label-tagged canonical form: computed lazily
+     (only when injection is active or the memo needs it), and a pure
+     function of the query's content, so a given query faults
+     identically in serial and sharded runs. *)
+  let canon = lazy (memo_key ~hyp lhs ~evars rhs) in
   let compute () =
-    Budget.decide ~label (fun () -> implies_exists_uncached ~hyp lhs ~evars rhs)
+    Budget.decide ~label
+      ~fault_key:(fun () -> label ^ ":" ^ Lazy.force canon)
+      (fun () -> implies_exists_uncached ~hyp lhs ~evars rhs)
   in
   if (not !Memo.enabled) || Budget.fault_injection_active () then compute ()
   else begin
-    let key = memo_key ~hyp lhs ~evars rhs in
+    let key = Lazy.force canon in
     match Memo.find key with
     | Some verdict -> verdict
     | None ->
@@ -447,8 +472,9 @@ let refine ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access) :
         (fun (_, order) ->
           let p = Problem.add_list (fix_constrs @ order) pair.Deps.base in
           match
-            Budget.run ~label:"refine/minimize" (fun () ->
-                Omega.minimize p pair.Deps.dvars.(l))
+            Budget.run ~label:"refine/minimize"
+              ~fault_key:(fun () -> Canon.of_problems ~tag:"min" [ p ])
+              (fun () -> Omega.minimize p pair.Deps.dvars.(l))
           with
           | Ok (`Min m) -> Zint.to_int_opt m
           | Ok (`Unbounded | `Unsat) -> None
@@ -497,8 +523,9 @@ let refined_vectors ?(in_bounds = false) ctx ~(src : Ir.access)
     (fun (lvl, order) ->
       let p = Problem.add_list (fix_constrs @ order) pair.Deps.base in
       match
-        Budget.run ~label:"refine/vectors" (fun () ->
-            Dirvec.vectors_of_level p pair.Deps.dvars ~carried:lvl)
+        Budget.run ~label:"refine/vectors"
+          ~fault_key:(fun () -> Canon.of_problems ~tag:"rvec" [ p ])
+          (fun () -> Dirvec.vectors_of_level p pair.Deps.dvars ~carried:lvl)
       with
       | Ok vecs -> vecs
       (* give-up: the weakest vectors of the level, never an

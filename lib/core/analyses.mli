@@ -9,6 +9,8 @@
 
 open Omega
 
+(** Per-domain counters (merged across domains by a {!Par} scope hook,
+    so sharded analyses report the same totals as serial ones). *)
 module Stats : sig
   type t = {
     mutable fast_path_hits : int;
@@ -16,8 +18,18 @@ module Stats : sig
     mutable quick_screen_hits : int;
   }
 
-  val stats : t
+  val make : unit -> t
+
+  val current : unit -> t
+  (** The current domain's record. *)
+
   val reset : unit -> unit
+
+  val exchange : t -> t
+  (** Swap the current domain's record, returning the previous one. *)
+
+  val merge_into : t -> t -> unit
+  (** Fold [src] into [dst] (all sums — commutative). *)
 end
 
 val use_fast_path : bool ref
@@ -33,9 +45,11 @@ module Memo : sig
 
   val enabled : bool ref
   (** Verdict cache for {!implies_exists}, keyed on a canonical
-      (alpha-renamed) serialization of the query.  Sound because
-      validity is invariant under variable renaming.  Entries record the
-      {!Budget.limits} they were computed under: completed verdicts
+      (alpha-renamed) serialization of the query ({!Canon.key}) — which
+      also erases variable-id slots, so verdicts are shareable across
+      allocating domains.  Sound because validity is invariant under
+      variable renaming.  Entries record the
+      {!Budget.current_limits} they were computed under: completed verdicts
       replay at any budget, a [Gave_up] only while the current budget is
       no larger than the recorded one.  Fault-injected runs bypass the
       cache.  Disable in timing benches that reproduce per-query
@@ -68,12 +82,29 @@ module Memo : sig
       clients. *)
 
   val find : string -> Budget.verdict option
-  (** Replayable cached verdict under the current ambient
-      {!Budget.limits}; counts a hit or a miss. *)
+  (** Replayable cached verdict under the current domain's
+      {!Budget.current_limits}; counts a hit or a miss. *)
 
   val add : string -> Budget.verdict -> unit
-  (** Record a verdict computed under the current ambient
-      {!Budget.limits}, evicting FIFO beyond {!capacity}. *)
+  (** Record a verdict computed under the current domain's
+      {!Budget.current_limits}, evicting FIFO beyond {!capacity}. *)
+
+  (** {2 Traffic attribution} *)
+
+  val local_reset : unit -> unit
+  (** Zero the calling domain's private hit/miss counters.  A client
+      whose solver work runs on one domain (a petitd request dispatched
+      to a worker) brackets it with [local_reset]/[local_counts] to get
+      an exact per-request memo report, unaffected by concurrent
+      sessions. *)
+
+  val local_counts : unit -> int * int
+  (** The calling domain's private (hits, misses) since
+      {!local_reset}. *)
+
+  val domain_stats : unit -> (int * t) list
+  (** Lifetime cache traffic per domain id, sorted ([evictions] is
+      global and repeated in every row). *)
 end
 
 val implies_exists_verdict :

@@ -1,0 +1,89 @@
+(* Canonical, allocation-independent serialization of solver queries.
+
+   Variables are renumbered by first occurrence in a fixed traversal
+   order (hypotheses, then LHS problems, then the existentials, then RHS
+   problems) and tagged with their kind, so two alpha-equivalent queries
+   built in the same allocation order — on any domain, from any id slot
+   — serialize identically.  This is the key of the verdict memo
+   ([Analyses.Memo], which is what lets domains share verdicts) and,
+   prefixed with the query label, the fault-injection key that makes the
+   injected-fault stream a pure function of query content. *)
+
+open Omega
+
+(* Serializing a coefficient or a canonical id re-enters [string_of_int]
+   constantly with the same small values; a precomputed table of the
+   common range removes the allocation from the key hot path (gated with
+   the other caches on [Tuning.hashcons]). *)
+let int_str =
+  let cache = Array.init 1024 (fun i -> string_of_int (i - 256)) in
+  fun n ->
+    if !Tuning.hashcons && n >= -256 && n < 768 then
+      Array.unsafe_get cache (n + 256)
+    else string_of_int n
+
+let zint_str z =
+  match Zint.to_int_opt z with
+  | Some n -> int_str n
+  | None -> Zint.to_string z
+
+let key ?tag ~(hyp : Constr.t list) (lhs : Problem.t list)
+    ~(evars : Var.t list) (rhs : Problem.t list) : string =
+  let buf = Buffer.create 256 in
+  (match tag with
+  | Some t ->
+    Buffer.add_string buf t;
+    Buffer.add_char buf ':'
+  | None -> ());
+  let canon : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let cid v =
+    let id = Var.id v in
+    match Hashtbl.find_opt canon id with
+    | Some c -> c
+    | None ->
+      let c = Hashtbl.length canon in
+      Hashtbl.add canon id c;
+      c
+  in
+  let kind_char v =
+    match Var.kind v with Var.Input -> 'i' | Var.Sym -> 's' | Var.Wild -> 'w'
+  in
+  let add_lin le =
+    Linexpr.iter_terms
+      (fun v c ->
+        Buffer.add_string buf (zint_str c);
+        Buffer.add_char buf '*';
+        Buffer.add_char buf (kind_char v);
+        Buffer.add_string buf (int_str (cid v));
+        Buffer.add_char buf '+')
+      le;
+    Buffer.add_string buf (zint_str (Linexpr.constant le))
+  in
+  let add_constr c =
+    Buffer.add_char buf
+      (match Constr.kind c with Constr.Eq -> 'E' | Constr.Geq -> 'G');
+    add_lin (Constr.expr c);
+    Buffer.add_char buf ';'
+  in
+  let add_problem p =
+    Buffer.add_char buf '[';
+    List.iter add_constr (Problem.constraints p);
+    Buffer.add_char buf ']'
+  in
+  List.iter add_constr hyp;
+  Buffer.add_char buf '|';
+  List.iter add_problem lhs;
+  Buffer.add_char buf '|';
+  List.iter
+    (fun v ->
+      Buffer.add_string buf (int_str (cid v));
+      Buffer.add_char buf ',')
+    evars;
+  Buffer.add_char buf '|';
+  List.iter add_problem rhs;
+  Buffer.contents buf
+
+(* Key of a bare problem list (fault keys for queries that are not
+   implications, e.g. per-level dependence-vector extraction). *)
+let of_problems ?tag (ps : Problem.t list) : string =
+  key ?tag ~hyp:[] ps ~evars:[] []

@@ -1,0 +1,31 @@
+(** Canonical, allocation-independent serialization of solver queries.
+
+    Variables are renumbered by first occurrence in a fixed traversal
+    order and tagged with their kind, so alpha-equivalent queries built
+    in the same allocation order serialize identically no matter which
+    domain (hence which id slot) minted their variables.  Used as the
+    {!Analyses.Memo} key — which is what makes cached verdicts shareable
+    across domains — and as the content-derived fault-injection key. *)
+
+open Omega
+
+val int_str : int -> string
+(** [string_of_int] with a small-value cache (gated on
+    {!Tuning.hashcons}). *)
+
+val zint_str : Zint.t -> string
+
+val key :
+  ?tag:string ->
+  hyp:Constr.t list ->
+  Problem.t list ->
+  evars:Var.t list ->
+  Problem.t list ->
+  string
+(** [key ?tag ~hyp lhs ~evars rhs]: canonical form of the validity query
+    [hyp => (lhs => exists evars. rhs)], optionally prefixed by
+    [tag ^ ":"]. *)
+
+val of_problems : ?tag:string -> Problem.t list -> string
+(** Canonical form of a bare problem list (for fault keys of
+    non-implication queries). *)

@@ -83,8 +83,9 @@ let compute ?(in_bounds = false) ctx ~(src : Ir.access) ~(dst : Ir.access)
         let prob = Problem.add_list constrs p.base in
         let vecs =
           match
-            Budget.run ~label:"deps/vectors" (fun () ->
-                Dirvec.vectors_of_level prob p.dvars ~carried:lvl)
+            Budget.run ~label:"deps/vectors"
+              ~fault_key:(fun () -> Canon.of_problems ~tag:"vec" [ prob ])
+              (fun () -> Dirvec.vectors_of_level prob p.dvars ~carried:lvl)
           with
           | Ok vecs -> vecs
           (* give-up: assume the level carries a dependence with the
@@ -118,15 +119,21 @@ let exists ctx ~src ~dst : bool =
   let p = make_pair ctx src dst in
   List.exists
     (fun lc ->
+      let prob = level_problem p lc in
       match
-        Budget.run ~label:"deps/exists" (fun () ->
-            Elim.satisfiable (level_problem p lc))
+        Budget.run ~label:"deps/exists"
+          ~fault_key:(fun () -> Canon.of_problems ~tag:"ex" [ prob ])
+          (fun () -> Elim.satisfiable prob)
       with
       | Ok b -> b
       | Error _ -> true (* cannot refute: assume the dependence *))
     (Depctx.order_before ctx p.a p.b)
 
-(* All dependences of a given kind in a program. *)
+(* All dependences of a given kind in a program.  Each surviving access
+   pair is an independent solver workload, so the pair population shards
+   over the domain pool ([Par.map]; width 1 — the default — runs them
+   inline).  The result keeps the serial (src, dst) enumeration order,
+   and per-pair verdicts are bit-identical to a serial run (see Par). *)
 let all ?(in_bounds = false) ctx (kind : kind) : dep list =
   let prog = ctx.Depctx.prog in
   let writes = Ir.writes prog and reads = Ir.reads prog in
@@ -136,18 +143,24 @@ let all ?(in_bounds = false) ctx (kind : kind) : dep list =
     | Anti -> (reads, writes)
     | Output -> (writes, writes)
   in
-  List.concat_map
-    (fun src ->
-      List.filter_map
-        (fun dst ->
-          if src.Ir.array <> dst.Ir.array then None
-          else if
-            kind = Output && src.Ir.acc_id = dst.Ir.acc_id
-            && Ir.depth src = 0
-          then None (* a single unlooped write cannot depend on itself *)
-          else compute ~in_bounds ctx ~src ~dst ~kind)
-        dsts)
-    srcs
+  let pairs =
+    List.concat_map
+      (fun src ->
+        List.filter_map
+          (fun dst ->
+            if src.Ir.array <> dst.Ir.array then None
+            else if
+              kind = Output && src.Ir.acc_id = dst.Ir.acc_id
+              && Ir.depth src = 0
+            then None (* a single unlooped write cannot depend on itself *)
+            else Some (src, dst))
+          dsts)
+      srcs
+    |> Array.of_list
+  in
+  Par.map (fun (src, dst) -> compute ~in_bounds ctx ~src ~dst ~kind) pairs
+  |> Array.to_list
+  |> List.filter_map Fun.id
 
 let dep_to_string (d : dep) =
   Printf.sprintf "%s --%s--> %s %s"

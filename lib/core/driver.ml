@@ -71,13 +71,17 @@ let cover_eliminates ~(cover_vectors : Dirvec.t list) (a : Ir.access)
   && Ir.common_loops w a <= Ir.common_loops a b
   && Ir.common_loops w b <= Ir.common_loops a b
 
+(* Quick-screen bump on the current domain's counter record. *)
+let bump_screen () =
+  let s = Analyses.Stats.current () in
+  s.Analyses.Stats.quick_screen_hits <- s.Analyses.Stats.quick_screen_hits + 1
+
 let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
   let ctx = Depctx.create prog in
   let outputs = Deps.all ~in_bounds ctx Deps.Output in
   let antis = Deps.all ~in_bounds ctx Deps.Anti in
-  let flows = ref [] in
-  let process_dst ~kind ~(srcs : Ir.access list) ~(sink : flow_result list ref)
-      (b : Ir.access) =
+  let process_dst ~kind ~(srcs : Ir.access list) (b : Ir.access) :
+      flow_result list =
     let writers =
       List.filter (fun w -> w.Ir.array = b.Ir.array) srcs
     in
@@ -93,8 +97,7 @@ let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
           | Some dep ->
             let refined =
               if quick && not (refinement_possible outputs a) then begin
-                Analyses.Stats.stats.quick_screen_hits <-
-                  Analyses.Stats.stats.quick_screen_hits + 1;
+                bump_screen ();
                 None
               end
               else begin
@@ -116,8 +119,7 @@ let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
             in
             let covers =
               if quick && not (cover_possible vectors) then begin
-                Analyses.Stats.stats.quick_screen_hits <-
-                  Analyses.Stats.stats.quick_screen_hits + 1;
+                bump_screen ();
                 false
               end
               else Analyses.covers ~in_bounds ctx ~src:a ~dst:b
@@ -153,8 +155,7 @@ let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
             in
             match killed_by_cover with
             | Some cov ->
-              Analyses.Stats.stats.quick_screen_hits <-
-                Analyses.Stats.stats.quick_screen_hits + 1;
+              bump_screen ();
               { fr with dead = Some (Covered cov.dep.Deps.src) }
             | None -> fr
           end)
@@ -181,8 +182,7 @@ let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
                           (output_exists outputs fr.dep.Deps.src
                              other.dep.Deps.src)
                    then begin
-                     Analyses.Stats.stats.quick_screen_hits <-
-                       Analyses.Stats.stats.quick_screen_hits + 1;
+                     bump_screen ();
                      false
                    end
                    else
@@ -195,12 +195,18 @@ let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
           | None -> ()
         end)
       arr;
-    sink := !sink @ Array.to_list arr
+    Array.to_list arr
   in
-  List.iter
-    (process_dst ~kind:Deps.Flow ~srcs:(Ir.writes prog) ~sink:flows)
-    (Ir.reads prog);
-  { ctx; flows = !flows; antis; outputs }
+  (* One destination (with all its candidate writers, refinements,
+     covers and kills) is the sharding unit here; concatenating in
+     destination order reproduces the serial result list exactly. *)
+  let flows =
+    Par.map_list
+      (process_dst ~kind:Deps.Flow ~srcs:(Ir.writes prog))
+      (Ir.reads prog)
+    |> List.concat
+  in
+  { ctx; flows; antis; outputs }
 
 (* The same live/dead classification applied to output or anti
    dependences (the paper notes the techniques "can also be applied to
@@ -214,12 +220,11 @@ let classify_kind ?(in_bounds = false) ?(quick = true) (prog : Ir.program)
   | Deps.Flow -> (analyze ~in_bounds ~quick prog).flows
   | Deps.Output | Deps.Anti ->
     let ctx = Depctx.create prog in
-    let results = ref [] in
     let dsts = Ir.writes prog in
     let srcs =
       match kind with Deps.Output -> Ir.writes prog | _ -> Ir.reads prog
     in
-    List.iter
+    Par.map_list
       (fun (b : Ir.access) ->
         let cands =
           List.filter_map
@@ -258,9 +263,9 @@ let classify_kind ?(in_bounds = false) ?(quick = true) (prog : Ir.program)
               | None -> ()
             end)
           arr;
-        results := !results @ Array.to_list arr)
-      dsts;
-    !results
+        Array.to_list arr)
+      dsts
+    |> List.concat
 
 (* ------------------------------------------------------------------ *)
 (* Report rendering (the Figure 3 / Figure 4 tables)                   *)

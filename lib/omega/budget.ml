@@ -2,7 +2,7 @@
 
    Every entry into the Omega test (projection, satisfiability, the
    Presburger decision procedure) runs under a *meter* charged against
-   the ambient [limits]: elimination steps draw fuel, splinter
+   the current limits: elimination steps draw fuel, splinter
    constructions and DNF expansion draw their own counters, and an
    optional wall-clock deadline bounds the whole query.  Exhausting any
    limit raises [Exhausted], which the query boundary ([run] / [decide])
@@ -20,11 +20,22 @@
    Fault injection ([set_fault_injection]) deterministically forces a
    seeded fraction of query boundaries to [Gave_up Injected] before any
    work happens, which lets a differential harness check that the
-   conservative mappings above are actually wired in everywhere.
+   conservative mappings above are actually wired in everywhere.  The
+   fault decision for a query is a pure function of (seed, query key):
+   there is no mutable stream state, so the same query faults the same
+   way no matter which domain runs it or in what order — the property
+   the parallel-fault soundness tests lean on.  Queries that supply no
+   [fault_key] never fault.
 
-   The meter is ambient, dynamically-scoped state: the solver stack is
-   single-domain, and nested entries (e.g. [Gist.implies] calling
-   [Elim.project]) share the outermost query's meter. *)
+   All of this state — limits, the active meter, telemetry — lives in a
+   per-domain *world* (Domain.DLS), so any domain can run queries
+   without a lock.  Nested entries within one domain (e.g.
+   [Gist.implies] calling [Elim.project]) share the outermost query's
+   meter exactly as before.  Telemetry merges across domains with the
+   commutative [Telemetry.merge_into] at query-set boundaries (see
+   Depend.Par); the fault-injection configuration is an immutable
+   process-wide setting read by every domain (publish it before
+   spawning parallel work). *)
 
 type reason = Fuel | Splinters | Disjuncts | Deadline | Injected
 
@@ -58,8 +69,6 @@ type limits = {
 let default =
   { fuel = 100_000; splinters = 100_000; disjuncts = 2048; deadline_ms = None }
 
-let limits = ref default
-
 (* [le a b]: budget [a] is no larger than [b] in every dimension (a
    query that gives up under [b] would also give up under [a]).  A
    finite deadline is tighter than none. *)
@@ -71,11 +80,6 @@ let le a b =
   | None, Some _ -> false
   | Some x, Some y -> x <= y
 
-let with_limits l f =
-  let saved = !limits in
-  limits := l;
-  Fun.protect ~finally:(fun () -> limits := saved) f
-
 (* ------------------------------------------------------------------ *)
 (* The meter                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -86,8 +90,6 @@ type meter = {
   mutable m_splinters : int;
   m_deadline : float option; (* absolute, seconds *)
 }
-
-let active : meter option ref = ref None
 
 let make_meter l =
   {
@@ -113,61 +115,11 @@ let add_splinters m n =
   m.m_splinters <- m.m_splinters + n;
   if m.m_splinters > m.m_limits.splinters then raise (Exhausted Splinters)
 
-let disjunct_limit () =
-  match !active with Some m -> m.m_limits.disjuncts | None -> !limits.disjuncts
-
-(* Solver entry points call this: reuse the ambient meter when already
-   inside a query, otherwise install a fresh one for the duration. *)
-let with_meter f =
-  match !active with
-  | Some m -> f m
-  | None ->
-    let m = make_meter !limits in
-    active := Some m;
-    Fun.protect ~finally:(fun () -> active := None) (fun () -> f m)
-
 (* ------------------------------------------------------------------ *)
-(* Fault injection                                                     *)
+(* Telemetry records                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* splitmix64: tiny, deterministic, and good enough to spread faults
-   over the query stream. *)
-type fault = { rate : float; mutable state : int64 }
-
-let fault_state : fault option ref = ref None
-
-let set_fault_injection ~seed ~rate =
-  if rate <= 0. then fault_state := None
-  else
-    fault_state :=
-      Some { rate; state = Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L }
-
-let clear_fault_injection () = fault_state := None
-let fault_injection_active () = !fault_state <> None
-
-let draw_fault () =
-  match !fault_state with
-  | None -> false
-  | Some f ->
-    f.state <- Int64.add f.state 0x9E3779B97F4A7C15L;
-    let z = f.state in
-    let z =
-      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
-    in
-    let z =
-      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
-    in
-    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
-    let u =
-      Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
-    in
-    u < f.rate
-
-(* ------------------------------------------------------------------ *)
-(* Telemetry                                                           *)
-(* ------------------------------------------------------------------ *)
-
-module Telemetry = struct
+module Telemetry0 = struct
   type t = {
     mutable queries : int;
     mutable gave_up_fuel : int;
@@ -181,7 +133,7 @@ module Telemetry = struct
     mutable worst_fuel : int;
   }
 
-  let stats =
+  let make () =
     {
       queries = 0;
       gave_up_fuel = 0;
@@ -195,34 +147,157 @@ module Telemetry = struct
       worst_fuel = 0;
     }
 
-  let reset () =
-    stats.queries <- 0;
-    stats.gave_up_fuel <- 0;
-    stats.gave_up_splinters <- 0;
-    stats.gave_up_disjuncts <- 0;
-    stats.gave_up_deadline <- 0;
-    stats.gave_up_injected <- 0;
-    stats.peak_fuel <- 0;
-    stats.peak_splinters <- 0;
-    stats.worst_label <- "";
-    stats.worst_fuel <- 0
+  (* The worst-query cell is a commutative, associative join — (higher
+     fuel, then lexicographically-least label) with ("", 0) as identity
+     — so folding per-domain records in any order gives one answer, and
+     the serial accumulation below agrees with any parallel merge. *)
+  let note_worst t ~fuel ~label =
+    if fuel > t.worst_fuel then begin
+      t.worst_fuel <- fuel;
+      t.worst_label <- label
+    end
+    else if fuel = t.worst_fuel && fuel > 0 && label < t.worst_label then
+      t.worst_label <- label
 
-  let record_gave_up = function
-    | Fuel -> stats.gave_up_fuel <- stats.gave_up_fuel + 1
-    | Splinters -> stats.gave_up_splinters <- stats.gave_up_splinters + 1
-    | Disjuncts -> stats.gave_up_disjuncts <- stats.gave_up_disjuncts + 1
-    | Deadline -> stats.gave_up_deadline <- stats.gave_up_deadline + 1
-    | Injected -> stats.gave_up_injected <- stats.gave_up_injected + 1
+  let merge_into dst src =
+    dst.queries <- dst.queries + src.queries;
+    dst.gave_up_fuel <- dst.gave_up_fuel + src.gave_up_fuel;
+    dst.gave_up_splinters <- dst.gave_up_splinters + src.gave_up_splinters;
+    dst.gave_up_disjuncts <- dst.gave_up_disjuncts + src.gave_up_disjuncts;
+    dst.gave_up_deadline <- dst.gave_up_deadline + src.gave_up_deadline;
+    dst.gave_up_injected <- dst.gave_up_injected + src.gave_up_injected;
+    dst.peak_fuel <- max dst.peak_fuel src.peak_fuel;
+    dst.peak_splinters <- max dst.peak_splinters src.peak_splinters;
+    note_worst dst ~fuel:src.worst_fuel ~label:src.worst_label
+end
 
-  let gave_up_total () =
-    stats.gave_up_fuel + stats.gave_up_splinters + stats.gave_up_disjuncts
-    + stats.gave_up_deadline + stats.gave_up_injected
+(* ------------------------------------------------------------------ *)
+(* The per-domain world                                                *)
+(* ------------------------------------------------------------------ *)
+
+type world = {
+  mutable w_limits : limits;
+  mutable w_active : meter option;
+  mutable w_stats : Telemetry0.t;
+}
+
+let world_key =
+  Domain.DLS.new_key (fun () ->
+      { w_limits = default; w_active = None; w_stats = Telemetry0.make () })
+
+let world () = Domain.DLS.get world_key
+
+let current_limits () = (world ()).w_limits
+
+let with_limits l f =
+  let w = world () in
+  let saved = w.w_limits in
+  w.w_limits <- l;
+  Fun.protect ~finally:(fun () -> w.w_limits <- saved) f
+
+let disjunct_limit () =
+  let w = world () in
+  match w.w_active with
+  | Some m -> m.m_limits.disjuncts
+  | None -> w.w_limits.disjuncts
+
+(* Solver entry points call this: reuse the ambient meter when already
+   inside a query, otherwise install a fresh one for the duration. *)
+let with_meter f =
+  let w = world () in
+  match w.w_active with
+  | Some m -> f m
+  | None ->
+    let m = make_meter w.w_limits in
+    w.w_active <- Some m;
+    Fun.protect ~finally:(fun () -> w.w_active <- None) (fun () -> f m)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type fault = { f_seed : int; f_rate : float }
+
+(* Immutable once set; read (not written) by worker domains.  The
+   happens-before edge is the task-queue mutex of the pool that ships
+   work to them, so configure faults before fanning out. *)
+let fault_cfg : fault option ref = ref None
+
+let set_fault_injection ~seed ~rate =
+  if rate <= 0. then fault_cfg := None
+  else fault_cfg := Some { f_seed = seed; f_rate = rate }
+
+let clear_fault_injection () = fault_cfg := None
+let fault_injection_active () = !fault_cfg <> None
+
+(* FNV-1a over the key, mixed with the seed, finished with the
+   splitmix64 finalizer: a pure, well-spread hash of (seed, key). *)
+let fnv64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  !h
+
+let keyed_fault f key =
+  let z =
+    Int64.add (fnv64 key)
+      (Int64.mul (Int64.of_int (f.f_seed + 1)) 0x9E3779B97F4A7C15L)
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let u = Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992. in
+  u < f.f_rate
+
+let draw_fault fault_key =
+  match !fault_cfg with
+  | None -> false
+  | Some f -> ( match fault_key with None -> false | Some k -> keyed_fault f (k ()))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry (of the current world)                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry = struct
+  include Telemetry0
+
+  let current () = (world ()).w_stats
+  let reset () = (world ()).w_stats <- make ()
+
+  (* Swap in a fresh record and return the previous one: the scoping
+     primitive Depend.Par uses to give each parallel task its own
+     telemetry before merging it back. *)
+  let exchange fresh =
+    let w = world () in
+    let old = w.w_stats in
+    w.w_stats <- fresh;
+    old
+
+  let record_gave_up t = function
+    | Fuel -> t.gave_up_fuel <- t.gave_up_fuel + 1
+    | Splinters -> t.gave_up_splinters <- t.gave_up_splinters + 1
+    | Disjuncts -> t.gave_up_disjuncts <- t.gave_up_disjuncts + 1
+    | Deadline -> t.gave_up_deadline <- t.gave_up_deadline + 1
+    | Injected -> t.gave_up_injected <- t.gave_up_injected + 1
+
+  let total_of t =
+    t.gave_up_fuel + t.gave_up_splinters + t.gave_up_disjuncts
+    + t.gave_up_deadline + t.gave_up_injected
+
+  let gave_up_total () = total_of (current ())
 
   let summary () =
+    let stats = current () in
     Printf.sprintf
       "%d solver queries, %d gave up (fuel %d, splinters %d, disjuncts %d, \
        deadline %d, injected %d); peak fuel %d, peak splinters %d%s"
-      stats.queries (gave_up_total ()) stats.gave_up_fuel stats.gave_up_splinters
+      stats.queries (total_of stats) stats.gave_up_fuel stats.gave_up_splinters
       stats.gave_up_disjuncts stats.gave_up_deadline stats.gave_up_injected
       stats.peak_fuel stats.peak_splinters
       (if stats.worst_label = "" then ""
@@ -231,6 +306,7 @@ module Telemetry = struct
            stats.worst_fuel)
 
   let to_json () =
+    let stats = current () in
     Printf.sprintf
       "{ \"queries\": %d, \"gave_up\": { \"fuel\": %d, \"splinters\": %d, \
        \"disjuncts\": %d, \"deadline\": %d, \"injected\": %d }, \
@@ -243,34 +319,55 @@ module Telemetry = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Scoped worlds (parallel tasks)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let scoped ~limits f =
+  let w = world () in
+  let saved_limits = w.w_limits and saved_active = w.w_active in
+  let saved_stats = Telemetry.exchange (Telemetry0.make ()) in
+  w.w_limits <- limits;
+  w.w_active <- None;
+  let restore () =
+    let mine = w.w_stats in
+    w.w_limits <- saved_limits;
+    w.w_active <- saved_active;
+    w.w_stats <- saved_stats;
+    mine
+  in
+  match f () with
+  | v -> (v, restore ())
+  | exception e ->
+    ignore (restore ());
+    raise e
+
+(* ------------------------------------------------------------------ *)
 (* Query boundaries                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(label = "query") (f : unit -> 'a) : ('a, reason) result =
-  match !active with
+let run ?(label = "query") ?fault_key (f : unit -> 'a) : ('a, reason) result =
+  let w = world () in
+  match w.w_active with
   (* nested boundary inside an already-metered query: share the meter,
      just structure the outcome *)
   | Some _ -> ( try Ok (f ()) with Exhausted r -> Error r)
   | None ->
-    let t = Telemetry.stats in
-    t.Telemetry.queries <- t.Telemetry.queries + 1;
-    if draw_fault () then begin
-      Telemetry.record_gave_up Injected;
+    let t = w.w_stats in
+    t.Telemetry0.queries <- t.Telemetry0.queries + 1;
+    if draw_fault fault_key then begin
+      Telemetry.record_gave_up t Injected;
       Error Injected
     end
     else begin
-      let m = make_meter !limits in
-      active := Some m;
+      let m = make_meter w.w_limits in
+      w.w_active <- Some m;
       let finish () =
-        active := None;
-        if m.m_fuel > t.Telemetry.peak_fuel then
-          t.Telemetry.peak_fuel <- m.m_fuel;
-        if m.m_splinters > t.Telemetry.peak_splinters then
-          t.Telemetry.peak_splinters <- m.m_splinters;
-        if m.m_fuel > t.Telemetry.worst_fuel then begin
-          t.Telemetry.worst_fuel <- m.m_fuel;
-          t.Telemetry.worst_label <- label
-        end
+        w.w_active <- None;
+        if m.m_fuel > t.Telemetry0.peak_fuel then
+          t.Telemetry0.peak_fuel <- m.m_fuel;
+        if m.m_splinters > t.Telemetry0.peak_splinters then
+          t.Telemetry0.peak_splinters <- m.m_splinters;
+        Telemetry0.note_worst t ~fuel:m.m_fuel ~label
       in
       match f () with
       | v ->
@@ -278,15 +375,15 @@ let run ?(label = "query") (f : unit -> 'a) : ('a, reason) result =
         Ok v
       | exception Exhausted r ->
         finish ();
-        Telemetry.record_gave_up r;
+        Telemetry.record_gave_up t r;
         Error r
       | exception e ->
         finish ();
         raise e
     end
 
-let decide ?label (f : unit -> bool) : verdict =
-  match run ?label f with
+let decide ?label ?fault_key (f : unit -> bool) : verdict =
+  match run ?label ?fault_key f with
   | Ok true -> Proved
   | Ok false -> Disproved
   | Error r -> Gave_up r

@@ -1,7 +1,7 @@
 (** Resource governance for the solver stack.
 
     Solver entry points run under an ambient {e meter} charged against
-    the current {!limits}: elimination steps draw fuel, splinter
+    the current limits: elimination steps draw fuel, splinter
     construction and DNF expansion draw their own counters, and an
     optional wall-clock deadline bounds the whole query.  Exhausting any
     limit raises {!Exhausted}; the query boundary ({!run} / {!decide})
@@ -16,8 +16,14 @@
     tightening can only turn [Proved]/[Disproved] into [Gave_up], never
     flip them.
 
-    The meter is dynamically scoped and single-domain: solver queries
-    must not be issued concurrently from several domains. *)
+    Limits, the meter and telemetry live in a {e per-domain world}
+    (Domain.DLS): every domain can run queries concurrently without a
+    lock, and nested entries within one domain share the outermost
+    query's meter.  Per-domain telemetry merges deterministically with
+    {!Telemetry.merge_into} ({!Depend.Par} does this at every
+    query-set boundary).  Note that systhreads share their domain's
+    world — petitd session threads must ship solver work to worker
+    domains rather than run it in place. *)
 
 type reason = Fuel | Splinters | Disjuncts | Deadline | Injected
 
@@ -40,7 +46,9 @@ type limits = {
 }
 
 val default : limits
-val limits : limits ref
+
+val current_limits : unit -> limits
+(** The current domain's limits. *)
 
 val le : limits -> limits -> bool
 (** [le a b]: [a] is no larger than [b] in every dimension, i.e. any
@@ -48,7 +56,7 @@ val le : limits -> limits -> bool
     deadline is tighter than none. *)
 
 val with_limits : limits -> (unit -> 'a) -> 'a
-(** Run with {!limits} temporarily replaced. *)
+(** Run with the current domain's limits temporarily replaced. *)
 
 (** {1 Metering (solver internals)} *)
 
@@ -67,20 +75,31 @@ val disjunct_limit : unit -> int
 
 (** {1 Query boundaries (clients)} *)
 
-val run : ?label:string -> (unit -> 'a) -> ('a, reason) result
+val run :
+  ?label:string -> ?fault_key:(unit -> string) -> (unit -> 'a) ->
+  ('a, reason) result
 (** Run [f] as one governed query: counts it, draws a fault when
-    injection is active, meters the work, and maps {!Exhausted} to
-    [Error].  Nested inside another [run] it shares the outer meter and
-    adds no telemetry. *)
+    injection is active and [fault_key] is given, meters the work, and
+    maps {!Exhausted} to [Error].  Nested inside another [run] it shares
+    the outer meter and adds no telemetry.
 
-val decide : ?label:string -> (unit -> bool) -> verdict
+    [fault_key] (forced only while injection is active) must identify
+    the query by {e content} — e.g. a canonical serialization of the
+    problems — so the fault decision is a pure function of (seed, key),
+    independent of scheduling and of which domain runs the query.
+    Queries without a key never fault. *)
+
+val decide :
+  ?label:string -> ?fault_key:(unit -> string) -> (unit -> bool) -> verdict
 
 (** {1 Fault injection} *)
 
 val set_fault_injection : seed:int -> rate:float -> unit
-(** Force a deterministic pseudo-random fraction [rate] of query
+(** Force a deterministic pseudo-random fraction [rate] of keyed query
     boundaries to [Gave_up Injected] before any solver work runs.
-    Verdict caches must be bypassed while active. *)
+    Verdict caches must be bypassed while active.  The configuration is
+    process-wide and read-only once parallel work is in flight: set it
+    before fanning out. *)
 
 val clear_fault_injection : unit -> unit
 val fault_injection_active : unit -> bool
@@ -101,12 +120,40 @@ module Telemetry : sig
     mutable worst_fuel : int;
   }
 
-  val stats : t
+  val make : unit -> t
+  (** A fresh all-zero record. *)
+
+  val current : unit -> t
+  (** The current domain's telemetry record. *)
+
   val reset : unit -> unit
+  (** Replace the current domain's record with a fresh one. *)
+
+  val exchange : t -> t
+  (** Swap the current domain's record for the given one and return the
+      previous record (the scoping primitive behind [Depend.Par]). *)
+
+  val merge_into : t -> t -> unit
+  (** [merge_into dst src]: fold [src] into [dst].  Counters add, peaks
+      max, and the worst-query cell joins by (higher fuel, then least
+      label) — a commutative, associative combine, so per-domain records
+      merge to the same totals in any order. *)
+
+  val total_of : t -> int
   val gave_up_total : unit -> int
 
   val summary : unit -> string
-  (** One human-readable line for CLI output. *)
+  (** One human-readable line for CLI output (current domain). *)
 
   val to_json : unit -> string
 end
+
+(** {1 Scoped worlds (parallel tasks)} *)
+
+val scoped : limits:limits -> (unit -> 'a) -> 'a * Telemetry.t
+(** Run [f] under the given limits with a fresh meter slot and a fresh
+    telemetry record, restoring the previous world state afterwards;
+    returns [f]'s result and the telemetry the scope accumulated.  This
+    is how a parallel task adopts its submitter's budget on whatever
+    domain it lands on, and how its telemetry is harvested for the
+    deterministic merge. *)

@@ -310,7 +310,7 @@ let make_splinters v p lows ups =
     lows
 
 let fm_eliminate p v : fm_result =
-  let s = Tuning.Stats.stats in
+  let s = Tuning.Stats.current () in
   s.Tuning.Stats.fm_eliminations <- s.Tuning.Stats.fm_eliminations + 1;
   let lows, ups, others = bounds_on p v in
   match lows, ups with
@@ -358,8 +358,13 @@ type vinfo = {
    free variables (one-sided bounds, no combinations at all) first, then
    exact eliminations (some side all-unit), then inexact ones, in each
    class minimizing the #lower-bounds x #upper-bounds product of new
-   constraints, with a deterministic (name, id) tie-break so the choice
-   does not depend on variable allocation order.  With [Tuning.order]
+   constraints, with a deterministic id tie-break.  Ids increase in
+   allocation order within a domain, and the variables of one problem
+   are always minted by one domain, so the choice — like constraint
+   emission order and canonical memo keys — depends only on relative
+   allocation order, which is identical in serial and sharded runs.
+   (A name-based tie-break would not be: wildcard names embed ids from
+   the allocating domain's slot.)  With [Tuning.order]
    off, [pick_var_rescan] below — the previous implementation, which
    rescans the constraint list per candidate — is used instead. *)
 let pick_var_rescan ~keep p =
@@ -453,8 +458,7 @@ let pick_var ~keep p =
             c < 0
             || (c = 0
                 &&
-                let n = String.compare (Var.name i.vi_var) (Var.name v') in
-                n < 0 || (n = 0 && Var.id i.vi_var < Var.id v'))
+                Var.id i.vi_var < Var.id v')
           in
           if better then Some (cls, prod, i.vi_var) else best
         | None -> Some (cls, prod, i.vi_var)))

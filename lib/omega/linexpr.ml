@@ -178,18 +178,25 @@ let equal a b =
 
 (* Hash -> expressions with that hash.  The table is an optimization
    only (equality never depends on it), so when it fills up it is simply
-   cleared: sharing restarts, correctness is untouched. *)
-let intern_tbl : (int, t list) Hashtbl.t = Hashtbl.create 4096
-let intern_count = ref 0
+   cleared: sharing restarts, correctness is untouched.  One table per
+   domain: interning from several domains into one Hashtbl would corrupt
+   it, and sharing expressions across domains buys nothing (problems
+   never cross domains mid-query). *)
+type interner = { tbl : (int, t list) Hashtbl.t; mutable count : int }
+
 let intern_cap = 1 lsl 16
+
+let intern_key =
+  Domain.DLS.new_key (fun () -> { tbl = Hashtbl.create 4096; count = 0 })
 
 let intern e =
   if not !Tuning.hashcons then e
   else begin
-    let s = Tuning.Stats.stats in
+    let s = Tuning.Stats.current () in
+    let it = Domain.DLS.get intern_key in
     let h = hash e in
     let bucket =
-      match Hashtbl.find_opt intern_tbl h with Some es -> es | None -> []
+      match Hashtbl.find_opt it.tbl h with Some es -> es | None -> []
     in
     match List.find_opt (fun e' -> equal e' e) bucket with
     | Some e' ->
@@ -197,12 +204,12 @@ let intern e =
       e'
     | None ->
       s.Tuning.Stats.intern_misses <- s.Tuning.Stats.intern_misses + 1;
-      if !intern_count >= intern_cap then begin
-        Hashtbl.reset intern_tbl;
-        intern_count := 0
+      if it.count >= intern_cap then begin
+        Hashtbl.reset it.tbl;
+        it.count <- 0
       end;
-      Hashtbl.replace intern_tbl h (e :: bucket);
-      incr intern_count;
+      Hashtbl.replace it.tbl h (e :: bucket);
+      it.count <- it.count + 1;
       e
   end
 

@@ -170,7 +170,7 @@ let interval_screen (iter_buckets : (Termkey.key -> bucket -> unit) -> unit) =
            | Some b -> Some (Zint.add m (Zint.mul q b))))
       (Some Zint.zero) key
   in
-  let stats = Tuning.Stats.stats in
+  let stats = Tuning.Stats.current () in
   iter_buckets
     (fun key b ->
       if b.eq = None && not b.contra && List.length key > 1 then begin

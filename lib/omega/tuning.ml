@@ -39,7 +39,7 @@ module Stats = struct
     mutable intern_misses : int;
   }
 
-  let stats =
+  let make () =
     {
       fm_eliminations = 0;
       fm_exact = 0;
@@ -49,15 +49,29 @@ module Stats = struct
       intern_misses = 0;
     }
 
-  let reset () =
-    stats.fm_eliminations <- 0;
-    stats.fm_exact <- 0;
-    stats.fm_split <- 0;
-    stats.pruned_interval <- 0;
-    stats.intern_hits <- 0;
-    stats.intern_misses <- 0
+  (* Per-domain record, like Budget's world: hot-path increments stay
+     plain unsynchronized stores, and parallel tasks merge their record
+     back at batch boundaries (Depend.Par). *)
+  let key = Domain.DLS.new_key make
+
+  let current () = Domain.DLS.get key
+  let reset () = Domain.DLS.set key (make ())
+
+  let exchange fresh =
+    let old = current () in
+    Domain.DLS.set key fresh;
+    old
+
+  let merge_into dst src =
+    dst.fm_eliminations <- dst.fm_eliminations + src.fm_eliminations;
+    dst.fm_exact <- dst.fm_exact + src.fm_exact;
+    dst.fm_split <- dst.fm_split + src.fm_split;
+    dst.pruned_interval <- dst.pruned_interval + src.pruned_interval;
+    dst.intern_hits <- dst.intern_hits + src.intern_hits;
+    dst.intern_misses <- dst.intern_misses + src.intern_misses
 
   let summary () =
+    let stats = current () in
     Printf.sprintf
       "%d FM eliminations (%d exact, %d split), %d constraints \
        interval-pruned, intern %d hits / %d misses"

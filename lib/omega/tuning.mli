@@ -27,9 +27,20 @@ module Stats : sig
     mutable intern_misses : int;
   }
 
-  val stats : t
+  val make : unit -> t
+
+  val current : unit -> t
+  (** The current domain's counter record (hot-path increments are
+      plain stores; cross-domain totals come from {!merge_into}). *)
+
   val reset : unit -> unit
 
+  val exchange : t -> t
+  (** Swap the current domain's record, returning the previous one. *)
+
+  val merge_into : t -> t -> unit
+  (** Fold [src] counters into [dst] (all sums — commutative). *)
+
   val summary : unit -> string
-  (** One human-readable line for CLI output. *)
+  (** One human-readable line for CLI output (current domain). *)
 end

@@ -11,15 +11,46 @@ type kind = Input | Sym | Wild
 
 type t = { id : int; name : string; kind : kind }
 
-let counter = ref 0
+(* Allocation is domain-local so that any domain can mint variables
+   without a lock: each domain draws ids from its own 2^40-wide slot
+   ([slot lsl 40 + 1 ..]), claimed once per domain from an atomic slot
+   counter.  The main domain is pinned to slot 0 at module
+   initialization, so a single-domain run allocates exactly the ids the
+   global-counter implementation did.
 
-let fresh ?(kind = Input) name =
-  incr counter;
-  { id = !counter; name; kind }
+   Two variables minted on different domains therefore never collide,
+   and within one domain ids still increase in allocation order — the
+   property everything downstream leans on (constraint emission order,
+   canonical memo keys, the elimination tie-break all depend only on
+   the {e relative} id order of variables that co-occur in a problem,
+   and co-occurring variables are minted by one domain). *)
+
+let slot_bits = 40
+
+type alloc = { mutable next : int }
+
+let next_slot = Atomic.make 0
+
+let alloc_key =
+  Domain.DLS.new_key (fun () ->
+      { next = Atomic.fetch_and_add next_slot 1 lsl slot_bits })
+(* i.e. (slot) lsl slot_bits: application binds tighter than [lsl] *)
+
+(* Pin the main domain to slot 0. *)
+let () = ignore (Domain.DLS.get alloc_key)
+
+let next_id () =
+  let a = Domain.DLS.get alloc_key in
+  a.next <- a.next + 1;
+  a.next
+
+let fresh ?(kind = Input) name = { id = next_id (); name; kind }
 
 let fresh_wild () =
-  incr counter;
-  { id = !counter; name = Printf.sprintf "_w%d" !counter; kind = Wild }
+  let id = next_id () in
+  (* name from the slot-local ordinal: stable, small, and identical to
+     the pre-domain-local numbering on the main domain *)
+  { id; name = Printf.sprintf "_w%d" (id land ((1 lsl slot_bits) - 1)); kind = Wild }
 
 let id t = t.id
 let name t = t.name

@@ -11,7 +11,10 @@ type kind = Input | Sym | Wild
 type t
 
 val fresh : ?kind:kind -> string -> t
-(** A fresh variable (identity is by allocation, not by name). *)
+(** A fresh variable (identity is by allocation, not by name).
+    Allocation is domain-local and lock-free: each domain draws ids
+    from its own disjoint slot of the id space (the main domain owns
+    slot 0), and ids increase in allocation order within a domain. *)
 
 val fresh_wild : unit -> t
 

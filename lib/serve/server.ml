@@ -1,7 +1,7 @@
-(* Accept loop and per-connection sessions.  All analytical work is
-   serialized inside Service (the Omega meter is ambient state); the
-   threads here only do socket I/O, so slow readers never hold the
-   solver lock. *)
+(* Accept loop and per-connection sessions.  The threads here only do
+   socket I/O and framing; analytical work is shipped by Service to its
+   worker-domain pool, so slow readers never hold up the solver and
+   concurrent sessions analyze in parallel up to [c_domains]. *)
 
 type config = {
   c_addr : Protocol.addr;
@@ -9,6 +9,7 @@ type config = {
   c_memo_capacity : int option;
   c_quota : Omega.Budget.limits;
   c_backlog : int;
+  c_domains : int;
 }
 
 let default_config addr =
@@ -18,6 +19,7 @@ let default_config addr =
     c_memo_capacity = None;
     c_quota = Omega.Budget.default;
     c_backlog = 16;
+    c_domains = max 1 (Domain.recommended_domain_count () - 1);
   }
 
 type t = {
@@ -193,7 +195,7 @@ let start config =
      raise e);
   let service =
     Service.create ?memo_capacity:config.c_memo_capacity
-      ~quota:config.c_quota ()
+      ~quota:config.c_quota ~domains:config.c_domains ()
   in
   let t =
     {
@@ -225,6 +227,8 @@ let wait t =
       drain ()
   in
   drain ();
+  (* Every session is joined, so no request can reach the pool. *)
+  Service.shutdown t.service;
   match t.config.c_addr with
   | Protocol.Unix_path p ->
     (try Unix.unlink p with Unix.Unix_error _ -> ())

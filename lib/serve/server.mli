@@ -14,6 +14,10 @@ type config = {
   c_memo_capacity : int option;  (** verdict-cache bound; [None] keeps the default *)
   c_quota : Omega.Budget.limits;  (** per-request budget ceiling *)
   c_backlog : int;
+  c_domains : int;
+      (** worker domains running solver work; concurrent sessions
+          analyze in parallel up to this width (default: the machine's
+          recommended domain count minus the accept/session side) *)
 }
 
 val default_config : Protocol.addr -> config

@@ -1,13 +1,17 @@
 (* The request-to-response core of petitd.
 
-   Threading model: the solver stack (ambient budget meter, variable
-   allocator, tuning counters) is single-domain mutable state, so every
-   piece of analytical work — parsing included, since sema and the
-   dependence context mint variables from a global counter — runs under
-   [solver_lock].  Connection threads overlap on socket I/O only.  The
-   verdict memo is shared across requests deliberately: a warm daemon
-   answers repeated queries from cache, and each response reports how
-   much of it this request hit. *)
+   Threading model: the solver stack keeps its ambient state (budget
+   meter, variable allocator, tuning counters) in domain-local storage,
+   so requests no longer serialize behind a single solver lock.  Each
+   request ships its solver work — parsing included, since sema and the
+   dependence context mint variables — as one task to a pool of worker
+   domains; sessions landing on distinct workers analyze in parallel.
+   Session threads themselves never run solver work: they are systhreads
+   sharing the main domain's storage, where in-place solving would race.
+   The verdict memo is the one deliberately shared piece: mutex-guarded,
+   warm across requests and clients, with per-domain hit/miss counters
+   so each response reports exactly how much of the cache this request
+   hit, unpolluted by concurrent sessions. *)
 
 open Omega
 module D = Depend
@@ -25,19 +29,19 @@ type stats = {
 }
 
 type t = {
-  solver_lock : Mutex.t;
+  pool : Taskpool.t;
   quota : Budget.limits;
   stats_lock : Mutex.t;
   stats : stats;
 }
 
-let create ?memo_capacity ?(quota = Budget.default) () =
+let create ?memo_capacity ?(quota = Budget.default) ?(domains = 1) () =
   (match memo_capacity with
   | Some cap -> D.Analyses.Memo.capacity := max 1 cap
   | None -> ());
   D.Analyses.Memo.reset ();
   {
-    solver_lock = Mutex.create ();
+    pool = Taskpool.create ~workers:(max 1 domains);
     quota;
     stats_lock = Mutex.create ();
     stats =
@@ -53,6 +57,8 @@ let create ?memo_capacity ?(quota = Budget.default) () =
   }
 
 let quota t = t.quota
+let domains t = Taskpool.workers t.pool
+let shutdown t = Taskpool.shutdown t.pool
 
 let bump t f =
   Mutex.lock t.stats_lock;
@@ -165,8 +171,8 @@ let parallelize_payload ~in_bounds (prog : Lang.Ir.program) =
     ]
 
 let governance_json () =
-  let t = Budget.Telemetry.stats in
-  let s = D.Analyses.Stats.stats in
+  let t = Budget.Telemetry.current () in
+  let s = D.Analyses.Stats.current () in
   Json.Obj
     [
       ("queries", Json.Int t.Budget.Telemetry.queries);
@@ -208,30 +214,31 @@ let memo_report ~req_hits ~req_misses =
 (* Request handling                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* One governed unit of solver work: the solver lock, fresh per-request
-   telemetry, the clamped budget, and the memo hit/miss deltas for the
-   response. *)
+(* One governed unit of solver work, shipped to a worker domain: fresh
+   per-request telemetry and memo attribution in that domain's local
+   storage, the clamped budget, and the memo hit/miss deltas for the
+   response.  A worker runs one task at a time, so the domain-local
+   counters are exact per-request figures even with other sessions in
+   flight on sibling workers.  The task traps its own exceptions, and
+   run_batch's lock hands the result back to the session thread. *)
 let solve t budget (f : unit -> Json.t) :
     (Json.t * Protocol.memo_report * Json.t, exn) result =
-  Mutex.lock t.solver_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.solver_lock)
-    (fun () ->
-      Budget.Telemetry.reset ();
-      D.Analyses.Stats.reset ();
-      let m = D.Analyses.Memo.stats in
-      let h0 = m.D.Analyses.Memo.hits and s0 = m.D.Analyses.Memo.misses in
-      match
-        Budget.with_limits (Protocol.clamp_budget budget t.quota) f
-      with
-      | payload ->
-        Ok
-          ( payload,
-            memo_report
-              ~req_hits:(m.D.Analyses.Memo.hits - h0)
-              ~req_misses:(m.D.Analyses.Memo.misses - s0),
-            governance_json () )
-      | exception e -> Error e)
+  let result = ref (Error (Failure "petitd: request task never ran")) in
+  let task () =
+    result :=
+      try
+        Budget.Telemetry.reset ();
+        D.Analyses.Stats.reset ();
+        D.Analyses.Memo.local_reset ();
+        let payload =
+          Budget.with_limits (Protocol.clamp_budget budget t.quota) f
+        in
+        let req_hits, req_misses = D.Analyses.Memo.local_counts () in
+        Ok (payload, memo_report ~req_hits ~req_misses, governance_json ())
+      with e -> Error e
+  in
+  Taskpool.run_batch ~participate:false t.pool [ task ];
+  !result
 
 let err t ~id code message =
   bump t (fun s -> s.s_errors <- s.s_errors + 1);

@@ -1,12 +1,15 @@
 (** The analysis service behind petitd: turns decoded protocol requests
     into responses over a shared, long-lived solver state.
 
-    The Omega solver stack meters work through ambient, dynamically
-    scoped state (see {!Omega.Budget}), so analytical work is serialized
-    behind one solver lock; connection threads overlap only on I/O.
-    The verdict cache ({!Depend.Analyses.Memo}) persists across requests
-    and clients — that sharing is the daemon's whole point — and every
-    response reports its telemetry, both lifetime and per-request.
+    The Omega solver stack meters work through ambient, domain-local
+    state (see {!Omega.Budget}), so requests need no global solver lock:
+    each request's solver work runs as one task on a pool of worker
+    domains, and sessions landing on distinct workers analyze
+    concurrently.  The verdict cache ({!Depend.Analyses.Memo}) persists
+    across requests and clients — that sharing is the daemon's whole
+    point — and every response reports its telemetry, both lifetime and
+    per-request (attributed per worker domain, so concurrent sessions
+    don't pollute each other's figures).
 
     Per-client fairness is budget governance, not preemption: each
     request's limits are clamped to the service quota
@@ -17,12 +20,25 @@
 type t
 
 val create :
-  ?memo_capacity:int -> ?quota:Omega.Budget.limits -> unit -> t
+  ?memo_capacity:int ->
+  ?quota:Omega.Budget.limits ->
+  ?domains:int ->
+  unit ->
+  t
 (** Fresh service state: resets the verdict cache (and bounds it at
     [memo_capacity] when given); [quota] is the per-request budget
-    ceiling (default {!Omega.Budget.default}). *)
+    ceiling (default {!Omega.Budget.default}); [domains] sizes the
+    worker-domain pool that runs solver work (default 1 — requests are
+    then still serialized, but off the session threads). *)
 
 val quota : t -> Omega.Budget.limits
+
+val domains : t -> int
+(** Worker domains serving solver work. *)
+
+val shutdown : t -> unit
+(** Join the worker-domain pool.  Call once no request can arrive —
+    the server does this after draining its sessions. *)
 
 val handle :
   t -> peer:string -> id:int -> Protocol.request ->

@@ -71,48 +71,14 @@ let doall_count pl = List.length pl.pl_doall
 (* Domain pool                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* A fixed pool: [size - 1] spawned domains plus the calling domain,
-   which participates in every region.  Workers park on a condition
-   variable between regions; a region is published as a job closure
-   plus an epoch bump.  A worker that oversleeps a region is harmless:
-   jobs claim chunks from an atomic counter, so latecomers find the
-   counter exhausted and go back to sleep. *)
+(* A fixed pool of [size] execution slots: [size - 1] worker domains
+   from the shared Taskpool machinery plus the calling domain, which
+   participates in every region.  A region publishes [size] copies of a
+   re-entrant job closure; copies claim chunks from an atomic counter,
+   so a copy that runs late (or two copies draining on the same domain)
+   just finds the counter exhausted and returns. *)
 
-type pool = {
-  p_size : int;
-  p_lock : Mutex.t;
-  p_work : Condition.t;
-  p_idle : Condition.t;
-  mutable p_job : (unit -> unit) option;
-  mutable p_epoch : int;
-  mutable p_running : int;
-  mutable p_stop : bool;
-  mutable p_domains : unit Domain.t list;
-}
-
-let rec worker pool epoch =
-  Mutex.lock pool.p_lock;
-  while (not pool.p_stop) && pool.p_epoch = epoch do
-    Condition.wait pool.p_work pool.p_lock
-  done;
-  if pool.p_stop then Mutex.unlock pool.p_lock
-  else begin
-    let epoch = pool.p_epoch in
-    match pool.p_job with
-    | None ->
-      (* woke between regions with a stale epoch: nothing to do *)
-      Mutex.unlock pool.p_lock;
-      worker pool epoch
-    | Some job ->
-      pool.p_running <- pool.p_running + 1;
-      Mutex.unlock pool.p_lock;
-      job ();
-      Mutex.lock pool.p_lock;
-      pool.p_running <- pool.p_running - 1;
-      if pool.p_running = 0 then Condition.broadcast pool.p_idle;
-      Mutex.unlock pool.p_lock;
-      worker pool epoch
-  end
+type pool = { p_size : int; p_tp : Taskpool.t }
 
 let create_pool ?size () =
   let size =
@@ -120,54 +86,24 @@ let create_pool ?size () =
     | Some s -> max 1 s
     | None -> max 1 (Domain.recommended_domain_count ())
   in
-  let pool =
-    {
-      p_size = size;
-      p_lock = Mutex.create ();
-      p_work = Condition.create ();
-      p_idle = Condition.create ();
-      p_job = None;
-      p_epoch = 0;
-      p_running = 0;
-      p_stop = false;
-      p_domains = [];
-    }
-  in
-  pool.p_domains <-
-    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool 0));
-  pool
+  { p_size = size; p_tp = Taskpool.create ~workers:(size - 1) }
 
 let pool_size pool = pool.p_size
 
-let shutdown pool =
-  Mutex.lock pool.p_lock;
-  pool.p_stop <- true;
-  Condition.broadcast pool.p_work;
-  Mutex.unlock pool.p_lock;
-  List.iter Domain.join pool.p_domains;
-  pool.p_domains <- []
+let shutdown pool = Taskpool.shutdown pool.p_tp
 
 let with_pool ?size f =
   let pool = create_pool ?size () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-(* Publish [job] to the pool, run it on the calling domain too, and wait
-   until every worker that picked it up has drained.  [job] must be
-   re-entrant and must return only when no work is left (chunk claiming
-   via an atomic counter gives both). *)
+(* Run [job] on every pool slot (the calling domain included) and wait
+   until all copies have drained.  [job] must be re-entrant and must
+   return only when no work is left (chunk claiming via an atomic
+   counter gives both); it must not raise — region bodies capture their
+   own faults for the serial-fallback path. *)
 let run_region pool job =
-  Mutex.lock pool.p_lock;
-  pool.p_job <- Some job;
-  pool.p_epoch <- pool.p_epoch + 1;
-  Condition.broadcast pool.p_work;
-  Mutex.unlock pool.p_lock;
-  job ();
-  Mutex.lock pool.p_lock;
-  while pool.p_running > 0 do
-    Condition.wait pool.p_idle pool.p_lock
-  done;
-  pool.p_job <- None;
-  Mutex.unlock pool.p_lock
+  Taskpool.run_batch ~participate:true pool.p_tp
+    (List.init pool.p_size (fun _ -> job))
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)

@@ -12,5 +12,6 @@ let () =
       Test_misc.suite;
       Test_robust.suite;
       Test_perf.suite;
+      Test_par_analysis.suite;
       Test_serve.suite;
     ]

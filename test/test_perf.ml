@@ -128,6 +128,49 @@ let prop_redundancy_preserves_solutions =
         (Oracle.assignments vars lo hi))
 
 (* ------------------------------------------------------------------ *)
+(* Domain-local id spaces                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Each domain draws Var ids from its own slot of the id space, so
+   allocations on concurrently spawned domains can never collide with
+   each other or with the main domain's. *)
+let prop_var_ids_disjoint =
+  QCheck.Test.make ~count:20 ~name:"per-domain Var ids are disjoint"
+    QCheck.(pair (int_range 1 4) (int_range 1 128))
+    (fun (doms, n) ->
+      let ids_of () = List.init n (fun _ -> Var.id (Var.fresh "q")) in
+      let spawned = List.init doms (fun _ -> Domain.spawn ids_of) in
+      let mine = ids_of () in
+      let all = List.concat (mine :: List.map Domain.join spawned) in
+      List.length (List.sort_uniq compare all) = List.length all)
+
+(* The canonical (alpha-renamed) memo key erases variable identity
+   entirely, so the same query construction performed on different
+   domains — whose Var ids live in unrelated slots — produces
+   byte-identical keys, and a verdict cached by one domain replays for
+   all of them. *)
+let prop_canon_key_domain_invariant =
+  QCheck.Test.make ~count:30
+    ~name:"canonical memo keys are domain-invariant"
+    QCheck.(pair (int_range 1 5) (int_range 0 7))
+    (fun (n, c) ->
+      let build () =
+        let xs =
+          Array.init n (fun i -> Var.fresh (Printf.sprintf "x%d" i))
+        in
+        let w = Var.fresh_wild () in
+        let cs =
+          Constr.eq2 (Linexpr.var w) (Linexpr.var xs.(0))
+          :: List.init n (fun i ->
+                 Constr.ge (Linexpr.var xs.(i)) (Linexpr.of_int (i + c)))
+        in
+        Canon.of_problems [ Problem.of_list cs ]
+      in
+      let here = build () in
+      let there = Domain.join (Domain.spawn build) in
+      here = there)
+
+(* ------------------------------------------------------------------ *)
 (* Memo bound                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -161,4 +204,9 @@ let suite =
     unit_tests
     @ List.map
         (QCheck_alcotest.to_alcotest ~long:false)
-        [ prop_order_equisatisfiable; prop_redundancy_preserves_solutions ] )
+        [
+          prop_order_equisatisfiable;
+          prop_redundancy_preserves_solutions;
+          prop_var_ids_disjoint;
+          prop_canon_key_domain_invariant;
+        ] )

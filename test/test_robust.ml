@@ -171,7 +171,8 @@ let test_fault_injection_soundness () =
           check bool_t
             (Printf.sprintf "seed %d: faults actually fired" seed)
             true
-            (Budget.Telemetry.stats.Budget.Telemetry.gave_up_injected > 0);
+            ((Budget.Telemetry.current ()).Budget.Telemetry.gave_up_injected
+            > 0);
           (* a degraded plan must still execute soundly *)
           List.iter
             (fun name ->
@@ -200,6 +201,52 @@ let test_fault_injection_soundness () =
     [ 1; 42 ];
   Analyses.Memo.reset ()
 
+(* The fault stream is a pure function of (seed, canonical query key),
+   never of execution order, so a domain-sharded analysis faults exactly
+   the queries a serial one does: the assumed-dependence sets come out
+   identical — not merely conservative — at any width.  (Conservatism
+   w.r.t. the clean run is asserted again on the sharded outcomes, so a
+   regression to order-dependent faulting fails loudly here.) *)
+let test_fault_injection_parallel () =
+  let clean = List.map (fun (name, src) -> (name, outcome_of src)) programs in
+  Analyses.set_fault_injection ~seed:42 ~rate:0.10;
+  Fun.protect
+    ~finally:(fun () ->
+      Analyses.clear_fault_injection ();
+      Par.set_domains 1)
+    (fun () ->
+      let run () =
+        List.map (fun (name, src) -> (name, outcome_of src)) programs
+      in
+      let serial = run () in
+      Par.set_domains 3;
+      let sharded = run () in
+      Par.set_domains 1;
+      List.iter2
+        (fun (name, (s : outcome)) (_, (p : outcome)) ->
+          if s <> p then
+            Alcotest.failf
+              "%s: 3-domain faulty outcome differs from serial faulty \
+               outcome (dead %d/%d, live %d/%d)"
+              name
+              (List.length p.dead) (List.length s.dead)
+              (List.length p.live) (List.length s.live))
+        serial sharded;
+      List.iter
+        (fun (name, (f : outcome)) ->
+          let cl = List.assoc name clean in
+          let sub label a b =
+            if not (subset a b) then
+              Alcotest.failf
+                "%s: sharded faulty %s not a subset of clean's" name label
+          in
+          sub "dead set" f.dead cl.dead;
+          sub "std doalls" f.std_doalls cl.std_doalls;
+          sub "ext doalls" f.ext_doalls cl.ext_doalls;
+          sub "live set (clean within faulty)" cl.live f.live)
+        sharded);
+  Analyses.Memo.reset ()
+
 let suite =
   ( "robust",
     [
@@ -211,4 +258,7 @@ let suite =
         `Quick test_budget_monotonicity;
       Alcotest.test_case "fault injection: plans degrade soundly" `Quick
         test_fault_injection_soundness;
+      Alcotest.test_case
+        "fault injection: serial and sharded runs fault identically" `Quick
+        test_fault_injection_parallel;
     ] )

@@ -256,14 +256,18 @@ let fresh_path =
     incr n;
     Printf.sprintf "/tmp/petitd-test-%d-%d.sock" (Unix.getpid ()) !n
 
-let with_server ?max_frame f =
+(* Tests default to one worker domain (the deterministic baseline);
+   the multi-domain stress opts in with [domains]. *)
+let with_server ?max_frame ?(domains = 1) f =
   let path = fresh_path () in
   let config =
-    match max_frame with
-    | None -> Server.default_config (Protocol.Unix_path path)
-    | Some m ->
-      { (Server.default_config (Protocol.Unix_path path)) with
-        Server.c_max_frame = m }
+    let base = Server.default_config (Protocol.Unix_path path) in
+    let base =
+      match max_frame with
+      | None -> base
+      | Some m -> { base with Server.c_max_frame = m }
+    in
+    { base with Server.c_domains = domains }
   in
   let server = Server.start config in
   Fun.protect
@@ -473,17 +477,16 @@ let run_clients path ~clients ~programs =
     errors;
   Array.to_list results
 
+let check_against expected client (name, an, par) =
+  let _, ean, epar = List.find (fun (n, _, _) -> n = name) expected in
+  check string_t (Printf.sprintf "%s analyze (client %d)" name client) ean an;
+  check string_t
+    (Printf.sprintf "%s parallelize (client %d)" name client)
+    epar par
+
 let test_concurrent_determinism () =
   let expected = expected_payloads () in
-  let check_result client (name, an, par) =
-    let _, ean, epar =
-      List.find (fun (n, _, _) -> n = name) expected
-    in
-    check string_t (Printf.sprintf "%s analyze (client %d)" name client)
-      ean an;
-    check string_t (Printf.sprintf "%s parallelize (client %d)" name client)
-      epar par
-  in
+  let check_result = check_against expected in
   (* one client, cold daemon *)
   with_server (fun path ->
       List.iteri
@@ -509,6 +512,36 @@ let test_concurrent_determinism () =
           | None -> 0
         in
         check bool_t "memo hits > 0 across clients" true (hits > 0)
+      | Protocol.Error_ _ -> Alcotest.fail "stats failed");
+      Client.close c)
+
+(* The same 8-client corpus replay against a daemon whose solver work is
+   sharded over two worker domains.  Every payload must stay
+   byte-identical to the in-process expectation (and hence to the
+   single-domain daemon's, pinned to the same expectation above):
+   worker-domain Var slots must never leak into responses, and the
+   verdict cache is shared across both domains. *)
+let test_concurrent_determinism_domains () =
+  let expected = expected_payloads () in
+  with_server ~domains:2 (fun path ->
+      let per_client =
+        run_clients path ~clients:8 ~programs:determinism_programs
+      in
+      List.iteri
+        (fun k rs -> List.iter (check_against expected k) rs)
+        per_client;
+      (* the cache was shared across sessions and worker domains *)
+      let c = connect_exn path in
+      (match request_exn c Protocol.Stats with
+      | Protocol.Result { payload; _ } ->
+        let hits =
+          match Json.member "memo" payload with
+          | Some m ->
+            Option.value ~default:0
+              (Option.bind (Json.member "hits" m) Json.to_int_opt)
+          | None -> 0
+        in
+        check bool_t "memo hits > 0 across domains" true (hits > 0)
       | Protocol.Error_ _ -> Alcotest.fail "stats failed");
       Client.close c)
 
@@ -567,5 +600,7 @@ let suite =
         test_server_truncated_frame;
       Alcotest.test_case "1 vs 8 clients, identical verdicts" `Slow
         test_concurrent_determinism;
+      Alcotest.test_case "8 clients over 2 solver domains, identical verdicts"
+        `Slow test_concurrent_determinism_domains;
       Alcotest.test_case "memo: concurrent stress" `Quick test_memo_stress;
     ] )
