@@ -9,6 +9,7 @@
    kill tests resolved without consulting the Omega test. *)
 
 open Depend
+module Portfolio = Omega.Portfolio
 module Json = Serve.Json
 module Protocol = Serve.Protocol
 module Client = Serve.Client
@@ -485,11 +486,17 @@ let ablations () =
   (* 1: dark-shadow + gist fast path vs the (pruned, bounded) general
      Presburger procedure.  Without the DNF pruning this configuration
      took minutes on CHOLSKY (~3000x); with it the complete procedure is
-     viable and the fast path is "only" a few times faster. *)
+     viable and the fast path is "only" a few times faster.  The tier-0
+     screen is pinned off (backend [Omega]) so the comparison isolates
+     tier 1 against tier 2; the cascade's own win is measured in the
+     analysis suite's portfolio section. *)
+  let saved_backend = !Omega.Portfolio.backend in
+  Omega.Portfolio.backend := Omega.Portfolio.Omega;
   let _, t_fast = time (fun () -> Driver.analyze cholsky) in
   Analyses.use_fast_path := false;
   let _, t_slow = time (fun () -> Driver.analyze cholsky) in
   Analyses.use_fast_path := true;
+  Omega.Portfolio.backend := saved_backend;
   Printf.printf
     "ablation-fast-path   : CHOLSKY driver %.1f ms with dark-shadow fast path, %.1f ms general-only (%.2fx)\n"
     (ms t_fast) (ms t_slow)
@@ -1409,12 +1416,13 @@ let measure_subject ~reps cfg_opt s =
   (s.as_name, t_opt, t_abl, o_opt, o_abl)
 
 let json_of_analysis ~smoke ~repeat ~flags ~geo ~corpus ~pairs_speedup
-    ~geo_programs ~divergences ~rows ~ablation_rows ~parallel =
+    ~geo_programs ~divergences ~rows ~ablation_rows ~parallel ~portfolio =
   let order, redundancy, hashcons = flags in
   let corpus_abl, corpus_opt, corpus_speedup = corpus in
   Json.Obj
     (parallel
     @ [
+      ("portfolio", portfolio);
       ("smoke", Json.Bool smoke);
       ("repeat", Json.Int repeat);
       ( "flags",
@@ -1561,6 +1569,143 @@ let analysis_suite ~smoke ~repeat ~out ~order ~redundancy ~hashcons ~domains
      %s\nidentical results: %b\n"
     geo geo_programs stats_line (!divergences = []);
   List.iter (fun d -> Printf.printf "VIOLATION: %s\n" d) !divergences;
+  (* --- decision portfolio: the tiered cascade (DESIGN.md section 12).
+     Three gates in one sub-suite, all of which also run in smoke mode:
+     (1) the cross-backend oracle replays every query an incomplete tier
+     decides through the complete procedure and demands agreement;
+     (2) cascade-on vs cascade-off (tier 2 alone: no screen, no fast
+     path) must produce byte-identical analyze and parallelize payloads
+     — dependence sets, direction vectors, kill/cover attribution, and
+     doall verdicts all ride in those payloads; (3) the cascade must pay
+     for itself on the corpus, with the per-tier traffic reported. *)
+  let with_backend b f =
+    let saved = !Portfolio.backend in
+    Portfolio.backend := b;
+    Fun.protect ~finally:(fun () -> Portfolio.backend := saved) f
+  in
+  let with_fast on f =
+    let saved = !Analyses.use_fast_path in
+    Analyses.use_fast_path := on;
+    Fun.protect ~finally:(fun () -> Analyses.use_fast_path := saved) f
+  in
+  let cascade f = with_backend Portfolio.Cascade f in
+  let tier2_only f =
+    with_backend Portfolio.Omega (fun () -> with_fast false f)
+  in
+  (* (1) the oracle corpus replay *)
+  Portfolio.Oracle.enable ();
+  cascade (fun () ->
+      under cfg_opt (fun () ->
+          List.iter (fun s -> ignore (analysis_outcome s.as_prog)) subjects));
+  Portfolio.Oracle.disable ();
+  let oracle_checks = Portfolio.Oracle.checks () in
+  let oracle_bad = Portfolio.Oracle.divergences () in
+  List.iter
+    (fun (d : Portfolio.Oracle.divergence) ->
+      let s =
+        Printf.sprintf
+          "oracle: tier %s decided %s as %b but the complete procedure says \
+           %b"
+          (Portfolio.tier_to_string d.Portfolio.Oracle.tier)
+          d.Portfolio.Oracle.label d.Portfolio.Oracle.got
+          d.Portfolio.Oracle.want
+      in
+      Printf.printf "VIOLATION: %s\n" s;
+      divergences := !divergences @ [ s ])
+    oracle_bad;
+  (* (2) payload bit-identity *)
+  let payloads () =
+    under cfg_opt (fun () ->
+        List.map
+          (fun s ->
+            Analyses.Memo.reset ();
+            ( s.as_name,
+              Json.to_string (Service.analyze_payload ~in_bounds:true s.as_prog)
+              ^ Json.to_string
+                  (Service.parallelize_payload ~in_bounds:true s.as_prog) ))
+          subjects)
+  in
+  let pay_cascade = cascade payloads in
+  let pay_tier2 = tier2_only payloads in
+  let payloads_identical = ref true in
+  List.iter2
+    (fun (name, a) (_, b) ->
+      if a <> b then begin
+        payloads_identical := false;
+        let d =
+          Printf.sprintf
+            "%s: cascade and tier-2-only analysis payloads differ" name
+        in
+        Printf.printf "VIOLATION: %s\n" d;
+        divergences := !divergences @ [ d ]
+      end)
+    pay_cascade pay_tier2;
+  (* (3) throughput and tier traffic *)
+  let portfolio_corpus_time wrap =
+    List.fold_left2
+      (fun acc s (_, _, t_abl, _, _) ->
+        let iters =
+          if t_abl >= 0.25 then 1
+          else max 1 (int_of_float (0.01 /. Float.max t_abl 1e-6))
+        in
+        acc +. wrap (fun () -> time_subject ~reps ~iters cfg_opt s))
+      0. subjects measured
+  in
+  let t_cascade = portfolio_corpus_time cascade in
+  let t_tier2 = portfolio_corpus_time tier2_only in
+  Portfolio.Stats.reset ();
+  cascade (fun () ->
+      under cfg_opt (fun () ->
+          List.iter (fun s -> ignore (analysis_outcome s.as_prog)) subjects));
+  let tiers = Portfolio.Stats.current () in
+  let trate (r : Portfolio.Stats.row) =
+    if r.Portfolio.Stats.attempts = 0 then 0.
+    else
+      float_of_int r.Portfolio.Stats.decides
+      /. float_of_int r.Portfolio.Stats.attempts
+  in
+  let tier0_decide_fraction = trate tiers.Portfolio.Stats.screen in
+  Printf.printf
+    "\nportfolio: cascade corpus %8.1f ms vs tier-2-only %8.1f ms (%.2fx \
+     speedup)\noracle: %d cross-backend checks, %d contradictions; payloads \
+     identical: %b\ntiers (attempts/decided): %s\ntier-0 screen decides \
+     %.1f%% of the solver queries it sees\n"
+    (ms t_cascade) (ms t_tier2)
+    (ratio t_tier2 t_cascade)
+    oracle_checks
+    (List.length oracle_bad)
+    !payloads_identical
+    (Portfolio.Stats.summary ())
+    (100. *. tier0_decide_fraction);
+  let tier_json (r : Portfolio.Stats.row) =
+    Json.Obj
+      [
+        ("attempts", Json.Int r.Portfolio.Stats.attempts);
+        ("decides", Json.Int r.Portfolio.Stats.decides);
+        ("decide_rate", jf (trate r));
+        ("ms", jf (ms r.Portfolio.Stats.elapsed));
+      ]
+  in
+  let portfolio_json =
+    Json.Obj
+      [
+        ("cascade_ms", jf (ms t_cascade));
+        ("tier2_only_ms", jf (ms t_tier2));
+        ("cascade_speedup", jf (ratio t_tier2 t_cascade));
+        ("oracle_checks", Json.Int oracle_checks);
+        ("oracle_divergences", Json.Int (List.length oracle_bad));
+        ("payloads_identical", Json.Bool !payloads_identical);
+        ("tier0_decide_fraction", jf tier0_decide_fraction);
+        ( "tiers",
+          Json.Obj
+            [
+              ("quick", tier_json tiers.Portfolio.Stats.quick);
+              ("screen", tier_json tiers.Portfolio.Stats.screen);
+              ("fast", tier_json tiers.Portfolio.Stats.fast);
+              ("complete", tier_json tiers.Portfolio.Stats.complete);
+            ] );
+      ]
+  in
   (* --- per-flag ablation rows: each optimization off on its own --- *)
   let ablation_rows =
     if smoke then []
@@ -1672,10 +1817,14 @@ let analysis_suite ~smoke ~repeat ~out ~order ~redundancy ~hashcons ~domains
       List.iter
         (fun (d, (m : Analyses.Memo.t)) ->
           let tot = m.Analyses.Memo.hits + m.Analyses.Memo.misses in
-          Printf.printf "  domain %d: %d memo hits, %d misses (%.0f%%)\n" d
-            m.Analyses.Memo.hits m.Analyses.Memo.misses
+          Printf.printf
+            "  domain %d: %d memo hits, %d misses (%.0f%%); hits by tier: %d \
+             screen, %d fast, %d complete\n"
+            d m.Analyses.Memo.hits m.Analyses.Memo.misses
             (if tot = 0 then 0.
-             else 100. *. float_of_int m.Analyses.Memo.hits /. float_of_int tot))
+             else 100. *. float_of_int m.Analyses.Memo.hits /. float_of_int tot)
+            m.Analyses.Memo.hits_screen m.Analyses.Memo.hits_fast
+            m.Analyses.Memo.hits_complete)
         by_domain;
       [
         ("domains", Json.Int n);
@@ -1706,6 +1855,10 @@ let analysis_suite ~smoke ~repeat ~out ~order ~redundancy ~hashcons ~domains
                           else
                             float_of_int m.Analyses.Memo.hits
                             /. float_of_int tot) );
+                     ("hits_screen", Json.Int m.Analyses.Memo.hits_screen);
+                     ("hits_fast", Json.Int m.Analyses.Memo.hits_fast);
+                     ( "hits_complete",
+                       Json.Int m.Analyses.Memo.hits_complete );
                    ])
                by_domain) );
       ]
@@ -1716,7 +1869,7 @@ let analysis_suite ~smoke ~repeat ~out ~order ~redundancy ~hashcons ~domains
        ~corpus:(corpus_abl, corpus_opt, corpus_speedup)
        ~pairs_speedup:(ratio pairs_abl pairs_opt)
        ~geo_programs ~divergences:!divergences ~rows ~ablation_rows
-       ~parallel:parallel_fields);
+       ~parallel:parallel_fields ~portfolio:portfolio_json);
   if !divergences <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)

@@ -182,8 +182,29 @@ let analyze_domains_arg =
            (default 1: serial).  Verdicts are bit-identical to a serial \
            run; only wall-clock changes.")
 
+let solver_backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("omega", Omega.Portfolio.Omega);
+             ("screen", Omega.Portfolio.Screen);
+             ("cascade", Omega.Portfolio.Cascade);
+           ])
+        Omega.Portfolio.Cascade
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Decision-portfolio backend: $(b,cascade) (incomplete screen, \
+           then dark-shadow fast path, then complete Presburger; the \
+           default), $(b,omega) (fast path + complete, no screen), or \
+           $(b,screen) (the O(constraints) screen alone — undecided \
+           queries give up, conservatively).  Verdict-preserving except \
+           for $(b,screen)'s extra give-ups.")
+
 let analyze_cmd =
-  let run file in_bounds spec json connect domains =
+  let run file in_bounds spec json connect domains backend =
+    Omega.Portfolio.backend := backend;
     (match domains with
     | Some n -> Par.set_domains n
     | None -> ());
@@ -204,7 +225,7 @@ let analyze_cmd =
     with_errors @@ fun () ->
     with_budget (limits_of_spec spec) @@ fun () ->
     let prog = Lang.Sema.analyze (load file) in
-    Analyses.Stats.reset ();
+    Omega.Portfolio.Stats.reset ();
     Analyses.Memo.reset ();
     Omega.Tuning.Stats.reset ();
     let result = Driver.analyze ~in_bounds prog in
@@ -221,21 +242,20 @@ let analyze_cmd =
       (fun d -> Printf.printf "  %s\n" (Deps.dep_to_string d))
       result.Driver.antis;
     (* the section 4.5 / 4.7 claim, visible on every run: most kill, cover
-       and refinement questions are settled without consulting the Omega
-       test *)
-    let s = Analyses.Stats.current () in
-    Printf.printf
-      "\nscreens: %d quick-screen hits (no Omega test), %d Omega-test \
-       invocations (%d dark-shadow fast path, %d general Presburger)\n"
-      s.Analyses.Stats.quick_screen_hits
-      (s.Analyses.Stats.fast_path_hits + s.Analyses.Stats.general_calls)
-      s.Analyses.Stats.fast_path_hits s.Analyses.Stats.general_calls;
+       and refinement questions are settled by the cheap tiers without
+       consulting the complete Omega test *)
+    Printf.printf "\ntiers (%s backend, attempts/decided): %s\n"
+      (Omega.Portfolio.backend_to_string !Omega.Portfolio.backend)
+      (Omega.Portfolio.Stats.summary ());
     let m = Analyses.Memo.stats in
     Printf.printf
-      "memo: %d distinct problems, %d cache hits (%.0f%% hit rate), \
-       %d/%d entries held, %d evicted\n"
+      "memo: %d distinct problems, %d cache hits (%.0f%% hit rate; by \
+       tier: %d screen, %d fast, %d complete), %d/%d entries held, %d \
+       evicted\n"
       m.Analyses.Memo.misses m.Analyses.Memo.hits
       (100. *. Analyses.Memo.hit_rate ())
+      m.Analyses.Memo.hits_screen m.Analyses.Memo.hits_fast
+      m.Analyses.Memo.hits_complete
       (Analyses.Memo.size ()) !Analyses.Memo.capacity
       m.Analyses.Memo.evictions;
     Printf.printf "solver: %s\n" (Omega.Tuning.Stats.summary ());
@@ -248,7 +268,7 @@ let analyze_cmd =
           refinement, covering and killing.")
     Term.(
       const run $ file_arg $ in_bounds_arg $ budget_spec_term $ json_arg
-      $ connect_arg $ analyze_domains_arg)
+      $ connect_arg $ analyze_domains_arg $ solver_backend_arg)
 
 let parallelize_cmd =
   let oracle_arg =

@@ -63,6 +63,25 @@ let domains_arg =
            in parallel up to $(docv) (default: the machine's recommended \
            domain count minus one).")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("omega", Omega.Portfolio.Omega);
+             ("screen", Omega.Portfolio.Screen);
+             ("cascade", Omega.Portfolio.Cascade);
+           ])
+        Omega.Portfolio.Cascade
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Decision-portfolio backend for every request: $(b,cascade) \
+           (screen, then fast path, then complete; the default), \
+           $(b,omega), or $(b,screen) (incomplete: undecided queries \
+           report [gave up]).  Set once at startup — worker domains read \
+           it concurrently.")
+
 (* The daemon-wide budget ceiling: per-request budgets are clamped to
    it (Protocol.clamp_budget), never raised above it. *)
 let quota_term =
@@ -109,7 +128,8 @@ let quota_term =
   Term.(const make $ fuel_arg $ splinters_arg $ disjuncts_arg $ deadline_arg)
 
 let () =
-  let run addr memo_capacity max_frame quota domains =
+  let run addr memo_capacity max_frame quota domains backend =
+    Omega.Portfolio.backend := backend;
     let base = Serve.Server.default_config addr in
     let config =
       {
@@ -147,4 +167,4 @@ let () =
        (Cmd.v info
           Term.(
             const run $ addr_term $ memo_capacity_arg $ max_frame_arg
-            $ quota_term $ domains_arg)))
+            $ quota_term $ domains_arg $ backend_arg)))

@@ -1,62 +1,19 @@
 (* The four section-4 analyses: killing, covering, terminating, and
    refinement of dependence distances.  Each is phrased as the validity of
    a Presburger formula of the form  forall (p => exists q)  and decided
-   with the extended Omega test.
-
-   A fast path first tries the paper's efficient route: project the
-   existential side with the dark shadow and check the implication with
-   gists; only when that fails do we fall back to the complete Presburger
-   decision procedure. *)
+   by the tiered portfolio ([Omega.Portfolio]): the O(constraints)
+   incomplete screen first, then the paper's efficient route (project the
+   existential side with the dark shadow, check the implication with
+   gists), and only when both pass does the complete Presburger decision
+   procedure run.  Per-tier accounting (attempts / decides / time) lives
+   in [Portfolio.Stats]; the driver's structural section-4.5 screens
+   count there too, as the [quick] row. *)
 
 open Omega
 
-(* Statistics for the evaluation section benches.  Per-domain, like
-   Budget's telemetry: increments stay plain stores on the hot path and
-   parallel tasks merge their record back at batch boundaries (the scope
-   hook registered with Par below). *)
-module Stats = struct
-  type t = {
-    mutable fast_path_hits : int;
-    mutable general_calls : int;
-    mutable quick_screen_hits : int;
-  }
-
-  let make () = { fast_path_hits = 0; general_calls = 0; quick_screen_hits = 0 }
-  let key = Domain.DLS.new_key make
-  let current () = Domain.DLS.get key
-  let reset () = Domain.DLS.set key (make ())
-
-  let exchange fresh =
-    let old = current () in
-    Domain.DLS.set key fresh;
-    old
-
-  let merge_into dst src =
-    dst.fast_path_hits <- dst.fast_path_hits + src.fast_path_hits;
-    dst.general_calls <- dst.general_calls + src.general_calls;
-    dst.quick_screen_hits <- dst.quick_screen_hits + src.quick_screen_hits
-end
-
-let () =
-  Par.register_scope_hook (fun () ->
-      let target = Stats.current () in
-      let lock = Mutex.create () in
-      {
-        Par.wrap =
-          (fun f ->
-            let saved = Stats.exchange (Stats.make ()) in
-            let finish () =
-              let mine = Stats.exchange saved in
-              Mutex.lock lock;
-              Stats.merge_into target mine;
-              Mutex.unlock lock
-            in
-            Fun.protect ~finally:finish f);
-      })
-
-(* Ablation switch for the benches: when false, every query goes through
-   the complete Presburger procedure instead of trying the dark-shadow +
-   gist fast path first. *)
+(* Ablation switch for the benches: when false, the portfolio plan omits
+   the dark-shadow + gist fast path (tier 1), so queries the screen
+   passes on go straight to the complete Presburger procedure. *)
 let use_fast_path = ref true
 
 (* ------------------------------------------------------------------ *)
@@ -89,12 +46,31 @@ module Memo = struct
     mutable hits : int;
     mutable misses : int;
     mutable evictions : int;
+    (* hits attributed to the tier that computed the cached verdict *)
+    mutable hits_screen : int;
+    mutable hits_fast : int;
+    mutable hits_complete : int;
   }
 
-  let enabled = ref true
-  let stats = { hits = 0; misses = 0; evictions = 0 }
+  let make_t () =
+    {
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      hits_screen = 0;
+      hits_fast = 0;
+      hits_complete = 0;
+    }
 
-  let table : (string, Budget.verdict * Budget.limits) Hashtbl.t =
+  let enabled = ref true
+  let stats = make_t ()
+
+  (* Entries are tagged with the portfolio tier that decided them
+     ([None] for a cached give-up), so replays keep the per-tier
+     attribution honest. *)
+  let table :
+      (string, Budget.verdict * Budget.limits * Portfolio.tier option)
+      Hashtbl.t =
     Hashtbl.create 4096
 
   (* The daemon shares one cache across connection threads, so the
@@ -145,7 +121,7 @@ module Memo = struct
     match Hashtbl.find_opt by_domain id with
     | Some s -> s
     | None ->
-      let s = { hits = 0; misses = 0; evictions = 0 } in
+      let s = make_t () in
       Hashtbl.add by_domain id s;
       s
 
@@ -174,6 +150,9 @@ module Memo = struct
         stats.hits <- 0;
         stats.misses <- 0;
         stats.evictions <- 0;
+        stats.hits_screen <- 0;
+        stats.hits_fast <- 0;
+        stats.hits_complete <- 0;
         Hashtbl.reset by_domain)
 
   let hit_rate () =
@@ -182,15 +161,15 @@ module Memo = struct
         if total = 0 then 0.
         else float_of_int stats.hits /. float_of_int total)
 
-  let replayable (verdict, lims) =
+  let replayable (verdict, lims, _tier) =
     match verdict with
     | Budget.Proved | Budget.Disproved -> true
     | Budget.Gave_up _ -> Budget.le (Budget.current_limits ()) lims
 
-  let add key verdict =
+  let add key verdict tier =
     (* Read the ambient limits before taking the lock: the entry
        records the budget the verdict was computed under. *)
-    let entry = (verdict, Budget.current_limits ()) in
+    let entry = (verdict, Budget.current_limits (), tier) in
     locked (fun () ->
         let fresh = not (Hashtbl.mem table key) in
         Hashtbl.replace table key entry;
@@ -207,15 +186,25 @@ module Memo = struct
           done
         end)
 
+  let bump_tier s tier =
+    match tier with
+    | None -> ()
+    | Some Portfolio.Tier_screen -> s.hits_screen <- s.hits_screen + 1
+    | Some Portfolio.Tier_fast -> s.hits_fast <- s.hits_fast + 1
+    | Some Portfolio.Tier_complete -> s.hits_complete <- s.hits_complete + 1
+
   let find key =
     let l = Domain.DLS.get local_key in
     locked (fun () ->
         match Hashtbl.find_opt table key with
-        | Some entry when replayable entry ->
+        | Some ((verdict, _, tier) as entry) when replayable entry ->
           stats.hits <- stats.hits + 1;
-          (domain_slot ()).hits <- (domain_slot ()).hits + 1;
+          bump_tier stats tier;
+          let slot = domain_slot () in
+          slot.hits <- slot.hits + 1;
+          bump_tier slot tier;
           l.l_hits <- l.l_hits + 1;
-          Some (fst entry)
+          Some (verdict, tier)
         | _ ->
           stats.misses <- stats.misses + 1;
           (domain_slot ()).misses <- (domain_slot ()).misses + 1;
@@ -229,14 +218,18 @@ end
    the query label, the content-derived fault-injection key. *)
 let memo_key ~hyp lhs ~evars rhs = Canon.key ~hyp lhs ~evars rhs
 
-(* [p => exists vs. q] checked first via dark-shadow projection + gist
-   implication (sound when it answers [true]), then via the full
-   Presburger engine. *)
-let implies_exists_uncached ~(hyp : Constr.t list) (lhs : Problem.t list)
-    ~(evars : Var.t list) (rhs : Problem.t list) : bool =
+(* The three portfolio tiers for [p => exists vs. q], each a sound
+   attempt that may pass with [Unknown]:
+
+   tier 0 — the incomplete O(constraints) screen;
+   tier 1 — one RHS disjunct's dark projection implied by the LHS
+            disjunct (must hold for EVERY lhs disjunct; proves only);
+   tier 2 — the complete Presburger engine (always decides). *)
+
+let screen_tier ~hyp lhs ~evars rhs () = Screen.implies_exists ~hyp lhs ~evars rhs
+
+let fast_tier ~hyp lhs ~evars rhs () =
   let keep v = not (List.exists (Var.equal v) evars) in
-  (* fast path: one RHS disjunct's dark projection implied by an LHS
-     disjunct (must hold for EVERY lhs disjunct) *)
   let rhs_dark =
     lazy
       (List.filter_map
@@ -246,62 +239,68 @@ let implies_exists_uncached ~(hyp : Constr.t list) (lhs : Problem.t list)
            | `Ok d -> Some d)
          rhs)
   in
-  let fast_ok =
-    !use_fast_path
-    && List.for_all
-         (fun l ->
-           let l = Problem.add_list hyp l in
-           (not (Elim.satisfiable l))
-           || List.exists (fun d -> Gist.implies l d) (Lazy.force rhs_dark))
-         lhs
+  let ok =
+    List.for_all
+      (fun l ->
+        let l = Problem.add_list hyp l in
+        (not (Elim.satisfiable l))
+        || List.exists (fun d -> Gist.implies l d) (Lazy.force rhs_dark))
+      lhs
   in
-  if fast_ok then begin
-    let s = Stats.current () in
-    s.Stats.fast_path_hits <- s.Stats.fast_path_hits + 1;
-    true
-  end
-  else begin
-    let s = Stats.current () in
-    s.Stats.general_calls <- s.Stats.general_calls + 1;
-    let open Presburger in
-    let f =
-      implies_
-        (and_ (List.map atom hyp))
-        (implies_
-           (or_ (List.map of_problem lhs))
-           (exists evars (or_ (List.map of_problem rhs))))
-    in
-    valid f
-  end
+  if ok then Screen.Proved else Screen.Unknown
 
-(* The three-valued query boundary: any blown budget inside the fast
-   path or the general procedure surfaces as [Gave_up], never as an
-   exception. *)
-let implies_exists_verdict ?(label = "query") ~hyp lhs ~evars rhs :
-    Budget.verdict =
+let complete_tier ~hyp lhs ~evars rhs () =
+  let open Presburger in
+  let f =
+    implies_
+      (and_ (List.map atom hyp))
+      (implies_
+         (or_ (List.map of_problem lhs))
+         (exists evars (or_ (List.map of_problem rhs))))
+  in
+  if valid f then Screen.Proved else Screen.Disproved
+
+(* The three-valued query boundary, with tier attribution: any blown
+   budget inside a tier surfaces as [Gave_up], never as an exception,
+   and an exhausted plan (the screen-only backend passing on a query)
+   gives up with [Incomplete]. *)
+let implies_exists_decide ?(label = "query") ~hyp lhs ~evars rhs :
+    Budget.verdict * Portfolio.tier option =
   (* The fault key is the label-tagged canonical form: computed lazily
      (only when injection is active or the memo needs it), and a pure
      function of the query's content, so a given query faults
      identically in serial and sharded runs. *)
   let canon = lazy (memo_key ~hyp lhs ~evars rhs) in
   let compute () =
-    Budget.decide ~label
+    let tiers =
+      Portfolio.plan
+        ~screen:(screen_tier ~hyp lhs ~evars rhs)
+        ?fast:
+          (if !use_fast_path then Some (fast_tier ~hyp lhs ~evars rhs)
+           else None)
+        ~complete:(complete_tier ~hyp lhs ~evars rhs)
+        ()
+    in
+    Portfolio.decide ~label
       ~fault_key:(fun () -> label ^ ":" ^ Lazy.force canon)
-      (fun () -> implies_exists_uncached ~hyp lhs ~evars rhs)
+      tiers
   in
   if (not !Memo.enabled) || Budget.fault_injection_active () then compute ()
   else begin
     let key = Lazy.force canon in
     match Memo.find key with
-    | Some verdict -> verdict
+    | Some (verdict, tier) -> (verdict, tier)
     | None ->
       (* Two threads racing on a fresh key both compute and both add;
          the solver is deterministic, so the duplicated work is the only
          cost and the second [add] just replaces an equal entry. *)
-      let verdict = compute () in
-      Memo.add key verdict;
-      verdict
+      let ((verdict, tier) as result) = compute () in
+      Memo.add key verdict tier;
+      result
   end
+
+let implies_exists_verdict ?label ~hyp lhs ~evars rhs : Budget.verdict =
+  fst (implies_exists_decide ?label ~hyp lhs ~evars rhs)
 
 (* Every boolean caller uses a positive answer to eliminate or refine a
    dependence, so [Gave_up] maps to [false]: the dependence stays. *)

@@ -2,45 +2,30 @@
     terminating (4.3) and refinement (4.4) - each phrased as the validity
     of a Presburger formula [forall (p => exists q)].
 
-    A fast path first tries the paper's efficient route (project the
-    existential side with the dark shadow, check the implication with
-    gists); only when that fails does the complete Presburger decision
-    procedure run. *)
+    Queries run through the tiered {!Omega.Portfolio}: the incomplete
+    O(constraints) {!Omega.Screen} first, then the paper's efficient
+    route (project the existential side with the dark shadow, check the
+    implication with gists), and only when both pass does the complete
+    Presburger decision procedure run.  Per-tier attempts / decides /
+    time are recorded in {!Omega.Portfolio.Stats} (merged across domains
+    by a {!Par} scope hook, so sharded analyses report the same totals
+    as serial ones). *)
 
 open Omega
 
-(** Per-domain counters (merged across domains by a {!Par} scope hook,
-    so sharded analyses report the same totals as serial ones). *)
-module Stats : sig
-  type t = {
-    mutable fast_path_hits : int;
-    mutable general_calls : int;
-    mutable quick_screen_hits : int;
-  }
-
-  val make : unit -> t
-
-  val current : unit -> t
-  (** The current domain's record. *)
-
-  val reset : unit -> unit
-
-  val exchange : t -> t
-  (** Swap the current domain's record, returning the previous one. *)
-
-  val merge_into : t -> t -> unit
-  (** Fold [src] into [dst] (all sums — commutative). *)
-end
-
 val use_fast_path : bool ref
-(** Ablation switch: when [false], every query goes through the complete
-    Presburger procedure. *)
+(** Ablation switch: when [false], the portfolio plan omits the
+    dark-shadow fast path (tier 1). *)
 
 module Memo : sig
   type t = {
     mutable hits : int;
     mutable misses : int;
     mutable evictions : int;
+    mutable hits_screen : int;
+        (** hits whose cached verdict was decided by tier 0 *)
+    mutable hits_fast : int;  (** ... by the dark-shadow fast path *)
+    mutable hits_complete : int;  (** ... by the complete procedure *)
   }
 
   val enabled : bool ref
@@ -81,13 +66,15 @@ module Memo : sig
       counter fields of {!stats} must be read, not written, by
       clients. *)
 
-  val find : string -> Budget.verdict option
+  val find : string -> (Budget.verdict * Portfolio.tier option) option
   (** Replayable cached verdict under the current domain's
-      {!Budget.current_limits}; counts a hit or a miss. *)
+      {!Budget.current_limits}, with the tier that computed it; counts a
+      hit or a miss. *)
 
-  val add : string -> Budget.verdict -> unit
+  val add : string -> Budget.verdict -> Portfolio.tier option -> unit
   (** Record a verdict computed under the current domain's
-      {!Budget.current_limits}, evicting FIFO beyond {!capacity}. *)
+      {!Budget.current_limits}, tagged with the deciding tier, evicting
+      FIFO beyond {!capacity}. *)
 
   (** {2 Traffic attribution} *)
 
@@ -107,6 +94,20 @@ module Memo : sig
       global and repeated in every row). *)
 end
 
+val implies_exists_decide :
+  ?label:string ->
+  hyp:Constr.t list ->
+  Problem.t list ->
+  evars:Var.t list ->
+  Problem.t list ->
+  Budget.verdict * Portfolio.tier option
+(** [implies_exists_decide ~hyp lhs ~evars rhs]: is
+    [hyp => (lhs => exists evars. rhs)] valid (disjunction over each
+    list)?  One governed portfolio query: a blown budget (or an injected
+    fault, or an exhausted screen-only plan) surfaces as [Gave_up],
+    never as an exception.  Also returns the tier that decided ([None]
+    for give-ups).  [label] names the query in governance telemetry. *)
+
 val implies_exists_verdict :
   ?label:string ->
   hyp:Constr.t list ->
@@ -114,11 +115,7 @@ val implies_exists_verdict :
   evars:Var.t list ->
   Problem.t list ->
   Budget.verdict
-(** [implies_exists_verdict ~hyp lhs ~evars rhs]: is
-    [hyp => (lhs => exists evars. rhs)] valid (disjunction over each
-    list)?  One governed solver query: a blown budget (or an injected
-    fault) surfaces as [Gave_up], never as an exception.  [label] names
-    the query in governance telemetry. *)
+(** {!implies_exists_decide} without the tier attribution. *)
 
 val implies_exists :
   ?label:string ->

@@ -71,10 +71,16 @@ let cover_eliminates ~(cover_vectors : Dirvec.t list) (a : Ir.access)
   && Ir.common_loops w a <= Ir.common_loops a b
   && Ir.common_loops w b <= Ir.common_loops a b
 
-(* Quick-screen bump on the current domain's counter record. *)
-let bump_screen () =
-  let s = Analyses.Stats.current () in
-  s.Analyses.Stats.quick_screen_hits <- s.Analyses.Stats.quick_screen_hits + 1
+(* The section-4.5 structural screens count as the portfolio's [quick]
+   row: an attempt per consultation, a decide per short-circuit (a
+   solver query avoided).  [quick_screen hit] records both and returns
+   [hit] so call sites read as the screen predicate itself. *)
+let quick_screen hit =
+  let r = (Omega.Portfolio.Stats.current ()).Omega.Portfolio.Stats.quick in
+  r.Omega.Portfolio.Stats.attempts <- r.Omega.Portfolio.Stats.attempts + 1;
+  if hit then
+    r.Omega.Portfolio.Stats.decides <- r.Omega.Portfolio.Stats.decides + 1;
+  hit
 
 let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
   let ctx = Depctx.create prog in
@@ -96,10 +102,8 @@ let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
           | None -> None
           | Some dep ->
             let refined =
-              if quick && not (refinement_possible outputs a) then begin
-                bump_screen ();
-                None
-              end
+              if quick && quick_screen (not (refinement_possible outputs a))
+              then None
               else begin
                 let pinned = Analyses.refine ~in_bounds ctx ~src:a ~dst:b in
                 if pinned = [] then None
@@ -118,10 +122,8 @@ let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
               match refined with Some v -> v | None -> dep.Deps.vectors
             in
             let covers =
-              if quick && not (cover_possible vectors) then begin
-                bump_screen ();
+              if quick && quick_screen (not (cover_possible vectors)) then
                 false
-              end
               else Analyses.covers ~in_bounds ctx ~src:a ~dst:b
             in
             Some { dep; refined; covers; dead = None })
@@ -153,11 +155,10 @@ let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
                     fr.dep.Deps.src)
                 cands
             in
-            match killed_by_cover with
-            | Some cov ->
-              bump_screen ();
+            if quick_screen (killed_by_cover <> None) then
+              let cov = Option.get killed_by_cover in
               { fr with dead = Some (Covered cov.dep.Deps.src) }
-            | None -> fr
+            else fr
           end)
         cands
     in
@@ -178,13 +179,11 @@ let analyze ?(in_bounds = false) ?(quick = true) (prog : Ir.program) : result =
                    &&
                    if
                      quick
-                     && not
-                          (output_exists outputs fr.dep.Deps.src
-                             other.dep.Deps.src)
-                   then begin
-                     bump_screen ();
-                     false
-                   end
+                     && quick_screen
+                          (not
+                             (output_exists outputs fr.dep.Deps.src
+                                other.dep.Deps.src))
+                   then false
                    else
                      Analyses.kills ~in_bounds ctx ~src:fr.dep.Deps.src
                        ~killer:other.dep.Deps.src ~dst:b)

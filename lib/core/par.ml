@@ -122,3 +122,23 @@ let () =
             in
             Fun.protect ~finally:finish f);
       })
+
+(* Portfolio.Stats (per-tier attempts/decides/time): same discipline. *)
+let () =
+  register_scope_hook (fun () ->
+      let target = Omega.Portfolio.Stats.current () in
+      let lock = Mutex.create () in
+      {
+        wrap =
+          (fun f ->
+            let saved =
+              Omega.Portfolio.Stats.exchange (Omega.Portfolio.Stats.make ())
+            in
+            let finish () =
+              let mine = Omega.Portfolio.Stats.exchange saved in
+              Mutex.lock lock;
+              Omega.Portfolio.Stats.merge_into target mine;
+              Mutex.unlock lock
+            in
+            Fun.protect ~finally:finish f);
+      })

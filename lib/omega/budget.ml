@@ -37,7 +37,7 @@
    process-wide setting read by every domain (publish it before
    spawning parallel work). *)
 
-type reason = Fuel | Splinters | Disjuncts | Deadline | Injected
+type reason = Fuel | Splinters | Disjuncts | Deadline | Injected | Incomplete
 
 let reason_to_string = function
   | Fuel -> "fuel"
@@ -45,6 +45,7 @@ let reason_to_string = function
   | Disjuncts -> "disjuncts"
   | Deadline -> "deadline"
   | Injected -> "injected"
+  | Incomplete -> "incomplete"
 
 type verdict = Proved | Disproved | Gave_up of reason
 
@@ -127,6 +128,7 @@ module Telemetry0 = struct
     mutable gave_up_disjuncts : int;
     mutable gave_up_deadline : int;
     mutable gave_up_injected : int;
+    mutable gave_up_incomplete : int;
     mutable peak_fuel : int;
     mutable peak_splinters : int;
     mutable worst_label : string;
@@ -141,6 +143,7 @@ module Telemetry0 = struct
       gave_up_disjuncts = 0;
       gave_up_deadline = 0;
       gave_up_injected = 0;
+      gave_up_incomplete = 0;
       peak_fuel = 0;
       peak_splinters = 0;
       worst_label = "";
@@ -166,6 +169,7 @@ module Telemetry0 = struct
     dst.gave_up_disjuncts <- dst.gave_up_disjuncts + src.gave_up_disjuncts;
     dst.gave_up_deadline <- dst.gave_up_deadline + src.gave_up_deadline;
     dst.gave_up_injected <- dst.gave_up_injected + src.gave_up_injected;
+    dst.gave_up_incomplete <- dst.gave_up_incomplete + src.gave_up_incomplete;
     dst.peak_fuel <- max dst.peak_fuel src.peak_fuel;
     dst.peak_splinters <- max dst.peak_splinters src.peak_splinters;
     note_worst dst ~fuel:src.worst_fuel ~label:src.worst_label
@@ -285,10 +289,11 @@ module Telemetry = struct
     | Disjuncts -> t.gave_up_disjuncts <- t.gave_up_disjuncts + 1
     | Deadline -> t.gave_up_deadline <- t.gave_up_deadline + 1
     | Injected -> t.gave_up_injected <- t.gave_up_injected + 1
+    | Incomplete -> t.gave_up_incomplete <- t.gave_up_incomplete + 1
 
   let total_of t =
     t.gave_up_fuel + t.gave_up_splinters + t.gave_up_disjuncts
-    + t.gave_up_deadline + t.gave_up_injected
+    + t.gave_up_deadline + t.gave_up_injected + t.gave_up_incomplete
 
   let gave_up_total () = total_of (current ())
 
@@ -296,10 +301,11 @@ module Telemetry = struct
     let stats = current () in
     Printf.sprintf
       "%d solver queries, %d gave up (fuel %d, splinters %d, disjuncts %d, \
-       deadline %d, injected %d); peak fuel %d, peak splinters %d%s"
+       deadline %d, injected %d, incomplete %d); peak fuel %d, peak \
+       splinters %d%s"
       stats.queries (total_of stats) stats.gave_up_fuel stats.gave_up_splinters
       stats.gave_up_disjuncts stats.gave_up_deadline stats.gave_up_injected
-      stats.peak_fuel stats.peak_splinters
+      stats.gave_up_incomplete stats.peak_fuel stats.peak_splinters
       (if stats.worst_label = "" then ""
        else
          Printf.sprintf "; worst query %s (fuel %d)" stats.worst_label
@@ -309,13 +315,13 @@ module Telemetry = struct
     let stats = current () in
     Printf.sprintf
       "{ \"queries\": %d, \"gave_up\": { \"fuel\": %d, \"splinters\": %d, \
-       \"disjuncts\": %d, \"deadline\": %d, \"injected\": %d }, \
-       \"peak_fuel\": %d, \"peak_splinters\": %d, \"worst_query\": \"%s\", \
-       \"worst_fuel\": %d }"
+       \"disjuncts\": %d, \"deadline\": %d, \"injected\": %d, \
+       \"incomplete\": %d }, \"peak_fuel\": %d, \"peak_splinters\": %d, \
+       \"worst_query\": \"%s\", \"worst_fuel\": %d }"
       stats.queries stats.gave_up_fuel stats.gave_up_splinters
       stats.gave_up_disjuncts stats.gave_up_deadline stats.gave_up_injected
-      stats.peak_fuel stats.peak_splinters (String.escaped stats.worst_label)
-      stats.worst_fuel
+      stats.gave_up_incomplete stats.peak_fuel stats.peak_splinters
+      (String.escaped stats.worst_label) stats.worst_fuel
 end
 
 (* ------------------------------------------------------------------ *)

@@ -25,7 +25,12 @@
     world — petitd session threads must ship solver work to worker
     domains rather than run it in place. *)
 
-type reason = Fuel | Splinters | Disjuncts | Deadline | Injected
+type reason = Fuel | Splinters | Disjuncts | Deadline | Injected | Incomplete
+(** [Incomplete]: the query ran only incomplete backends (e.g. the
+    screen-only portfolio) and none of them could decide it.  Unlike the
+    resource reasons it signals a capability gap, not an exhausted
+    meter, but clients degrade identically: map it to the sound
+    conservative answer. *)
 
 val reason_to_string : reason -> string
 
@@ -114,6 +119,7 @@ module Telemetry : sig
     mutable gave_up_disjuncts : int;
     mutable gave_up_deadline : int;
     mutable gave_up_injected : int;
+    mutable gave_up_incomplete : int;
     mutable peak_fuel : int;
     mutable peak_splinters : int;
     mutable worst_label : string;

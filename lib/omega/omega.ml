@@ -14,6 +14,8 @@ module Tuning = Tuning
 module Elim = Elim
 module Gist = Gist
 module Presburger = Presburger
+module Screen = Screen
+module Portfolio = Portfolio
 
 (* Does the conjunction have an integer solution? *)
 let satisfiable = Elim.satisfiable

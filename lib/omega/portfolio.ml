@@ -1,0 +1,194 @@
+(* Tiered decision portfolio: screen -> fast path -> complete.
+
+   The cascade is a pure dispatch layer: each tier is a sound closure
+   returning a [Screen.answer], the first definite answer wins, and the
+   whole run sits inside a [Budget] query boundary so resource blowups
+   and incomplete-plan give-ups surface as structured verdicts.  The
+   per-tier accounting lives in a per-domain record like the other hot
+   counters (Budget.Telemetry, Tuning.Stats). *)
+
+type backend = Omega | Screen | Cascade
+
+let backend = ref Cascade
+
+let backend_to_string = function
+  | Omega -> "omega"
+  | Screen -> "screen"
+  | Cascade -> "cascade"
+
+let backend_of_string = function
+  | "omega" -> Some Omega
+  | "screen" -> Some Screen
+  | "cascade" -> Some Cascade
+  | _ -> None
+
+type tier = Tier_screen | Tier_fast | Tier_complete
+
+let tier_to_string = function
+  | Tier_screen -> "screen"
+  | Tier_fast -> "fast"
+  | Tier_complete -> "complete"
+
+let tier_of_string = function
+  | "screen" -> Some Tier_screen
+  | "fast" -> Some Tier_fast
+  | "complete" -> Some Tier_complete
+  | _ -> None
+
+module Stats = struct
+  type row = {
+    mutable attempts : int;
+    mutable decides : int;
+    mutable elapsed : float;
+  }
+
+  type t = { quick : row; screen : row; fast : row; complete : row }
+
+  let make_row () = { attempts = 0; decides = 0; elapsed = 0. }
+
+  let make () =
+    {
+      quick = make_row ();
+      screen = make_row ();
+      fast = make_row ();
+      complete = make_row ();
+    }
+
+  let key = Domain.DLS.new_key make
+  let current () = Domain.DLS.get key
+  let reset () = Domain.DLS.set key (make ())
+
+  let exchange fresh =
+    let old = current () in
+    Domain.DLS.set key fresh;
+    old
+
+  let merge_row dst src =
+    dst.attempts <- dst.attempts + src.attempts;
+    dst.decides <- dst.decides + src.decides;
+    dst.elapsed <- dst.elapsed +. src.elapsed
+
+  let merge_into dst src =
+    merge_row dst.quick src.quick;
+    merge_row dst.screen src.screen;
+    merge_row dst.fast src.fast;
+    merge_row dst.complete src.complete
+
+  let row_of t = function
+    | Tier_screen -> t.screen
+    | Tier_fast -> t.fast
+    | Tier_complete -> t.complete
+
+  let summary () =
+    let s = current () in
+    let tier name r =
+      Printf.sprintf "%s %d/%d (%.1fms)" name r.attempts r.decides
+        (r.elapsed *. 1000.)
+    in
+    Printf.sprintf "quick %d/%d, %s, %s, %s" s.quick.attempts s.quick.decides
+      (tier "screen" s.screen) (tier "fast" s.fast)
+      (tier "complete" s.complete)
+end
+
+module Oracle = struct
+  type divergence = { label : string; tier : tier; got : bool; want : bool }
+
+  let lock = Mutex.create ()
+  let enabled = ref false
+  let n_checks = ref 0
+  let found : divergence list ref = ref []
+
+  let enable () =
+    Mutex.lock lock;
+    enabled := true;
+    n_checks := 0;
+    found := [];
+    Mutex.unlock lock
+
+  let disable () =
+    Mutex.lock lock;
+    enabled := false;
+    Mutex.unlock lock
+
+  let active () = !enabled
+
+  let checks () =
+    Mutex.lock lock;
+    let n = !n_checks in
+    Mutex.unlock lock;
+    n
+
+  let divergences () =
+    Mutex.lock lock;
+    let d = List.rev !found in
+    Mutex.unlock lock;
+    d
+
+  let record label tier got want =
+    Mutex.lock lock;
+    incr n_checks;
+    if got <> want then found := { label; tier; got; want } :: !found;
+    Mutex.unlock lock
+end
+
+let plan ?screen ?fast ~complete () =
+  let maybe tier closure plan =
+    match closure with None -> plan | Some f -> (tier, f) :: plan
+  in
+  let upper = maybe Tier_fast fast [ (Tier_complete, complete) ] in
+  match !backend with
+  | Omega -> upper
+  | Screen -> maybe Tier_screen screen []
+  | Cascade ->
+      if !Tuning.screen then maybe Tier_screen screen upper else upper
+
+let timed row f =
+  row.Stats.attempts <- row.Stats.attempts + 1;
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      row.Stats.elapsed <-
+        row.Stats.elapsed +. (Unix.gettimeofday () -. t0))
+    f
+
+let decide ?label ?fault_key tiers =
+  let decided = ref None in
+  let result =
+    Budget.run ?label ?fault_key (fun () ->
+        let stats = Stats.current () in
+        let rec go = function
+          | [] -> raise (Budget.Exhausted Budget.Incomplete)
+          | (tier, f) :: rest -> (
+              let row = Stats.row_of stats tier in
+              match timed row f with
+              | Screen.Unknown -> go rest
+              | answer ->
+                  let v = answer = Screen.Proved in
+                  row.Stats.decides <- row.Stats.decides + 1;
+                  decided := Some tier;
+                  (if tier <> Tier_complete && Oracle.active () then
+                     match
+                       List.find_opt (fun (t, _) -> t = Tier_complete) rest
+                     with
+                     | Some (_, comp) ->
+                         let want =
+                           match timed (Stats.row_of stats Tier_complete) comp
+                           with
+                           | Screen.Proved -> true
+                           | Screen.Disproved -> false
+                           | Screen.Unknown ->
+                               (* the complete tier never passes *)
+                               assert false
+                         in
+                         Oracle.record
+                           (match label with Some l -> l | None -> "?")
+                           tier v want
+                     | None -> ());
+                  v)
+        in
+        go tiers)
+  in
+  match result with
+  | Ok true -> (Budget.Proved, !decided)
+  | Ok false -> (Budget.Disproved, !decided)
+  | Error r -> (Budget.Gave_up r, None)

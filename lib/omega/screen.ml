@@ -1,0 +1,317 @@
+(* Tier-0 of the decision portfolio: incomplete, sound, O(constraints).
+
+   The screens here are the classical cheap dependence tests the Omega
+   test was built to back up, recast over our constraint representation:
+
+   - GCD / divisibility per equality and the single- and two-constraint
+     contradiction checks, via [Constr.normalize] / [Problem.simplify];
+   - interval ("box") propagation over the inequalities — each
+     constraint [e >= 0] refutes when the box maximum of [e] is
+     negative, and yields necessary bounds on each of its variables from
+     the box extrema of the remaining terms (a Banerjee-style check);
+   - exact variable elimination only: substitution through
+     unit-coefficient equalities and dropping of constraints whose
+     eliminable variable occurs nowhere else (one-sided projection).
+
+   A definite answer is always correct; everything uncertain is
+   [Unknown].  There is no DNF expansion and no splintering, and the
+   whole entry draws a fixed [charge] from the ambient budget meter. *)
+
+type answer = Proved | Disproved | Unknown
+
+let answer_to_string = function
+  | Proved -> "proved"
+  | Disproved -> "disproved"
+  | Unknown -> "unknown"
+
+let charge = 8
+
+let pay () =
+  Budget.with_meter (fun m ->
+      for _ = 1 to charge do
+        Budget.tick m
+      done)
+
+(* ---------- exact elimination ---------- *)
+
+(* Gaussian substitution through unit-coefficient equalities: from
+   [c*v + rest = 0] with [c = +-1] and [v] eliminable, define
+   [v = -c * rest] and substitute everywhere.  Equisatisfiable, and an
+   equivalence over the kept variables. *)
+let rec subst_pass ~may_elim p =
+  let cs = Problem.constraints p in
+  let pick =
+    List.find_map
+      (fun c ->
+        if Constr.kind c <> Constr.Eq then None
+        else
+          let e = Constr.expr c in
+          let hit = ref None in
+          Linexpr.iter_terms
+            (fun v cv ->
+              if
+                !hit = None && may_elim v
+                && Zint.(cv = one || cv = minus_one)
+              then hit := Some (v, cv))
+            e;
+          Option.map (fun (v, cv) -> (c, v, cv)) !hit)
+      cs
+  in
+  match pick with
+  | None -> p
+  | Some (c, v, cv) ->
+      let rest = Linexpr.set_coeff (Constr.expr c) v Zint.zero in
+      let def = Linexpr.scale (Zint.neg cv) rest in
+      let p' =
+        Problem.of_list (List.filter (fun c' -> not (Constr.equal c' c)) cs)
+      in
+      subst_pass ~may_elim (Problem.subst v def p')
+
+(* Drop inequalities whose eliminable variable occurs in no other
+   constraint: [exists v. e + c*v >= 0] is a tautology over the rest
+   (pick v past the bound), so deleting the constraint is an exact
+   projection.  Unit-coefficient single-occurrence equalities were
+   already removed by [subst_pass]. *)
+let rec drop_pass ~may_elim p =
+  let deletable c =
+    Constr.kind c = Constr.Geq
+    && Linexpr.exists_term
+         (fun v _ -> may_elim v && Problem.occurrences p v = 1)
+         (Constr.expr c)
+  in
+  if List.exists deletable (Problem.constraints p) then
+    drop_pass ~may_elim (Problem.filter (fun c -> not (deletable c)) p)
+  else p
+
+(* Simplify (gcd screen, contradiction checks), eliminate exactly,
+   simplify again. *)
+let prepare ~may_elim p =
+  match Problem.simplify p with
+  | Problem.Contra -> `Contra
+  | Problem.Ok p -> (
+      let p = drop_pass ~may_elim (subst_pass ~may_elim p) in
+      match Problem.simplify p with
+      | Problem.Contra -> `Contra
+      | Problem.Ok p -> `Ok p)
+
+(* ---------- interval / box propagation ---------- *)
+
+(* A box maps each variable to known [lo, hi] bounds (either side may be
+   open).  It over-approximates the solution set: every solution lies in
+   the box, so an empty box refutes and box extrema of an expression
+   bound its value over all solutions. *)
+let bounds_of box v =
+  match Var.Map.find_opt v box with Some b -> b | None -> (None, None)
+
+(* Max of [e] over the box; [None] = unbounded above. *)
+let maxval box e =
+  Linexpr.fold_terms
+    (fun v cv acc ->
+      match acc with
+      | None -> None
+      | Some m -> (
+          let lo, hi = bounds_of box v in
+          let side = if Zint.sign cv > 0 then hi else lo in
+          match side with
+          | None -> None
+          | Some x -> Some Zint.(m + (cv * x))))
+    e
+    (Some (Linexpr.constant e))
+
+let minval box e = Option.map Zint.neg (maxval box (Linexpr.neg e))
+
+exception Empty
+
+(* Fixpoint rounds (bounded) of bound derivation: treat every constraint
+   as [e >= 0] (both directions for an equality).  For each variable
+   [v] with coefficient [a] in [e], over any solution
+   [a*v >= -(max of the remaining terms)], giving a necessary lower
+   (upper) bound for positive (negative) [a]. *)
+let propagate cs =
+  let box = ref Var.Map.empty in
+  let changed = ref true in
+  let set_lo v x =
+    let lo, hi = bounds_of !box v in
+    let tighter = match lo with None -> true | Some l -> Zint.(x > l) in
+    if tighter then (
+      (match hi with Some h when Zint.(x > h) -> raise Empty | _ -> ());
+      box := Var.Map.add v (Some x, hi) !box;
+      changed := true)
+  in
+  let set_hi v x =
+    let lo, hi = bounds_of !box v in
+    let tighter = match hi with None -> true | Some h -> Zint.(x < h) in
+    if tighter then (
+      (match lo with Some l when Zint.(x < l) -> raise Empty | _ -> ());
+      box := Var.Map.add v (lo, Some x) !box;
+      changed := true)
+  in
+  let derive e =
+    (match maxval !box e with
+    | Some m when Zint.(m < zero) -> raise Empty
+    | _ -> ());
+    Linexpr.iter_terms
+      (fun v cv ->
+        let rest = Linexpr.set_coeff e v Zint.zero in
+        match maxval !box rest with
+        | None -> ()
+        | Some m ->
+            if Zint.sign cv > 0 then set_lo v (Zint.cdiv (Zint.neg m) cv)
+            else set_hi v (Zint.fdiv m (Zint.neg cv)))
+      e
+  in
+  try
+    let rounds = ref 0 in
+    while !changed && !rounds < 4 do
+      changed := false;
+      incr rounds;
+      List.iter
+        (fun c ->
+          let e = Constr.expr c in
+          derive e;
+          if Constr.kind c = Constr.Eq then derive (Linexpr.neg e))
+        cs
+    done;
+    `Box !box
+  with Empty -> `Empty
+
+(* A candidate witness: clamp 0 into each variable's interval.  The box
+   is only necessary, not sufficient, so the point must be checked by
+   evaluation before concluding satisfiability. *)
+let witness_env box p =
+  Var.Set.fold
+    (fun v env ->
+      let lo, hi = bounds_of box v in
+      let x =
+        match (lo, hi) with
+        | Some l, _ when Zint.(l > zero) -> l
+        | _, Some h when Zint.(h < zero) -> h
+        | _ -> Zint.zero
+      in
+      Var.Map.add v x env)
+    (Problem.vars p) Var.Map.empty
+
+let definitely_sat box p =
+  let env = witness_env box p in
+  Problem.eval (fun v -> Var.Map.find v env) p
+
+(* ---------- entry points ---------- *)
+
+let all_vars _ = true
+
+let decide p =
+  pay ();
+  match prepare ~may_elim:all_vars p with
+  | `Contra -> `Unsat
+  | `Ok p -> (
+      match propagate (Problem.constraints p) with
+      | `Empty -> `Unsat
+      | `Box box -> if definitely_sat box p then `Sat else `Unknown)
+
+(* [q]'s constraint [c] holds over all of [lp] when some constraint of
+   [lp] implies it (parallel screen) or the box extrema of its
+   expression already satisfy it — the box over-approximates [lp], so a
+   bound valid over the box is valid over every solution. *)
+let subsumes ~lbox lp q =
+  let lcs = Problem.constraints lp in
+  List.for_all
+    (fun c ->
+      List.exists (fun l -> Constr.implies l c) lcs
+      ||
+      let e = Constr.expr c in
+      match Constr.kind c with
+      | Constr.Geq -> (
+          match minval lbox e with
+          | Some m -> Zint.(m >= zero)
+          | None -> false)
+      | Constr.Eq -> (
+          match (minval lbox e, maxval lbox e) with
+          | Some m, Some x -> Zint.(m >= zero) && Zint.(x <= zero)
+          | _ -> false))
+    (Problem.constraints q)
+
+(* Definite unsatisfiability of a conjunction of two problems, sharing
+   the screens of [decide] minus the witness search. *)
+let conj_unsat p q =
+  match prepare ~may_elim:all_vars (Problem.conj p q) with
+  | `Contra -> true
+  | `Ok pq -> (
+      match propagate (Problem.constraints pq) with
+      | `Empty -> true
+      | `Box _ -> false)
+
+let implies_problem p q =
+  pay ();
+  match prepare ~may_elim:Var.is_wild p with
+  | `Contra -> Proved (* vacuous *)
+  | `Ok lp -> (
+      match propagate (Problem.constraints lp) with
+      | `Empty -> Proved
+      | `Box lbox -> (
+          match Problem.simplify q with
+          | Problem.Contra ->
+              (* p => false: holds iff p is unsatisfiable, which the
+                 screens above could not show.  A p-witness disproves. *)
+              if definitely_sat lbox lp then Disproved else Unknown
+          | Problem.Ok q ->
+              if subsumes ~lbox lp q then Proved
+              else
+                (* Try the witness of [lp] as a counterexample; only
+                   valid if it covers every variable of [q], and [q] has
+                   no wildcards (those are existential within [q], so
+                   falsifying one instantiation proves nothing). *)
+                let env = witness_env lbox lp in
+                let covered =
+                  Var.Set.for_all
+                    (fun v -> (not (Var.is_wild v)) && Var.Map.mem v env)
+                    (Problem.vars q)
+                in
+                if
+                  covered
+                  && Problem.eval (fun v -> Var.Map.find v env) lp
+                  && not (Problem.eval (fun v -> Var.Map.find v env) q)
+                then Disproved
+                else Unknown))
+
+let implies_exists ~hyp lhs ~evars rhs =
+  pay ();
+  let is_elim v =
+    Var.is_wild v || List.exists (fun e -> Var.equal e v) evars
+  in
+  (* Each RHS disjunct with [hyp] conjoined, in two forms: the original
+     (for the refutation path, where the existentials are just ordinary
+     variables of a satisfiability question) and, when the exact
+     eliminations remove every existential, an evar-free version usable
+     for subsumption proofs. *)
+  let rhs_orig = List.map (fun r -> Problem.add_list hyp r) rhs in
+  let rhs_prep =
+    List.filter_map
+      (fun r ->
+        match prepare ~may_elim:is_elim r with
+        | `Contra -> None
+        | `Ok p ->
+            if Var.Set.exists is_elim (Problem.vars p) then None else Some p)
+      rhs_orig
+  in
+  let status l =
+    match prepare ~may_elim:Var.is_wild (Problem.add_list hyp l) with
+    | `Contra -> `Ok (* vacuous disjunct *)
+    | `Ok lp -> (
+        match propagate (Problem.constraints lp) with
+        | `Empty -> `Ok
+        | `Box lbox ->
+            if List.exists (fun q -> subsumes ~lbox lp q) rhs_prep then `Ok
+            else if
+              (* Some point satisfies [hyp /\ l] while [hyp /\ l /\ r]
+                 is definitely empty for every r: that point has no
+                 witness for any RHS disjunct, so the implication is
+                 definitely false. *)
+              definitely_sat lbox lp
+              && List.for_all (fun r -> conj_unsat lp r) rhs_orig
+            then `Refuted
+            else `Unknown)
+  in
+  let statuses = List.map status lhs in
+  if List.exists (fun s -> s = `Refuted) statuses then Disproved
+  else if List.for_all (fun s -> s = `Ok) statuses then Proved
+  else Unknown

@@ -1,0 +1,48 @@
+(** Tier-0 of the decision portfolio: an {e incomplete but sound}
+    screening backend in the spirit of the cheap dependence tests the
+    Omega test was designed to back up (GCD/Banerjee).
+
+    Every entry point answers in O(constraints) work — a gcd and
+    divisibility screen per equality, interval/box propagation over the
+    inequalities (a Banerjee-style bound check), and exact
+    single-occurrence / unit-coefficient variable elimination.  There is
+    no DNF expansion, no splintering, and no fuel consumption beyond the
+    fixed {!charge} drawn at each entry.
+
+    Soundness contract: a definite answer ([`Sat]/[`Unsat],
+    [Proved]/[Disproved]) is always correct — the complete procedure
+    would return the same one.  When the screens cannot tell, the answer
+    is [`Unknown]/[Unknown] and a later portfolio tier must decide. *)
+
+type answer = Proved | Disproved | Unknown
+
+val answer_to_string : answer -> string
+
+val charge : int
+(** Fuel ticks drawn from the ambient {!Budget} meter per entry point —
+    the screen's entire budget footprint. *)
+
+val decide : Problem.t -> [ `Sat | `Unsat | `Unknown ]
+(** Definite integer satisfiability of a conjunction, when the screens
+    can tell.  [`Unsat] comes from normalization contradictions (the
+    equality GCD test among them) and empty interval boxes; [`Sat] from
+    an explicit witness found by clamping each variable into its box. *)
+
+val implies_problem : Problem.t -> Problem.t -> answer
+(** [implies_problem p q]: is [p => q] a tautology?  Proves via
+    constraint-wise and box implication; disproves via a [p]-witness
+    falsifying [q]. *)
+
+val implies_exists :
+  hyp:Constr.t list ->
+  Problem.t list ->
+  evars:Var.t list ->
+  Problem.t list ->
+  answer
+(** The screen's take on the analyses' query shape
+    [hyp => (lhs => exists evars. rhs)] (disjunction over each list).
+    Proves a disjunct vacuous (its conjunction with [hyp] is definitely
+    unsatisfiable) or discharged (some RHS disjunct, with the
+    existentials eliminated exactly, is subsumed by it); disproves when
+    some LHS disjunct is definitely satisfiable while its conjunction
+    with {e every} RHS disjunct is definitely unsatisfiable. *)

@@ -66,16 +66,49 @@ type result =
   | R_gist of [ `Tautology | `False | `Gist of string ]
   | R_opt of [ `Val of string | `Unsat | `Unbounded ]
 
+(* The boolean operations (sat, implies) go through the portfolio
+   cascade like analysis queries: under the default [Cascade] backend
+   the tier-0 screen answers the easy instances, [Screen] runs it alone
+   (raising [Exhausted Incomplete] on the rest — surfaced by the callers
+   as a structured give-up), and [Omega] is the direct procedure.  The
+   non-boolean operations (project, gist, optimize) have no screen tier
+   and always run the full machinery. *)
+
+let portfolio_bool ~label ?screen ~complete () =
+  let to_answer f () = if f () then Screen.Proved else Screen.Disproved in
+  let tiers = Portfolio.plan ?screen ~complete:(to_answer complete) () in
+  match Portfolio.decide ~label tiers with
+  | Budget.Proved, _ -> true
+  | Budget.Disproved, _ -> false
+  | Budget.Gave_up r, _ -> raise (Budget.Exhausted r)
+
 let eval (op : Protocol.calc_op) : (result, string) Stdlib.result =
   try
     match op with
     | Protocol.Sat src ->
       let ps, _ = parse_problems [ src ] in
-      Ok (R_sat (Elim.satisfiable (List.hd ps)))
+      let p = List.hd ps in
+      let screen () =
+        match Screen.decide p with
+        | `Sat -> Screen.Proved
+        | `Unsat -> Screen.Disproved
+        | `Unknown -> Screen.Unknown
+      in
+      Ok
+        (R_sat
+           (portfolio_bool ~label:"calc/sat" ~screen
+              ~complete:(fun () -> Elim.satisfiable p)
+              ()))
     | Protocol.Implies (src1, src2) -> (
       let ps, _ = parse_problems [ src1; src2 ] in
       match ps with
-      | [ p; q ] -> Ok (R_implies (Gist.implies p q))
+      | [ p; q ] ->
+        let screen () = Screen.implies_problem p q in
+        Ok
+          (R_implies
+             (portfolio_bool ~label:"calc/implies" ~screen
+                ~complete:(fun () -> Gist.implies p q)
+                ()))
       | _ -> assert false)
     | Protocol.Project { mode; onto; problem } -> (
       let ps, env = parse_problems [ problem ] in

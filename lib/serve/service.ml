@@ -33,6 +33,9 @@ type t = {
   quota : Budget.limits;
   stats_lock : Mutex.t;
   stats : stats;
+  (* lifetime portfolio-tier totals across every request, merged from
+     each request's domain-local record under [stats_lock] *)
+  tiers : Portfolio.Stats.t;
 }
 
 let create ?memo_capacity ?(quota = Budget.default) ?(domains = 1) () =
@@ -54,6 +57,7 @@ let create ?memo_capacity ?(quota = Budget.default) ?(domains = 1) () =
         s_conns = 0;
         s_conns_total = 0;
       };
+    tiers = Portfolio.Stats.make ();
   }
 
 let quota t = t.quota
@@ -170,9 +174,25 @@ let parallelize_payload ~in_bounds (prog : Lang.Ir.program) =
       ("annotated", Json.Str (Xform.Emit.annotate g vs));
     ]
 
+let tier_row (r : Portfolio.Stats.row) =
+  Json.Obj
+    [
+      ("attempts", Json.Int r.Portfolio.Stats.attempts);
+      ("decides", Json.Int r.Portfolio.Stats.decides);
+      ("ms", Json.Float (r.Portfolio.Stats.elapsed *. 1000.));
+    ]
+
+let tiers_json (s : Portfolio.Stats.t) =
+  Json.Obj
+    [
+      ("quick", tier_row s.Portfolio.Stats.quick);
+      ("screen", tier_row s.Portfolio.Stats.screen);
+      ("fast", tier_row s.Portfolio.Stats.fast);
+      ("complete", tier_row s.Portfolio.Stats.complete);
+    ]
+
 let governance_json () =
   let t = Budget.Telemetry.current () in
-  let s = D.Analyses.Stats.current () in
   Json.Obj
     [
       ("queries", Json.Int t.Budget.Telemetry.queries);
@@ -184,18 +204,14 @@ let governance_json () =
             ("disjuncts", Json.Int t.Budget.Telemetry.gave_up_disjuncts);
             ("deadline", Json.Int t.Budget.Telemetry.gave_up_deadline);
             ("injected", Json.Int t.Budget.Telemetry.gave_up_injected);
+            ("incomplete", Json.Int t.Budget.Telemetry.gave_up_incomplete);
           ] );
       ("peak_fuel", Json.Int t.Budget.Telemetry.peak_fuel);
       ("peak_splinters", Json.Int t.Budget.Telemetry.peak_splinters);
       ("worst_query", Json.Str t.Budget.Telemetry.worst_label);
       ("worst_fuel", Json.Int t.Budget.Telemetry.worst_fuel);
-      ( "screens",
-        Json.Obj
-          [
-            ("quick", Json.Int s.D.Analyses.Stats.quick_screen_hits);
-            ("fast_path", Json.Int s.D.Analyses.Stats.fast_path_hits);
-            ("general", Json.Int s.D.Analyses.Stats.general_calls);
-          ] );
+      ("backend", Json.Str (Portfolio.backend_to_string !Portfolio.backend));
+      ("tiers", tiers_json (Portfolio.Stats.current ()));
     ]
 
 let memo_report ~req_hits ~req_misses =
@@ -228,13 +244,22 @@ let solve t budget (f : unit -> Json.t) :
     result :=
       try
         Budget.Telemetry.reset ();
-        D.Analyses.Stats.reset ();
+        Portfolio.Stats.reset ();
         D.Analyses.Memo.local_reset ();
         let payload =
           Budget.with_limits (Protocol.clamp_budget budget t.quota) f
         in
         let req_hits, req_misses = D.Analyses.Memo.local_counts () in
-        Ok (payload, memo_report ~req_hits ~req_misses, governance_json ())
+        let response =
+          Ok (payload, memo_report ~req_hits ~req_misses, governance_json ())
+        in
+        (* fold this request's tier traffic into the service lifetime
+           totals (the worker runs one task at a time, so the
+           domain-local record is exactly this request's) *)
+        Mutex.lock t.stats_lock;
+        Portfolio.Stats.merge_into t.tiers (Portfolio.Stats.current ());
+        Mutex.unlock t.stats_lock;
+        response
       with e -> Error e
   in
   Taskpool.run_batch ~participate:false t.pool [ task ];
@@ -266,6 +291,14 @@ let stats_payload t =
   let s = t.stats in
   let m = memo_report ~req_hits:0 ~req_misses:0 in
   let total = m.Protocol.mr_hits + m.Protocol.mr_misses in
+  let tiers =
+    (* snapshot the lifetime tier totals under the lock *)
+    let copy = Portfolio.Stats.make () in
+    Mutex.lock t.stats_lock;
+    Portfolio.Stats.merge_into copy t.tiers;
+    Mutex.unlock t.stats_lock;
+    copy
+  in
   Json.Obj
     [
       ( "requests",
@@ -287,6 +320,8 @@ let stats_payload t =
         Json.Float
           (if total = 0 then 0.
            else float_of_int m.Protocol.mr_hits /. float_of_int total) );
+      ("backend", Json.Str (Portfolio.backend_to_string !Portfolio.backend));
+      ("tiers", tiers_json tiers);
       ( "quota",
         Json.Obj
           [

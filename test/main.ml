@@ -14,4 +14,5 @@ let () =
       Test_perf.suite;
       Test_par_analysis.suite;
       Test_serve.suite;
+      Test_portfolio.suite;
     ]

@@ -569,7 +569,9 @@ let test_memo_stress () =
           | None ->
             Memo.add key
               (if i land 1 = 0 then Omega.Budget.Proved
-               else Omega.Budget.Disproved));
+               else Omega.Budget.Disproved)
+              (if i land 1 = 0 then Some Omega.Portfolio.Tier_screen
+               else Some Omega.Portfolio.Tier_complete));
           let size = Memo.size () in
           if size > 64 then
             Alcotest.failf "cache exceeded capacity: %d > 64" size
