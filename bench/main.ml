@@ -1964,6 +1964,7 @@ let serve_pass path ~clients ~programs =
                           program = src;
                           in_bounds = false;
                           budget = Protocol.no_budget;
+                          deadline_ms = None;
                         } );
                     ( "parallelize",
                       Protocol.Parallelize
@@ -1971,6 +1972,7 @@ let serve_pass path ~clients ~programs =
                           program = src;
                           in_bounds = false;
                           budget = Protocol.no_budget;
+                          deadline_ms = None;
                         } );
                   ])
               programs
@@ -2160,6 +2162,568 @@ let serve_suite ~smoke ~clients ~domains ~out () =
   if not sound then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* bench chaos: the daemon under a hostile client mix                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A live petitd (tight caps, short read deadlines) serves a pool of
+   well-behaved retrying clients while five hostile injectors run
+   concurrently — slowloris trickles, mid-frame disconnects, malformed-
+   frame floods, oversized frames, connection churn — on top of PR 4's
+   deterministic solver fault injection.  The gates: well-behaved
+   clients keep 100% request success with byte-identical payloads and a
+   bounded p99, the daemon's health endpoint proves the protections
+   actually fired (nonzero shed + reaped counts), every stalled
+   connection is reaped, and shutdown drains an in-flight request while
+   force-closing a stalled one.  Everything lands in BENCH_chaos.json;
+   any violation exits 1. *)
+
+(* Moderate-service-time programs only: the suite studies overload
+   control, so service times must stay within the retry window — a
+   multi-second outlier (cholsky under fault injection, with the memo
+   bypassed) would turn the admission gate into legitimate starvation
+   no polite retry schedule can ride out. *)
+let chaos_programs ~smoke =
+  let names =
+    if smoke then [ "example1"; "example2"; "temp_reuse" ]
+    else [ "example1"; "example2"; "example4"; "temp_reuse"; "copyin"; "lu" ]
+  in
+  List.filter (fun (n, _) -> List.mem n names) Corpus.all
+
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Some fd
+  | exception Unix.Unix_error _ ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    None
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Wait for the server to close [fd]: EOF within [timeout] seconds.
+   Any bytes that arrive first (e.g. an unsolicited Overloaded shed)
+   are drained. *)
+let rec wait_eof fd timeout =
+  let t0 = Unix.gettimeofday () in
+  match Unix.select [ fd ] [] [] timeout with
+  | [], _, _ -> `Still_open
+  | _ -> (
+    match Unix.read fd (Bytes.create 256) 0 256 with
+    | 0 -> `Reaped
+    | _ -> wait_eof fd (Float.max 0.01 (timeout -. (Unix.gettimeofday () -. t0)))
+    | exception Unix.Unix_error _ -> `Reaped)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_eof fd timeout
+
+type chaos_injector = {
+  ci_name : string;
+  mutable ci_iterations : int;
+  mutable ci_observed : int; (* injector-specific: reaps or sheds seen *)
+  mutable ci_violations : string list;
+}
+
+(* slowloris: start a frame, trickle nothing, and demand the read
+   deadline reaps us.  A connection still open after 6x the deadline is
+   an unreaped stalled connection — a violation in its own right. *)
+let run_slowloris path ~read_timeout_ms stop inj =
+  while not (Atomic.get stop) do
+    (match raw_connect path with
+    | None -> Thread.delay 0.05
+    | Some fd ->
+      (try ignore (Unix.write_substring fd "\x00\x00" 0 2)
+       with Unix.Unix_error _ -> ());
+      (match wait_eof fd (6. *. read_timeout_ms /. 1000.) with
+      | `Reaped -> inj.ci_observed <- inj.ci_observed + 1
+      | `Still_open ->
+        inj.ci_violations <-
+          "slowloris connection not reaped by the read deadline"
+          :: inj.ci_violations);
+      close_quietly fd);
+    inj.ci_iterations <- inj.ci_iterations + 1
+  done
+
+(* mid-frame disconnect: announce a frame, send a prefix, vanish. *)
+let run_midframe path stop inj =
+  while not (Atomic.get stop) do
+    (match raw_connect path with
+    | None -> ()
+    | Some fd ->
+      (try
+         ignore (Unix.write_substring fd "\x00\x00\x03\xe8" 0 4);
+         ignore (Unix.write_substring fd "0123456789" 0 10)
+       with Unix.Unix_error _ -> ());
+      close_quietly fd;
+      inj.ci_iterations <- inj.ci_iterations + 1);
+    Thread.delay 0.01
+  done
+
+(* malformed flood: syntactically valid frames of garbage JSON.  Paced
+   to a few hundred per second — an unthrottled flood on a small host
+   turns the bench into a CPU-starvation test of the harness itself
+   rather than of the daemon's input handling. *)
+let run_malformed path stop inj =
+  while not (Atomic.get stop) do
+    (match raw_connect path with
+    | None -> Thread.delay 0.05
+    | Some fd ->
+      (try
+         for _ = 1 to 20 do
+           if not (Atomic.get stop) then begin
+             Protocol.write_frame fd "this is not json {{{";
+             (match Protocol.read_frame ~deadline:(Unix.gettimeofday () +. 1.)
+                      ~max:Protocol.default_max_frame fd
+              with
+             | Ok _ -> inj.ci_iterations <- inj.ci_iterations + 1
+             | Error _ -> raise Exit);
+             Thread.delay 0.003
+           end
+         done
+       with Exit | Unix.Unix_error _ -> ());
+      close_quietly fd);
+    Thread.delay 0.005
+  done
+
+(* oversized frames: over the server's cap but under the drain cap, so
+   the server answers Frame_too_large and keeps the stream in sync. *)
+let run_oversized path ~max_frame stop inj =
+  let body = String.make (2 * max_frame) 'x' in
+  while not (Atomic.get stop) do
+    (match raw_connect path with
+    | None -> Thread.delay 0.05
+    | Some fd ->
+      (try
+         for _ = 1 to 3 do
+           if not (Atomic.get stop) then begin
+             Protocol.write_frame fd body;
+             (match Protocol.read_frame ~deadline:(Unix.gettimeofday () +. 2.)
+                      ~max:Protocol.default_max_frame fd
+              with
+             | Ok _ -> inj.ci_iterations <- inj.ci_iterations + 1
+             | Error _ -> raise Exit);
+             Thread.delay 0.005
+           end
+         done
+       with Exit | Unix.Unix_error _ -> ());
+      close_quietly fd);
+    Thread.delay 0.01
+  done
+
+(* connection churn: bursts of simultaneous connections that push the
+   daemon over its connection cap; sheds come back as unsolicited
+   Overloaded responses, which we count.  Each connection is released
+   right after its read so saturation stays a burst, not a blockade —
+   well-behaved clients must be able to win a slot between bursts. *)
+let run_churn path stop inj =
+  while not (Atomic.get stop) do
+    let fds = List.filter_map (fun _ -> raw_connect path) (List.init 12 Fun.id) in
+    List.iter
+      (fun fd ->
+        inj.ci_iterations <- inj.ci_iterations + 1;
+        (match
+           Protocol.read_frame ~deadline:(Unix.gettimeofday () +. 0.02)
+             ~max:Protocol.default_max_frame fd
+         with
+        | Ok payload -> (
+          match Json.parse payload with
+          | Ok j -> (
+            match Protocol.decode_response j with
+            | Ok (Protocol.Error_ { code = Protocol.Overloaded; _ }) ->
+              inj.ci_observed <- inj.ci_observed + 1
+            | _ -> ())
+          | Error _ -> ())
+        | Error _ -> ());
+        close_quietly fd)
+      fds;
+    Thread.delay 0.3
+  done
+
+type chaos_client = {
+  mutable cc_ok : int;
+  mutable cc_failed : int;
+  mutable cc_retries : int;
+  mutable cc_injected : int; (* solver faults drawn inside our requests *)
+  mutable cc_latencies : float list;
+  mutable cc_violations : string list;
+}
+
+(* One well-behaved client: a retrying session replaying the corpus
+   until the storm ends.  Every call must succeed (retries included)
+   and every payload must match the in-process expectation byte for
+   byte — overloads, reaps of its idle connection, and injected solver
+   faults are all survivable by design. *)
+let run_well_behaved path ~expected ~programs ~seed ~until cc =
+  (* patient by design: under sustained genuine overload (demand above
+     the admission gate, not just injector noise) a well-behaved client
+     keeps backing off rather than giving up *)
+  let policy =
+    {
+      Client.default_policy with
+      Client.p_attempts = 24;
+      p_base_ms = 10.;
+      p_max_ms = 500.;
+      p_retry_budget_ms = 60_000.;
+      p_connect_timeout_ms = Some 2_000.;
+      p_request_timeout_ms = Some 30_000.;
+      p_seed = seed;
+    }
+  in
+  let s = Client.open_session ~policy (Protocol.Unix_path path) in
+  let govern_injected g =
+    match Option.bind (Json.member "gave_up" g) (Json.member "injected") with
+    | Some j -> Option.value (Json.to_int_opt j) ~default:0
+    | None -> 0
+  in
+  while Unix.gettimeofday () < until do
+    List.iter
+      (fun (name, src) ->
+        List.iter
+          (fun (op, req) ->
+            if Unix.gettimeofday () < until then begin
+              (* a little think time: four zero-think closed loops
+                 against a gate of two is sustained infeasible demand,
+                 under which starving someone is correct shedding, not
+                 a robustness bug *)
+              Thread.delay 0.003;
+              let t0 = Unix.gettimeofday () in
+              match Client.call s req with
+              | Error e ->
+                cc.cc_failed <- cc.cc_failed + 1;
+                cc.cc_violations <-
+                  Printf.sprintf "well-behaved %s %s failed: %s" op name e
+                  :: cc.cc_violations
+              | Ok resp -> (
+                cc.cc_latencies <-
+                  (Unix.gettimeofday () -. t0) :: cc.cc_latencies;
+                match resp with
+                | Protocol.Result { payload; governance; _ } ->
+                  cc.cc_ok <- cc.cc_ok + 1;
+                  (match governance with
+                  | Some g -> cc.cc_injected <- cc.cc_injected + govern_injected g
+                  | None -> ());
+                  let got = Json.to_string payload in
+                  if List.assoc (name, op) expected <> got then
+                    cc.cc_violations <-
+                      Printf.sprintf
+                        "well-behaved %s %s diverges from in-process run" op
+                        name
+                      :: cc.cc_violations
+                | Protocol.Error_ e ->
+                  cc.cc_failed <- cc.cc_failed + 1;
+                  cc.cc_violations <-
+                    Printf.sprintf "well-behaved %s %s refused: %s: %s" op
+                      name
+                      (Protocol.error_code_to_string e.code)
+                      e.message
+                    :: cc.cc_violations)
+            end)
+          [
+            ( "analyze",
+              Protocol.Analyze
+                { program = src; in_bounds = false;
+                  budget = Protocol.no_budget; deadline_ms = None } );
+            ( "parallelize",
+              Protocol.Parallelize
+                { program = src; in_bounds = false;
+                  budget = Protocol.no_budget; deadline_ms = None } );
+          ])
+      programs
+  done;
+  cc.cc_retries <- Client.session_retries s;
+  Client.close_session s
+
+let chaos_suite ~smoke ~out () =
+  let duration = if smoke then 2.5 else 10. in
+  let read_timeout_ms = 250. in
+  let max_frame = 64 * 1024 in
+  let drain_ms = 2_000. in
+  let clients = 4 in
+  let fault_seed = 1 and fault_rate = 0.05 in
+  section
+    (Printf.sprintf
+       "Chaos: petitd under a hostile client mix for %.1f s (%d well-behaved \
+        clients; slowloris / mid-frame / malformed / oversized / churn \
+        injectors; solver faults seed %d rate %.2f)%s"
+       duration clients fault_seed fault_rate
+       (if smoke then ", smoke" else ""));
+  let programs = chaos_programs ~smoke in
+  (* Deterministic solver fault injection runs for the whole suite —
+     faults are a pure function of (seed, query key), so the in-process
+     expectations computed here under the same configuration match the
+     daemon's answers byte for byte. *)
+  Omega.Budget.set_fault_injection ~seed:fault_seed ~rate:fault_rate;
+  Fun.protect ~finally:Omega.Budget.clear_fault_injection @@ fun () ->
+  Analyses.Memo.reset ();
+  let expected =
+    List.concat_map
+      (fun (name, src) ->
+        let prog = Lang.Sema.analyze (Lang.Parser.parse_string src) in
+        [
+          ( (name, "analyze"),
+            Json.to_string (Service.analyze_payload ~in_bounds:false prog) );
+          ( (name, "parallelize"),
+            Json.to_string (Service.parallelize_payload ~in_bounds:false prog)
+          );
+        ])
+      programs
+  in
+  let path = Printf.sprintf "/tmp/petitd-chaos-%d.sock" (Unix.getpid ()) in
+  let config =
+    {
+      (Server.default_config (Protocol.Unix_path path)) with
+      Server.c_max_frame = max_frame;
+      c_domains = 2;
+      c_max_connections = 16;
+      c_max_inflight = Some 2;
+      c_read_timeout_ms = Some read_timeout_ms;
+      c_drain_ms = drain_ms;
+    }
+  in
+  let server = Server.start config in
+  let stop = Atomic.make false in
+  let injector name = { ci_name = name; ci_iterations = 0; ci_observed = 0;
+                        ci_violations = [] } in
+  let slowloris = injector "slowloris" in
+  let midframe = injector "midframe_disconnect" in
+  let malformed = injector "malformed_flood" in
+  let oversized = injector "oversized_frames" in
+  let churn = injector "connection_churn" in
+  let injector_threads =
+    [
+      Thread.create (fun () -> run_slowloris path ~read_timeout_ms stop slowloris) ();
+      Thread.create (fun () -> run_midframe path stop midframe) ();
+      Thread.create (fun () -> run_malformed path stop malformed) ();
+      Thread.create (fun () -> run_oversized path ~max_frame stop oversized) ();
+      Thread.create (fun () -> run_churn path stop churn) ();
+    ]
+  in
+  let until = Unix.gettimeofday () +. duration in
+  let ccs =
+    Array.init clients (fun _ ->
+        { cc_ok = 0; cc_failed = 0; cc_retries = 0; cc_injected = 0;
+          cc_latencies = []; cc_violations = [] })
+  in
+  let client_threads =
+    List.init clients (fun k ->
+        Thread.create
+          (fun () ->
+            run_well_behaved path ~expected ~programs ~seed:(100 + k) ~until
+              ccs.(k))
+          ())
+  in
+  List.iter Thread.join client_threads;
+  Atomic.set stop true;
+  List.iter Thread.join injector_threads;
+  (* The storm is over; read the daemon's overload posture before
+     shutting it down. *)
+  let health =
+    let s = Client.open_session (Protocol.Unix_path path) in
+    Fun.protect
+      ~finally:(fun () -> Client.close_session s)
+      (fun () ->
+        match Client.call s Protocol.Health with
+        | Ok (Protocol.Result { payload; _ }) -> payload
+        | Ok (Protocol.Error_ e) ->
+          Printf.eprintf "chaos: health refused: %s\n" e.message;
+          exit 1
+        | Error e ->
+          Printf.eprintf "chaos: health: %s\n" e;
+          exit 1)
+  in
+  (* Graceful drain: one request in flight when shutdown lands must
+     finish; one stalled raw connection must be force-closed; wait must
+     return within the drain window (plus scheduling slack). *)
+  let stalled = raw_connect path in
+  let inflight_result = ref (Error "never ran") in
+  let name, src = List.hd (List.rev programs) in
+  let inflight_thread =
+    Thread.create
+      (fun () ->
+        let s = Client.open_session (Protocol.Unix_path path) in
+        inflight_result :=
+          (match
+             Client.call s
+               (Protocol.Analyze
+                  { program = src; in_bounds = false;
+                    budget = Protocol.no_budget; deadline_ms = None })
+           with
+          | Ok (Protocol.Result { payload; _ }) -> Ok (Json.to_string payload)
+          | Ok (Protocol.Error_ e) -> Error e.message
+          | Error e -> Error e);
+        Client.close_session s)
+      ()
+  in
+  (* Wait until the daemon reports the request in flight (or solved:
+     ok count moves) before pulling the plug. *)
+  let rec await_inflight tries =
+    if tries = 0 then ()
+    else
+      let s = Client.open_session (Protocol.Unix_path path) in
+      let inflight =
+        match Client.call s Protocol.Health with
+        | Ok (Protocol.Result { payload; _ }) ->
+          Option.value ~default:0
+            (Option.bind (Json.member "in_flight" payload) Json.to_int_opt)
+        | _ -> 0
+      in
+      Client.close_session s;
+      if inflight = 0 && !inflight_result = Error "never ran" then begin
+        Thread.delay 0.01;
+        await_inflight (tries - 1)
+      end
+  in
+  await_inflight 100;
+  (let s = Client.open_session (Protocol.Unix_path path) in
+   ignore (Client.call s Protocol.Shutdown);
+   Client.close_session s);
+  let wait_ms =
+    let t0 = Unix.gettimeofday () in
+    Server.wait server;
+    ms (Unix.gettimeofday () -. t0)
+  in
+  Thread.join inflight_thread;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let stalled_closed =
+    match stalled with
+    | None -> false
+    | Some fd ->
+      let r = wait_eof fd 2. in
+      close_quietly fd;
+      r = `Reaped
+  in
+  (* ---- verdicts ---------------------------------------------------- *)
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.printf "VIOLATION: %s\n" s;
+        violations := !violations @ [ s ])
+      fmt
+  in
+  Array.iteri
+    (fun k cc ->
+      List.iter (fun v -> violate "client %d: %s" k v)
+        (List.rev cc.cc_violations))
+    ccs;
+  List.iter
+    (fun inj ->
+      List.iter (fun v -> violate "%s: %s" inj.ci_name v)
+        (List.rev inj.ci_violations))
+    [ slowloris; midframe; malformed; oversized; churn ];
+  let total_ok = Array.fold_left (fun a c -> a + c.cc_ok) 0 ccs in
+  let total_failed = Array.fold_left (fun a c -> a + c.cc_failed) 0 ccs in
+  let total_retries = Array.fold_left (fun a c -> a + c.cc_retries) 0 ccs in
+  let total_injected = Array.fold_left (fun a c -> a + c.cc_injected) 0 ccs in
+  let lats =
+    Array.to_list ccs |> List.concat_map (fun c -> c.cc_latencies)
+  in
+  let p50 = ms (percentile 50. lats) and p99 = ms (percentile 99. lats) in
+  if total_ok = 0 then violate "no well-behaved request completed";
+  if total_failed > 0 then
+    violate "%d well-behaved request(s) failed" total_failed;
+  let health_int path_ =
+    let rec go j = function
+      | [] -> Option.value ~default:0 (Json.to_int_opt j)
+      | k :: rest -> (
+        match Json.member k j with Some j' -> go j' rest | None -> 0)
+    in
+    go health path_
+  in
+  let shed_requests = health_int [ "shed"; "requests" ] in
+  let shed_conns = health_int [ "shed"; "connections" ] in
+  let reaped = health_int [ "reaped" ] in
+  if shed_requests + shed_conns = 0 then
+    violate "no load was shed — the admission gate never fired";
+  if reaped = 0 then
+    violate "no connection was reaped — the read deadline never fired";
+  if slowloris.ci_observed = 0 then
+    violate "slowloris never observed a reap";
+  let p99_bound = 10_000. in
+  if p99 > p99_bound then
+    violate "well-behaved p99 %.1f ms exceeds the %.0f ms bound" p99 p99_bound;
+  (match !inflight_result with
+  | Ok payload ->
+    if List.assoc (name, "analyze") expected <> payload then
+      violate "drain: in-flight analyze diverged from the in-process run"
+  | Error e -> violate "drain: in-flight request failed: %s" e);
+  if not stalled_closed then
+    violate "drain: stalled connection was not force-closed";
+  if wait_ms > drain_ms +. 3_000. then
+    violate "drain took %.0f ms (budget %.0f + slack)" wait_ms drain_ms;
+  let injector_json inj =
+    ( inj.ci_name,
+      Json.Obj
+        [
+          ("iterations", Json.Int inj.ci_iterations);
+          ("observed", Json.Int inj.ci_observed);
+        ] )
+  in
+  Printf.printf
+    "well-behaved: %d ok, %d failed, %d retries, p50 %.2f ms, p99 %.2f ms\n"
+    total_ok total_failed total_retries p50 p99;
+  Printf.printf
+    "daemon: shed %d requests + %d connections, reaped %d; injected solver \
+     faults seen: %d\n"
+    shed_requests shed_conns reaped total_injected;
+  Printf.printf "drain: wait %.0f ms, in-flight ok: %b, stalled closed: %b\n"
+    wait_ms
+    (match !inflight_result with Ok _ -> true | Error _ -> false)
+    stalled_closed;
+  let sound = !violations = [] in
+  Printf.printf "chaos verdict: %s\n"
+    (if sound then "sound" else "VIOLATIONS");
+  write_json ~out
+    (Json.Obj
+       [
+         ("smoke", Json.Bool smoke);
+         ("duration_s", jf duration);
+         ("clients", Json.Int clients);
+         ("programs", Json.Int (List.length programs));
+         ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+         ( "config",
+           Json.Obj
+             [
+               ("domains", Json.Int config.Server.c_domains);
+               ("max_connections", Json.Int config.Server.c_max_connections);
+               ( "max_inflight",
+                 match config.Server.c_max_inflight with
+                 | Some n -> Json.Int n
+                 | None -> Json.Null );
+               ("read_timeout_ms", jf read_timeout_ms);
+               ("drain_ms", jf drain_ms);
+               ("max_frame", Json.Int max_frame);
+               ("fault_seed", Json.Int fault_seed);
+               ("fault_rate", jf fault_rate);
+             ] );
+         ( "well_behaved",
+           Json.Obj
+             [
+               ("ok", Json.Int total_ok);
+               ("failed", Json.Int total_failed);
+               ("retries", Json.Int total_retries);
+               ("injected_gave_ups", Json.Int total_injected);
+               ("p50_ms", jf p50);
+               ("p99_ms", jf p99);
+             ] );
+         ( "injectors",
+           Json.Obj
+             (List.map injector_json
+                [ slowloris; midframe; malformed; oversized; churn ]) );
+         ("health", health);
+         ( "drain",
+           Json.Obj
+             [
+               ("wait_ms", jf wait_ms);
+               ( "inflight_completed",
+                 Json.Bool
+                   (match !inflight_result with
+                   | Ok _ -> true
+                   | Error _ -> false) );
+               ("stalled_closed", Json.Bool stalled_closed);
+             ] );
+         ("sound", Json.Bool sound);
+         ("violations", Json.List (List.map (fun v -> Json.Str v) !violations));
+       ]);
+  if not sound then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let full_run () =
   (* the per-query timing figures must measure eliminations, not cache
@@ -2250,6 +2814,15 @@ let () =
     serve_suite ~smoke ~clients
       ~domains:(Option.map int_of_string (opt "--domains" rest))
       ~out ()
+  | _ :: "chaos" :: rest ->
+    let smoke = List.mem "--smoke" rest in
+    let rec opt key = function
+      | k :: v :: _ when k = key -> Some v
+      | _ :: rest -> opt key rest
+      | [] -> None
+    in
+    let out = Option.value (opt "--out" rest) ~default:"BENCH_chaos.json" in
+    chaos_suite ~smoke ~out ()
   | _ :: [] | [] -> full_run ()
   | _ ->
     prerr_endline
@@ -2257,5 +2830,6 @@ let () =
        [--repeat N] [--backend vm|interp] | robustness [--out FILE] \
        [--seeds S1,S2] | analysis [--smoke] [--out FILE] [--repeat N] \
        [--domains N] [--no-order] [--no-redundancy] [--no-hashcons] | \
-       serve [--smoke] [--clients N] [--domains N] [--out FILE]]";
+       serve [--smoke] [--clients N] [--domains N] [--out FILE] | \
+       chaos [--smoke] [--out FILE]]";
     exit 2

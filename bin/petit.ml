@@ -108,6 +108,18 @@ let with_budget limits f =
   Omega.Budget.Telemetry.reset ();
   Omega.Budget.with_limits limits f
 
+(* The whole-request wall deadline (distinct from the per-query budget
+   deadline): locally it is installed in the solver's budget world, so
+   every query's meter enforces the remaining time; over --connect it
+   rides the request for the daemon to do the same. *)
+let with_wall deadline_ms f =
+  match deadline_ms with
+  | None -> f ()
+  | Some ms ->
+    Omega.Budget.with_wall_deadline
+      (Some (Unix.gettimeofday () +. (ms /. 1000.)))
+      f
+
 let print_governance () =
   Printf.printf "governance: %s\n" (Omega.Budget.Telemetry.summary ())
 
@@ -133,10 +145,60 @@ let connect_arg =
            path or host:port) instead of analyzing in-process.  Implies \
            JSON output.")
 
+let request_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "request-deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock deadline for the whole request (all queries \
+           together), distinct from $(b,--deadline-ms)'s per-query bound.  \
+           Queries started late degrade to [gave up] under the remaining \
+           time; with $(b,--connect) the daemon enforces it server-side.")
+
 let source file =
   if Sys.file_exists file then
     In_channel.with_open_bin file In_channel.input_all
   else Corpus.find file
+
+(* Daemon calls go through a retrying session: connect/request
+   timeouts, reconnect, and jittered backoff on idempotent failures
+   (overload sheds, connect errors, clean closes before any response
+   byte).  The policy is tunable from the environment so scripts can
+   harden or soften retries without new flags:
+     PETIT_RETRIES             total attempts       (default 5)
+     PETIT_RETRY_BASE_MS       backoff base         (default 25)
+     PETIT_CONNECT_TIMEOUT_MS  TCP connect bound    (default 5000)
+     PETIT_REQUEST_TIMEOUT_MS  per-request bound    (default 60000) *)
+let client_policy () =
+  let env_int name =
+    Option.bind (Sys.getenv_opt name) int_of_string_opt
+  in
+  let env_float name =
+    Option.bind (Sys.getenv_opt name) float_of_string_opt
+  in
+  let d = Serve.Client.default_policy in
+  {
+    d with
+    Serve.Client.p_attempts =
+      (match env_int "PETIT_RETRIES" with
+      | Some n -> max 1 n
+      | None -> d.Serve.Client.p_attempts);
+    p_base_ms =
+      Option.value
+        (env_float "PETIT_RETRY_BASE_MS")
+        ~default:d.Serve.Client.p_base_ms;
+    p_connect_timeout_ms =
+      (match env_float "PETIT_CONNECT_TIMEOUT_MS" with
+      | Some ms when ms > 0. -> Some ms
+      | Some _ -> None
+      | None -> d.Serve.Client.p_connect_timeout_ms);
+    p_request_timeout_ms =
+      (match env_float "PETIT_REQUEST_TIMEOUT_MS" with
+      | Some ms when ms > 0. -> Some ms
+      | Some _ -> None
+      | None -> d.Serve.Client.p_request_timeout_ms);
+  }
 
 let daemon_request addr req =
   let fail msg =
@@ -145,13 +207,11 @@ let daemon_request addr req =
   in
   match Serve.Protocol.addr_of_string addr with
   | Error msg -> fail msg
-  | Ok a -> (
-    match Serve.Client.connect a with
-    | Error msg -> fail msg
-    | Ok c ->
-      let r = Serve.Client.request c req in
-      Serve.Client.close c;
-      (match r with Error msg -> fail msg | Ok resp -> resp))
+  | Ok a ->
+    let s = Serve.Client.open_session ~policy:(client_policy ()) a in
+    let r = Serve.Client.call s req in
+    Serve.Client.close_session s;
+    (match r with Error msg -> fail msg | Ok resp -> resp)
 
 (* Payload on stdout (diffable against a local --json run), cache
    telemetry on stderr. *)
@@ -203,7 +263,7 @@ let solver_backend_arg =
            for $(b,screen)'s extra give-ups.")
 
 let analyze_cmd =
-  let run file in_bounds spec json connect domains backend =
+  let run file in_bounds spec deadline json connect domains backend =
     Omega.Portfolio.backend := backend;
     (match domains with
     | Some n -> Par.set_domains n
@@ -213,10 +273,12 @@ let analyze_cmd =
       print_daemon_result
         (daemon_request addr
            (Serve.Protocol.Analyze
-              { program = source file; in_bounds; budget = spec }))
+              { program = source file; in_bounds; budget = spec;
+                deadline_ms = deadline }))
     | None when json ->
       with_errors @@ fun () ->
       with_budget (limits_of_spec spec) @@ fun () ->
+      with_wall deadline @@ fun () ->
       let prog = Lang.Sema.analyze (load file) in
       Analyses.Memo.reset ();
       print_endline
@@ -224,6 +286,7 @@ let analyze_cmd =
     | None ->
     with_errors @@ fun () ->
     with_budget (limits_of_spec spec) @@ fun () ->
+    with_wall deadline @@ fun () ->
     let prog = Lang.Sema.analyze (load file) in
     Omega.Portfolio.Stats.reset ();
     Analyses.Memo.reset ();
@@ -267,8 +330,9 @@ let analyze_cmd =
          "Full analysis: flow dependences classified live/dead with \
           refinement, covering and killing.")
     Term.(
-      const run $ file_arg $ in_bounds_arg $ budget_spec_term $ json_arg
-      $ connect_arg $ analyze_domains_arg $ solver_backend_arg)
+      const run $ file_arg $ in_bounds_arg $ budget_spec_term
+      $ request_deadline_arg $ json_arg $ connect_arg $ analyze_domains_arg
+      $ solver_backend_arg)
 
 let parallelize_cmd =
   let oracle_arg =
@@ -316,7 +380,8 @@ let parallelize_cmd =
              overlay stores ($(b,interp)), or compiled bytecode over a flat \
              arena with slab privatization ($(b,vm)).")
   in
-  let run file in_bounds spec json connect oracle exec backend domains syms =
+  let run file in_bounds spec deadline json connect oracle exec backend
+      domains syms =
     (match connect with
     | Some addr ->
       if oracle || exec then begin
@@ -328,7 +393,8 @@ let parallelize_cmd =
       print_daemon_result
         (daemon_request addr
            (Serve.Protocol.Parallelize
-              { program = source file; in_bounds; budget = spec }));
+              { program = source file; in_bounds; budget = spec;
+                deadline_ms = deadline }));
       exit 0
     | None -> ());
     if json then begin
@@ -339,6 +405,7 @@ let parallelize_cmd =
       end;
       with_errors (fun () ->
           with_budget (limits_of_spec spec) @@ fun () ->
+          with_wall deadline @@ fun () ->
           let prog = Lang.Sema.analyze (load file) in
           Analyses.Memo.reset ();
           print_endline
@@ -348,6 +415,7 @@ let parallelize_cmd =
     end;
     with_errors @@ fun () ->
     with_budget (limits_of_spec spec) @@ fun () ->
+    with_wall deadline @@ fun () ->
     let prog = Lang.Sema.analyze (load file) in
     let g = Xform.Graph.build ~in_bounds prog in
     let vs = Xform.Parallel.analyze g in
@@ -489,7 +557,8 @@ let parallelize_cmd =
          "Per-loop doall legality, standard vs extended analysis, with the \
           annotated program.")
     Term.(
-      const run $ file_arg $ in_bounds_arg $ budget_spec_term $ json_arg
+      const run $ file_arg $ in_bounds_arg $ budget_spec_term
+      $ request_deadline_arg $ json_arg
       $ connect_arg $ oracle_arg $ exec_arg $ backend_arg $ domains_arg
       $ syms_arg)
 
@@ -702,12 +771,28 @@ let serve_stats_cmd =
           of a running petitd.")
     Term.(const run $ connect_required)
 
+let health_cmd =
+  let run addr =
+    print_daemon_result (daemon_request addr Serve.Protocol.Health)
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Overload posture of a running petitd: uptime, in-flight \
+          requests, shed/reaped counts, connection accounting.  Served \
+          off the solver path, so it answers even under full load.")
+    Term.(const run $ connect_required)
+
 let shutdown_cmd =
   let run addr =
     print_daemon_result (daemon_request addr Serve.Protocol.Shutdown)
   in
   Cmd.v
-    (Cmd.info "shutdown" ~doc:"Ask a running petitd to shut down.")
+    (Cmd.info "shutdown"
+       ~doc:
+         "Ask a running petitd to shut down (graceful drain: in-flight \
+          requests finish under the daemon's --drain-ms, laggards are \
+          force-closed).")
     Term.(const run $ connect_required)
 
 let corpus_cmd =
@@ -740,5 +825,6 @@ let () =
             symbolic_cmd;
             corpus_cmd;
             serve_stats_cmd;
+            health_cmd;
             shutdown_cmd;
           ]))

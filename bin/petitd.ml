@@ -63,6 +63,46 @@ let domains_arg =
            in parallel up to $(docv) (default: the machine's recommended \
            domain count minus one).")
 
+let max_connections_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-connections" ] ~docv:"N"
+        ~doc:
+          "Open-connection cap: connections beyond $(docv) receive one \
+           $(b,overloaded) response (with a retry_after_ms hint) and are \
+           closed (default 64).")
+
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Admission gate: at most $(docv) work-bearing requests solving \
+           or queued at once; beyond it requests are shed with \
+           $(b,overloaded) instead of queueing unboundedly (default \
+           2*domains, min 4).  0 disables shedding.")
+
+let read_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "read-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-frame I/O deadline: a request frame must arrive (and a \
+           response frame drain) within $(docv) ms or the connection is \
+           reaped (default 10000).  0 disables.")
+
+let drain_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "drain-ms" ] ~docv:"MS"
+        ~doc:
+          "Shutdown grace: in-flight requests get $(docv) ms to finish \
+           before their connections are force-closed (default 5000).")
+
 let backend_arg =
   Arg.(
     value
@@ -128,19 +168,40 @@ let quota_term =
   Term.(const make $ fuel_arg $ splinters_arg $ disjuncts_arg $ deadline_arg)
 
 let () =
-  let run addr memo_capacity max_frame quota domains backend =
+  let run addr memo_capacity max_frame quota domains backend max_connections
+      max_inflight read_timeout_ms drain_ms =
     Omega.Portfolio.backend := backend;
     let base = Serve.Server.default_config addr in
+    let c_domains =
+      match domains with
+      | Some n -> max 1 n
+      | None -> base.Serve.Server.c_domains
+    in
     let config =
       {
         base with
         Serve.Server.c_max_frame = max_frame;
         c_memo_capacity = memo_capacity;
         c_quota = quota;
-        c_domains =
-          (match domains with
+        c_domains;
+        c_max_connections =
+          (match max_connections with
           | Some n -> max 1 n
-          | None -> base.Serve.Server.c_domains);
+          | None -> base.Serve.Server.c_max_connections);
+        c_max_inflight =
+          (match max_inflight with
+          | Some 0 -> None
+          | Some n -> Some (max 1 n)
+          | None -> Some (max 4 (2 * c_domains)));
+        c_read_timeout_ms =
+          (match read_timeout_ms with
+          | Some ms when ms <= 0. -> None
+          | Some ms -> Some ms
+          | None -> base.Serve.Server.c_read_timeout_ms);
+        c_drain_ms =
+          (match drain_ms with
+          | Some ms -> Float.max 0. ms
+          | None -> base.Serve.Server.c_drain_ms);
       }
     in
     (match addr with
@@ -167,4 +228,5 @@ let () =
        (Cmd.v info
           Term.(
             const run $ addr_term $ memo_capacity_arg $ max_frame_arg
-            $ quota_term $ domains_arg $ backend_arg)))
+            $ quota_term $ domains_arg $ backend_arg $ max_connections_arg
+            $ max_inflight_arg $ read_timeout_arg $ drain_arg)))

@@ -92,13 +92,24 @@ type meter = {
   m_deadline : float option; (* absolute, seconds *)
 }
 
-let make_meter l =
+(* The earlier of two optional absolute deadlines. *)
+let min_deadline a b =
+  match (a, b) with
+  | None, d | d, None -> d
+  | Some x, Some y -> Some (Float.min x y)
+
+(* [wall] is the ambient absolute request deadline (if any): the meter
+   enforces whichever of the per-query deadline and the wall deadline
+   comes first, so a query started late inside a deadlined request gets
+   a correspondingly smaller time budget. *)
+let make_meter ?wall l =
   {
     m_limits = l;
     m_fuel = 0;
     m_splinters = 0;
     m_deadline =
-      Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.)) l.deadline_ms;
+      min_deadline wall
+        (Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.)) l.deadline_ms);
   }
 
 let check_deadline m =
@@ -183,11 +194,18 @@ type world = {
   mutable w_limits : limits;
   mutable w_active : meter option;
   mutable w_stats : Telemetry0.t;
+  mutable w_wall_deadline : float option;
+      (* absolute request-level deadline, folded into every meter *)
 }
 
 let world_key =
   Domain.DLS.new_key (fun () ->
-      { w_limits = default; w_active = None; w_stats = Telemetry0.make () })
+      {
+        w_limits = default;
+        w_active = None;
+        w_stats = Telemetry0.make ();
+        w_wall_deadline = None;
+      })
 
 let world () = Domain.DLS.get world_key
 
@@ -198,6 +216,19 @@ let with_limits l f =
   let saved = w.w_limits in
   w.w_limits <- l;
   Fun.protect ~finally:(fun () -> w.w_limits <- saved) f
+
+let with_wall_deadline d f =
+  let w = world () in
+  let saved = w.w_wall_deadline in
+  w.w_wall_deadline <- d;
+  Fun.protect ~finally:(fun () -> w.w_wall_deadline <- saved) f
+
+let wall_deadline () = (world ()).w_wall_deadline
+
+let wall_expired () =
+  match (world ()).w_wall_deadline with
+  | Some d -> Unix.gettimeofday () >= d
+  | None -> false
 
 let disjunct_limit () =
   let w = world () in
@@ -212,7 +243,7 @@ let with_meter f =
   match w.w_active with
   | Some m -> f m
   | None ->
-    let m = make_meter w.w_limits in
+    let m = make_meter ?wall:w.w_wall_deadline w.w_limits in
     w.w_active <- Some m;
     Fun.protect ~finally:(fun () -> w.w_active <- None) (fun () -> f m)
 
@@ -365,7 +396,7 @@ let run ?(label = "query") ?fault_key (f : unit -> 'a) : ('a, reason) result =
       Error Injected
     end
     else begin
-      let m = make_meter w.w_limits in
+      let m = make_meter ?wall:w.w_wall_deadline w.w_limits in
       w.w_active <- Some m;
       let finish () =
         w.w_active <- None;

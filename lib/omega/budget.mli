@@ -63,6 +63,24 @@ val le : limits -> limits -> bool
 val with_limits : limits -> (unit -> 'a) -> 'a
 (** Run with the current domain's limits temporarily replaced. *)
 
+val with_wall_deadline : float option -> (unit -> 'a) -> 'a
+(** Run with the current domain's {e wall deadline} — an absolute
+    [Unix.gettimeofday] instant bounding a whole request — temporarily
+    replaced.  Every meter created inside enforces whichever of the
+    per-query deadline and the wall deadline comes first, so a query
+    started late inside a deadlined request gets a correspondingly
+    smaller time budget and degrades to [Gave_up Deadline] like any
+    other blown limit.  petitd installs the per-request [deadline_ms]
+    here before solving. *)
+
+val wall_deadline : unit -> float option
+(** The current domain's wall deadline, if any. *)
+
+val wall_expired : unit -> bool
+(** Whether the current domain's wall deadline has already passed
+    ([false] when none is set).  Checked at admission points that want
+    to refuse work outright rather than degrade query by query. *)
+
 (** {1 Metering (solver internals)} *)
 
 type meter

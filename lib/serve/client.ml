@@ -1,31 +1,80 @@
+(* Typed client for the petitd wire protocol, in two layers:
+
+   - [t]: one connection, one outstanding request, with bounded connect
+     and per-request deadlines so a blackholed address or a stalled
+     daemon surfaces as an error instead of a hang.
+   - [session]: a reconnecting, retrying handle.  Retries happen only on
+     provably idempotent outcomes — an [Overloaded] shed, a connect
+     failure, a clean close before any response byte — with jittered
+     exponential backoff under a total retry budget.  Once any byte of a
+     response has arrived (including a read timeout mid-response), the
+     call fails instead of resending: the server may have executed the
+     request, and a second answer could interleave with the first. *)
+
 type t = {
   fd : Unix.file_descr;
   max_frame : int;
+  request_timeout_ms : float option;
   mutable next_id : int;
   mutable closed : bool;
 }
 
-let connect ?(max_frame = Protocol.default_max_frame) addr =
-  let sockaddr =
-    match addr with
-    | Protocol.Unix_path p -> Ok (Unix.ADDR_UNIX p)
-    | Protocol.Tcp (host, port) -> (
-      match Unix.inet_addr_of_string host with
-      | ip -> Ok (Unix.ADDR_INET (ip, port))
-      | exception Failure _ -> (
-        match Unix.gethostbyname host with
-        | { Unix.h_addr_list = [||]; _ } ->
-          Error (Printf.sprintf "cannot resolve %s" host)
-        | exception Not_found ->
-          Error (Printf.sprintf "cannot resolve %s" host)
-        | h -> Ok (Unix.ADDR_INET (h.Unix.h_addr_list.(0), port))))
-  in
-  match sockaddr with
+let sockaddr_of addr =
+  match addr with
+  | Protocol.Unix_path p -> Ok (Unix.ADDR_UNIX p)
+  | Protocol.Tcp (host, port) -> (
+    match Unix.inet_addr_of_string host with
+    | ip -> Ok (Unix.ADDR_INET (ip, port))
+    | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+        Error (Printf.sprintf "cannot resolve %s" host)
+      | exception Not_found ->
+        Error (Printf.sprintf "cannot resolve %s" host)
+      | h -> Ok (Unix.ADDR_INET (h.Unix.h_addr_list.(0), port))))
+
+(* TCP connect with a bounded wait: non-blocking connect, select on
+   writability under the remaining time, then read the socket error back
+   so a refused connection is distinguished from an established one.  A
+   blackholed address (SYN never answered) times out instead of hanging
+   for the kernel's minutes-long default.  Unix-domain connects are
+   local and never hang; they go through the plain blocking path. *)
+let connect_sockaddr ?connect_timeout_ms sa fd =
+  match (sa, connect_timeout_ms) with
+  | Unix.ADDR_UNIX _, _ | _, None -> Unix.connect fd sa
+  | Unix.ADDR_INET _, Some ms -> (
+    Unix.set_nonblock fd;
+    let finish () = Unix.clear_nonblock fd in
+    match Unix.connect fd sa with
+    | () -> finish ()
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) ->
+      let deadline = Unix.gettimeofday () +. (ms /. 1000.) in
+      let rec wait () =
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0. then
+          raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+        else
+          match Unix.select [] [ fd ] [] remaining with
+          | _, [ _ ], _ -> (
+            match Unix.getsockopt_error fd with
+            | None -> finish ()
+            | Some err -> raise (Unix.Unix_error (err, "connect", "")))
+          | _ -> wait ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      in
+      wait ()
+    | exception e ->
+      finish ();
+      raise e)
+
+let connect ?(max_frame = Protocol.default_max_frame) ?connect_timeout_ms
+    ?request_timeout_ms addr =
+  match sockaddr_of addr with
   | Error _ as e -> e
   | Ok sa -> (
     let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
-    match Unix.connect fd sa with
-    | () -> Ok { fd; max_frame; next_id = 1; closed = false }
+    match connect_sockaddr ?connect_timeout_ms sa fd with
+    | () -> Ok { fd; max_frame; request_timeout_ms; next_id = 1; closed = false }
     | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error
@@ -38,27 +87,61 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let request t req =
-  if t.closed then Error "connection is closed"
+(* [`Retry]: the request provably did not produce any response byte —
+   safe to resend on a fresh connection.  [`Fatal]: a response may have
+   been (partially) produced or the transport is confused; resending
+   risks a duplicate or interleaved answer. *)
+type failure = [ `Retry of string | `Fatal of string ]
+
+let failure_message = function `Retry m | `Fatal m -> m
+
+let request_classified t req : (Protocol.response, failure) result =
+  if t.closed then Error (`Fatal "connection is closed")
   else begin
+    let deadline =
+      Option.map
+        (fun ms -> Unix.gettimeofday () +. (ms /. 1000.))
+        t.request_timeout_ms
+    in
     let id = t.next_id in
     t.next_id <- id + 1;
     let frame = Json.to_string (Protocol.encode_request ~id req) in
-    match Protocol.write_frame t.fd frame with
+    match Protocol.write_frame ?deadline t.fd frame with
     | exception Unix.Unix_error (e, _, _) ->
-      Error ("write failed: " ^ Unix.error_message e)
-    | () -> (
-      match Protocol.read_frame ~max:t.max_frame t.fd with
-      | Error Protocol.Closed -> Error "server closed the connection"
-      | Error Protocol.Truncated -> Error "truncated response frame"
-      | Error (Protocol.Oversized n | Protocol.Poisoned n) ->
-        Error (Printf.sprintf "response frame of %d bytes is too large" n)
+      (* The server dropped us (or stalled) before a response could
+         exist; nothing of this request has been answered.  If the drop
+         was an over-cap shed, the unsolicited Overloaded response is
+         sitting in our receive buffer — surface it (and its
+         retry_after hint) instead of a bare write error. *)
+      let write_err = Error (`Retry ("write failed: " ^ Unix.error_message e)) in
+      (match
+         Protocol.read_frame
+           ~deadline:(Unix.gettimeofday () +. 0.05)
+           ~max:t.max_frame t.fd
+       with
       | Ok payload -> (
         match Json.parse payload with
-        | Error msg -> Error ("invalid response JSON: " ^ msg)
         | Ok json -> (
           match Protocol.decode_response json with
-          | Error msg -> Error ("invalid response: " ^ msg)
+          | Ok (Protocol.Error_ { id = 0; _ } as resp) -> Ok resp
+          | Ok _ | Error _ -> write_err)
+        | Error _ -> write_err)
+      | Error _ -> write_err
+      | exception Unix.Unix_error _ -> write_err)
+    | () -> (
+      match Protocol.read_frame ?deadline ~max:t.max_frame t.fd with
+      | Error Protocol.Closed -> Error (`Retry "server closed the connection")
+      | Error Protocol.Truncated -> Error (`Fatal "truncated response frame")
+      | Error Protocol.Timed_out ->
+        Error (`Fatal "timed out waiting for the response")
+      | Error (Protocol.Oversized n | Protocol.Poisoned n) ->
+        Error (`Fatal (Printf.sprintf "response frame of %d bytes is too large" n))
+      | Ok payload -> (
+        match Json.parse payload with
+        | Error msg -> Error (`Fatal ("invalid response JSON: " ^ msg))
+        | Ok json -> (
+          match Protocol.decode_response json with
+          | Error msg -> Error (`Fatal ("invalid response: " ^ msg))
           | Ok resp ->
             let rid =
               match resp with
@@ -68,11 +151,152 @@ let request t req =
             if rid = id || rid = 0 then Ok resp
             else
               Error
-                (Printf.sprintf "response id %d does not match request %d"
-                   rid id))))
+                (`Fatal
+                   (Printf.sprintf "response id %d does not match request %d"
+                      rid id)))))
   end
+
+let request t req =
+  Result.map_error failure_message (request_classified t req)
 
 let result_payload = function
   | Protocol.Result { payload; memo; _ } -> Ok (payload, memo)
   | Protocol.Error_ { code; message; _ } ->
     Error (Protocol.error_code_to_string code ^ ": " ^ message)
+
+(* ------------------------------------------------------------------ *)
+(* Retrying sessions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type policy = {
+  p_attempts : int;
+  p_base_ms : float;
+  p_max_ms : float;
+  p_retry_budget_ms : float;
+  p_connect_timeout_ms : float option;
+  p_request_timeout_ms : float option;
+  p_seed : int;
+  p_sleep : float -> unit;
+}
+
+let default_policy =
+  {
+    p_attempts = 5;
+    p_base_ms = 25.;
+    p_max_ms = 2_000.;
+    p_retry_budget_ms = 30_000.;
+    p_connect_timeout_ms = Some 5_000.;
+    p_request_timeout_ms = Some 60_000.;
+    p_seed = 1;
+    p_sleep = (fun ms -> Thread.delay (ms /. 1000.));
+  }
+
+type session = {
+  s_addr : Protocol.addr;
+  s_max_frame : int;
+  s_policy : policy;
+  mutable s_conn : t option;
+  mutable s_rng : int64;
+  mutable s_retries : int;
+}
+
+let open_session ?(policy = default_policy)
+    ?(max_frame = Protocol.default_max_frame) addr =
+  {
+    s_addr = addr;
+    s_max_frame = max_frame;
+    s_policy = policy;
+    s_conn = None;
+    s_rng = Int64.of_int ((policy.p_seed * 2) + 1);
+    s_retries = 0;
+  }
+
+let session_retries s = s.s_retries
+
+let drop_conn s =
+  match s.s_conn with
+  | Some c ->
+    close c;
+    s.s_conn <- None
+  | None -> ()
+
+let close_session = drop_conn
+
+(* splitmix64 step: the jitter stream is a pure function of the policy
+   seed, so a test can pin the whole backoff schedule. *)
+let next_unit s =
+  let z = Int64.add s.s_rng 0x9E3779B97F4A7C15L in
+  s.s_rng <- z;
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+
+(* Exponential backoff for attempt [k] (1-based), jittered to [0.5,1.5)
+   of the nominal step, floored at the server's retry_after hint. *)
+let backoff_ms s ~attempt ~hint =
+  let p = s.s_policy in
+  let nominal =
+    Float.min p.p_max_ms (p.p_base_ms *. (2. ** float_of_int (attempt - 1)))
+  in
+  let jittered = nominal *. (0.5 +. next_unit s) in
+  match hint with Some h -> Float.max h jittered | None -> jittered
+
+let ensure_conn s =
+  match s.s_conn with
+  | Some c when not c.closed -> Ok c
+  | _ ->
+    s.s_conn <- None;
+    (match
+       connect ~max_frame:s.s_max_frame
+         ?connect_timeout_ms:s.s_policy.p_connect_timeout_ms
+         ?request_timeout_ms:s.s_policy.p_request_timeout_ms s.s_addr
+     with
+    | Ok c ->
+      s.s_conn <- Some c;
+      Ok c
+    | Error _ as e -> e)
+
+let call s req =
+  let p = s.s_policy in
+  let give_up_at = Unix.gettimeofday () +. (p.p_retry_budget_ms /. 1000.) in
+  let rec attempt k =
+    let retry_or ~hint msg =
+      if k >= p.p_attempts then
+        Error (Printf.sprintf "after %d attempt(s): %s" k msg)
+      else
+        let delay = backoff_ms s ~attempt:k ~hint in
+        if Unix.gettimeofday () +. (delay /. 1000.) > give_up_at then
+          Error (Printf.sprintf "retry budget exhausted after %d attempt(s): %s" k msg)
+        else begin
+          s.s_retries <- s.s_retries + 1;
+          p.p_sleep delay;
+          attempt (k + 1)
+        end
+    in
+    match ensure_conn s with
+    | Error msg -> retry_or ~hint:None ("connect: " ^ msg)
+    | Ok c -> (
+      match request_classified c req with
+      | Ok (Protocol.Error_ { id; code = Protocol.Overloaded; message; retry_after_ms; _ })
+        when k < p.p_attempts ->
+        (* An admission-gate shed answers our request id and leaves the
+           connection usable.  An unsolicited shed (id 0) is the
+           over-cap kind: the server closes the connection right after
+           sending it, so keeping it would burn the next attempt on a
+           broken pipe. *)
+        if id = 0 then drop_conn s;
+        retry_or ~hint:retry_after_ms ("overloaded: " ^ message)
+      | Ok resp -> Ok resp
+      | Error (`Retry msg) ->
+        drop_conn s;
+        retry_or ~hint:None msg
+      | Error (`Fatal msg) ->
+        drop_conn s;
+        Error msg)
+  in
+  attempt 1

@@ -1,19 +1,79 @@
-(** Typed client for the petitd wire protocol: one connection, one
-    outstanding request at a time, ids managed internally. *)
+(** Typed client for the petitd wire protocol.
+
+    Two layers: a bare connection ({!t}) with bounded connect and
+    per-request deadlines, and a reconnecting, retrying {!session} that
+    resends only provably idempotent failures — an [Overloaded] shed, a
+    connect failure, a clean close before any response byte — with
+    jittered exponential backoff under a total retry budget.  A request
+    that may have produced any response byte is never resent. *)
+
+(** {1 Bare connections} *)
 
 type t
 
-val connect : ?max_frame:int -> Protocol.addr -> (t, string) result
-val close : t -> unit
+val connect :
+  ?max_frame:int ->
+  ?connect_timeout_ms:float ->
+  ?request_timeout_ms:float ->
+  Protocol.addr ->
+  (t, string) result
+(** [connect_timeout_ms] bounds TCP connection establishment (a
+    blackholed address errors instead of hanging for the kernel default;
+    Unix-socket connects are local and never wait).  [request_timeout_ms]
+    bounds each subsequent {!request} end to end. *)
 
 val request : t -> Protocol.request -> (Protocol.response, string) result
-(** Send one request and block for its response.  [Error] means the
-    transport or the response decoding failed (the connection should be
-    abandoned); protocol-level failures come back as
-    [Ok (Protocol.Error_ ...)].  A response whose id does not match the
-    request is a transport error. *)
+(** Send one request and block for its response.  [Error] covers
+    transport and protocol failures (including the request deadline
+    passing); a server-reported failure is [Ok (Error_ ...)].  A
+    response whose id does not match the request is a transport error.
+    After a timeout or truncation the stream is desynced — close the
+    connection. *)
 
 val result_payload :
   Protocol.response -> (Json.t * Protocol.memo_report option, string) result
 (** Collapse a response into its payload (and memo telemetry),
     rendering protocol errors as ["code: message"] strings. *)
+
+val close : t -> unit
+
+(** {1 Retrying sessions} *)
+
+type policy = {
+  p_attempts : int;  (** total attempts, including the first *)
+  p_base_ms : float;  (** backoff base; attempt [k] waits [base * 2^(k-1)] *)
+  p_max_ms : float;  (** cap on a single backoff step *)
+  p_retry_budget_ms : float;
+      (** total wall budget for a {!call} across all attempts and
+          backoffs; exceeding it fails fast instead of sleeping *)
+  p_connect_timeout_ms : float option;
+  p_request_timeout_ms : float option;
+  p_seed : int;  (** seeds the jitter stream — same seed, same schedule *)
+  p_sleep : float -> unit;
+      (** sleep hook (milliseconds); tests substitute a recorder *)
+}
+
+val default_policy : policy
+(** 5 attempts, 25 ms base doubling to a 2 s cap, 30 s retry budget,
+    5 s connect / 60 s request timeouts, [Thread.delay] sleeps. *)
+
+type session
+
+val open_session : ?policy:policy -> ?max_frame:int -> Protocol.addr -> session
+(** No I/O happens until the first {!call}; the connection is (re)made
+    lazily and dropped on any transport failure. *)
+
+val call : session -> Protocol.request -> (Protocol.response, string) result
+(** Like {!request}, but reconnects and retries idempotent failures:
+    connect errors, transport failures before any response byte, and
+    [Overloaded] sheds (waiting at least the server's [retry_after_ms]
+    hint, jittered exponential backoff otherwise).  Non-idempotent
+    failures — timeout or truncation once the response may have
+    started — fail immediately.  When attempts run out on overload the
+    last [Overloaded] response is returned as [Ok (Error_ ...)]. *)
+
+val session_retries : session -> int
+(** Retries performed over the session's lifetime (0 = every call
+    succeeded first try). *)
+
+val close_session : session -> unit

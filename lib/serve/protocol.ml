@@ -60,10 +60,25 @@ type calc_op =
   | Optimize of { dir : [ `Min | `Max ]; var : string; problem : string }
 
 type request =
-  | Analyze of { program : string; in_bounds : bool; budget : budget_spec }
-  | Parallelize of { program : string; in_bounds : bool; budget : budget_spec }
-  | Omega_calc of { op : calc_op; budget : budget_spec }
+  | Analyze of {
+      program : string;
+      in_bounds : bool;
+      budget : budget_spec;
+      deadline_ms : float option;
+    }
+  | Parallelize of {
+      program : string;
+      in_bounds : bool;
+      budget : budget_spec;
+      deadline_ms : float option;
+    }
+  | Omega_calc of {
+      op : calc_op;
+      budget : budget_spec;
+      deadline_ms : float option;
+    }
   | Stats
+  | Health
   | Shutdown
 
 let budget_json b =
@@ -116,18 +131,28 @@ let encode_request ~id req =
   let with_budget b rest =
     match budget_json b with Some j -> rest @ [ ("budget", j) ] | None -> rest
   in
+  let with_deadline d rest =
+    match d with
+    | Some ms -> rest @ [ ("deadline_ms", Json.Float ms) ]
+    | None -> rest
+  in
   match req with
-  | Analyze { program; in_bounds; budget } ->
+  | Analyze { program; in_bounds; budget; deadline_ms } ->
     base "analyze"
-      (with_budget budget
-         [ ("program", Json.Str program); ("in_bounds", Json.Bool in_bounds) ])
-  | Parallelize { program; in_bounds; budget } ->
+      (with_deadline deadline_ms
+         (with_budget budget
+            [ ("program", Json.Str program); ("in_bounds", Json.Bool in_bounds) ]))
+  | Parallelize { program; in_bounds; budget; deadline_ms } ->
     base "parallelize"
-      (with_budget budget
-         [ ("program", Json.Str program); ("in_bounds", Json.Bool in_bounds) ])
-  | Omega_calc { op; budget } ->
-    base "omega_calc" (with_budget budget [ ("query", calc_op_json op) ])
+      (with_deadline deadline_ms
+         (with_budget budget
+            [ ("program", Json.Str program); ("in_bounds", Json.Bool in_bounds) ]))
+  | Omega_calc { op; budget; deadline_ms } ->
+    base "omega_calc"
+      (with_deadline deadline_ms
+         (with_budget budget [ ("query", calc_op_json op) ]))
   | Stats -> base "stats" []
+  | Health -> base "health" []
   | Shutdown -> base "shutdown" []
 
 let ( let* ) = Result.bind
@@ -166,6 +191,16 @@ let decode_budget j =
       | None -> Ok None
     in
     Ok { b_fuel; b_splinters; b_disjuncts; b_deadline_ms }
+
+(* The whole-request wall deadline, distinct from the per-query budget
+   deadline inside [budget]. *)
+let decode_deadline j =
+  match Json.member "deadline_ms" j with
+  | None -> Ok None
+  | Some v -> (
+    match Json.to_float_opt v with
+    | Some f when f > 0. -> Ok (Some f)
+    | _ -> Error "field \"deadline_ms\" must be a positive number")
 
 let decode_calc_op j =
   match Json.member "query" j with
@@ -225,14 +260,18 @@ let decode_request j =
         let* program = field_str "program" j in
         let* in_bounds = field_bool "in_bounds" j in
         let* budget = decode_budget j in
+        let* deadline_ms = decode_deadline j in
         Ok
-          (if op = "analyze" then Analyze { program; in_bounds; budget }
-           else Parallelize { program; in_bounds; budget })
+          (if op = "analyze" then
+             Analyze { program; in_bounds; budget; deadline_ms }
+           else Parallelize { program; in_bounds; budget; deadline_ms })
       | "omega_calc" ->
         let* op = decode_calc_op j in
         let* budget = decode_budget j in
-        Ok (Omega_calc { op; budget })
+        let* deadline_ms = decode_deadline j in
+        Ok (Omega_calc { op; budget; deadline_ms })
       | "stats" -> Ok Stats
+      | "health" -> Ok Health
       | "shutdown" -> Ok Shutdown
       | other -> Error (Printf.sprintf "unknown op %S" other)
     in
@@ -260,6 +299,7 @@ type error_code =
   | Bad_request
   | Frame_too_large
   | Gave_up
+  | Overloaded
   | Server_error
 
 let error_code_to_string = function
@@ -268,6 +308,7 @@ let error_code_to_string = function
   | Bad_request -> "bad_request"
   | Frame_too_large -> "frame_too_large"
   | Gave_up -> "gave_up"
+  | Overloaded -> "overloaded"
   | Server_error -> "server_error"
 
 let error_code_of_string = function
@@ -276,6 +317,7 @@ let error_code_of_string = function
   | "bad_request" -> Some Bad_request
   | "frame_too_large" -> Some Frame_too_large
   | "gave_up" -> Some Gave_up
+  | "overloaded" -> Some Overloaded
   | "server_error" -> Some Server_error
   | _ -> None
 
@@ -286,7 +328,12 @@ type response =
       memo : memo_report option;
       governance : Json.t option;
     }
-  | Error_ of { id : int; code : error_code; message : string }
+  | Error_ of {
+      id : int;
+      code : error_code;
+      message : string;
+      retry_after_ms : float option;
+    }
 
 let memo_json m =
   Json.Obj
@@ -313,17 +360,21 @@ let encode_response = function
       match governance with
       | Some g -> [ ("governance", g) ]
       | None -> [])
-  | Error_ { id; code; message } ->
+  | Error_ { id; code; message; retry_after_ms } ->
     Json.Obj
       [
         ("id", Json.Int id);
         ("ok", Json.Bool false);
         ( "error",
           Json.Obj
-            [
-              ("code", Json.Str (error_code_to_string code));
-              ("message", Json.Str message);
-            ] );
+            ([
+               ("code", Json.Str (error_code_to_string code));
+               ("message", Json.Str message);
+             ]
+            @
+            match retry_after_ms with
+            | Some ms -> [ ("retry_after_ms", Json.Float ms) ]
+            | None -> []) );
       ]
 
 let decode_memo j =
@@ -370,8 +421,11 @@ let decode_response j =
     | Some e -> (
       let* code = field_str "code" e in
       let* message = field_str "message" e in
+      let retry_after_ms =
+        Option.bind (Json.member "retry_after_ms" e) Json.to_float_opt
+      in
       match error_code_of_string code with
-      | Some code -> Ok (Error_ { id; code; message })
+      | Some code -> Ok (Error_ { id; code; message; retry_after_ms })
       | None -> Error (Printf.sprintf "unknown error code %S" code))
     | None -> Error "error response without \"error\"")
   | _ -> Error "response without boolean \"ok\""
@@ -386,63 +440,105 @@ let default_max_frame = 16 * 1024 * 1024
    the stream in sync; anything larger poisons the connection. *)
 let drain_cap = 256 * 1024 * 1024
 
-let rec write_all fd buf off len =
+(* Deadline-guarded I/O.  [deadline] is an absolute [Unix.gettimeofday]
+   instant by which the whole frame must have moved; every read/write is
+   preceded by a [select] bounded by the remaining time, so a peer that
+   trickles one byte per interval cannot hold the call open forever.
+   Timeouts surface as [Frame_timeout] (reads, mapped to [Timed_out]) or
+   [Unix.ETIMEDOUT] (writes, mapped by callers alongside EPIPE). *)
+
+exception Frame_timeout
+
+let await dir fd deadline =
+  match deadline with
+  | None -> ()
+  | Some d ->
+    let rec go () =
+      let remaining = d -. Unix.gettimeofday () in
+      if remaining <= 0. then raise Frame_timeout
+      else
+        let r, w =
+          match dir with `Read -> ([ fd ], []) | `Write -> ([], [ fd ])
+        in
+        match Unix.select r w [] remaining with
+        | [], [], _ -> go ()
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+
+let rec write_all ?deadline fd buf off len =
   if len > 0 then begin
+    (match await `Write fd deadline with
+    | () -> ()
+    | exception Frame_timeout ->
+      raise (Unix.Unix_error (Unix.ETIMEDOUT, "write_frame", "")));
     let n = Unix.write fd buf off len in
-    write_all fd buf (off + n) (len - n)
+    write_all ?deadline fd buf (off + n) (len - n)
   end
 
-let write_frame fd payload =
+let write_frame ?deadline fd payload =
   let len = String.length payload in
   let hdr = Bytes.create 4 in
   Bytes.set hdr 0 (Char.chr ((len lsr 24) land 0xFF));
   Bytes.set hdr 1 (Char.chr ((len lsr 16) land 0xFF));
   Bytes.set hdr 2 (Char.chr ((len lsr 8) land 0xFF));
   Bytes.set hdr 3 (Char.chr (len land 0xFF));
-  write_all fd hdr 0 4;
-  write_all fd (Bytes.of_string payload) 0 len
+  write_all ?deadline fd hdr 0 4;
+  write_all ?deadline fd (Bytes.of_string payload) 0 len
 
-type frame_error = Closed | Truncated | Oversized of int | Poisoned of int
+type frame_error =
+  | Closed
+  | Truncated
+  | Oversized of int
+  | Poisoned of int
+  | Timed_out
 
 (* Read exactly [len] bytes; [`Eof k] reports how many arrived first. *)
-let read_exactly fd len =
+let read_exactly ?deadline fd len =
   let buf = Bytes.create len in
   let rec go off =
     if off = len then `Ok buf
-    else
+    else begin
+      await `Read fd deadline;
       match Unix.read fd buf off (len - off) with
       | 0 -> `Eof off
       | n -> go (off + n)
+    end
   in
   go 0
 
-let discard fd len =
+let discard ?deadline fd len =
   let chunk = Bytes.create 65536 in
   let rec go remaining =
     if remaining = 0 then `Ok
-    else
+    else begin
+      await `Read fd deadline;
       match Unix.read fd chunk 0 (min remaining 65536) with
       | 0 -> `Eof
       | n -> go (remaining - n)
+    end
   in
   go len
 
-let read_frame ~max fd =
-  match read_exactly fd 4 with
-  | `Eof 0 -> Error Closed
-  | `Eof _ -> Error Truncated
-  | `Ok hdr ->
-    let b i = Char.code (Bytes.get hdr i) in
-    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
-    if len > max then
-      if len > drain_cap then Error (Poisoned len)
+let read_frame ?deadline ~max fd =
+  try
+    match read_exactly ?deadline fd 4 with
+    | `Eof 0 -> Error Closed
+    | `Eof _ -> Error Truncated
+    | `Ok hdr ->
+      let b i = Char.code (Bytes.get hdr i) in
+      let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      if len > max then
+        if len > drain_cap then Error (Poisoned len)
+        else begin
+          match discard ?deadline fd len with
+          | `Ok -> Error (Oversized len)
+          | `Eof -> Error Truncated
+        end
       else begin
-        match discard fd len with
-        | `Ok -> Error (Oversized len)
-        | `Eof -> Error Truncated
+        match read_exactly ?deadline fd len with
+        | `Ok payload -> Ok (Bytes.to_string payload)
+        | `Eof _ -> Error Truncated
       end
-    else begin
-      match read_exactly fd len with
-      | `Ok payload -> Ok (Bytes.to_string payload)
-      | `Eof _ -> Error Truncated
-    end
+  with Frame_timeout -> Error Timed_out

@@ -43,11 +43,35 @@ type calc_op =
   | Gist of { problem : string; given : string }
   | Optimize of { dir : [ `Min | `Max ]; var : string; problem : string }
 
+(** Work-bearing requests carry an optional [deadline_ms]: a wall-clock
+    budget for the {e whole request}, counted from the instant the
+    server finishes reading the frame.  The server folds the remainder
+    into the solver's budget world, so a request admitted late gets a
+    correspondingly smaller solver budget, and one whose deadline has
+    already passed at admission is refused with a [Gave_up] error
+    instead of burning a worker.  [Health] reports the server's overload
+    posture (uptime, in-flight, shed/reap counts) next to the service
+    stats; it is never queued behind solver work. *)
 type request =
-  | Analyze of { program : string; in_bounds : bool; budget : budget_spec }
-  | Parallelize of { program : string; in_bounds : bool; budget : budget_spec }
-  | Omega_calc of { op : calc_op; budget : budget_spec }
+  | Analyze of {
+      program : string;
+      in_bounds : bool;
+      budget : budget_spec;
+      deadline_ms : float option;
+    }
+  | Parallelize of {
+      program : string;
+      in_bounds : bool;
+      budget : budget_spec;
+      deadline_ms : float option;
+    }
+  | Omega_calc of {
+      op : calc_op;
+      budget : budget_spec;
+      deadline_ms : float option;
+    }
   | Stats
+  | Health
   | Shutdown
 
 val encode_request : id:int -> request -> Json.t
@@ -72,7 +96,13 @@ type error_code =
   | Semantic_error  (** sema rejected the program *)
   | Bad_request  (** malformed or unknown request JSON *)
   | Frame_too_large
-  | Gave_up  (** budget exhausted outside a query boundary *)
+  | Gave_up
+      (** budget exhausted outside a query boundary, or the request's
+          wall deadline passed before any work could start *)
+  | Overloaded
+      (** shed by the admission gate (in-flight cap) or the connection
+          cap; carries [retry_after_ms] — idempotent, safe to retry
+          after backing off *)
   | Server_error
 
 val error_code_to_string : error_code -> string
@@ -87,17 +117,31 @@ type response =
       memo : memo_report option;
       governance : Json.t option;
     }
-  | Error_ of { id : int; code : error_code; message : string }
+  | Error_ of {
+      id : int;
+      code : error_code;
+      message : string;
+      retry_after_ms : float option;
+          (** backoff hint attached to [Overloaded] sheds *)
+    }
 
 val encode_response : response -> Json.t
 val decode_response : Json.t -> (response, string) result
 
-(** {1 Frames} *)
+(** {1 Frames}
+
+    Frame I/O optionally runs under an absolute deadline (a
+    [Unix.gettimeofday] instant): every read/write is [select]-guarded
+    by the remaining time, so a stalled or trickling peer cannot pin the
+    caller — the whole frame must move before the deadline.  Reads
+    report [Timed_out]; writes raise [Unix.ETIMEDOUT]. *)
 
 val default_max_frame : int
 (** 16 MiB. *)
 
-val write_frame : Unix.file_descr -> string -> unit
+val write_frame : ?deadline:float -> Unix.file_descr -> string -> unit
+(** Raises [Unix.Unix_error (ETIMEDOUT, _, _)] if the deadline passes
+    with bytes still unwritten. *)
 
 type frame_error =
   | Closed  (** EOF before any byte of the frame *)
@@ -107,5 +151,9 @@ type frame_error =
           the stream is still in sync and the connection is usable *)
   | Poisoned of int
       (** announced length too absurd to drain; close the connection *)
+  | Timed_out
+      (** the deadline passed before the frame completed; the stream is
+          desynced — close the connection *)
 
-val read_frame : max:int -> Unix.file_descr -> (string, frame_error) result
+val read_frame :
+  ?deadline:float -> max:int -> Unix.file_descr -> (string, frame_error) result

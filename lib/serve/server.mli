@@ -4,9 +4,17 @@
 
     Connection failures are contained: a malformed or oversized frame
     earns an error response on the same connection, a truncated frame or
-    dropped peer closes only that session.  A [shutdown] request (or
-    {!stop}) closes the listening socket, lets in-flight sessions
-    finish, and {!wait} returns. *)
+    dropped peer closes only that session.  Hostile peers are bounded:
+    frame reads and writes run under {!c_read_timeout_ms}-guarded
+    deadlines (a slowloris or a non-draining reader is reaped),
+    connections beyond {!c_max_connections} are shed with a typed
+    [Overloaded] response, and the Service's admission gate caps
+    in-flight solver work at {!c_max_inflight}.
+
+    A [shutdown] request (or {!stop}) drains gracefully: the listening
+    socket closes, idle connections are dropped at once, in-flight
+    requests get {!c_drain_ms} to finish, then laggards are
+    force-closed and {!wait} returns. *)
 
 type config = {
   c_addr : Protocol.addr;
@@ -18,6 +26,21 @@ type config = {
       (** worker domains running solver work; concurrent sessions
           analyze in parallel up to this width (default: the machine's
           recommended domain count minus the accept/session side) *)
+  c_max_connections : int;
+      (** open-connection cap; excess connections receive one
+          [Overloaded] response and are closed (default 64) *)
+  c_max_inflight : int option;
+      (** admission gate: work-bearing requests solving or queued at
+          once before sheds begin; [None] (the default) disables
+          shedding — embedded servers expect lossless service, and the
+          petitd binary opts in with its own [2 * domains] default *)
+  c_read_timeout_ms : float option;
+      (** per-frame I/O deadline: a whole request frame must arrive —
+          and a whole response frame must drain — within this window or
+          the connection is reaped (default 10s); [None] disables *)
+  c_drain_ms : float;
+      (** shutdown grace: how long in-flight requests may finish before
+          their connections are force-closed (default 5s) *)
 }
 
 val default_config : Protocol.addr -> config
@@ -34,7 +57,9 @@ val addr : t -> Protocol.addr
 
 val wait : t -> unit
 (** Block until the server shuts down (via a [shutdown] request or
-    {!stop}) and every session thread has been joined. *)
+    {!stop}), then drain: idle sessions drop immediately, in-flight
+    requests get [c_drain_ms] to finish, laggards are force-closed, and
+    every session thread is joined. *)
 
 val stop : t -> unit
 (** Ask the server to stop accepting; idempotent. *)

@@ -23,14 +23,22 @@ type stats = {
   mutable s_parallelize : int;
   mutable s_calc : int;
   mutable s_stats : int;
+  mutable s_health : int;
   mutable s_errors : int;
   mutable s_conns : int;  (* currently open *)
   mutable s_conns_total : int;
+  mutable s_inflight : int;  (* work-bearing requests being solved *)
+  mutable s_shed_requests : int;  (* refused by the admission gate *)
+  mutable s_shed_conns : int;  (* refused by the connection cap *)
+  mutable s_reaped : int;  (* stalled connections closed by a deadline *)
+  mutable s_deadline_refused : int;  (* wall deadline gone at admission *)
 }
 
 type t = {
   pool : Taskpool.t;
   quota : Budget.limits;
+  max_inflight : int option;  (* admission-gate width; None = unbounded *)
+  started : float;  (* Unix.gettimeofday at create, for uptime *)
   stats_lock : Mutex.t;
   stats : stats;
   (* lifetime portfolio-tier totals across every request, merged from
@@ -38,7 +46,8 @@ type t = {
   tiers : Portfolio.Stats.t;
 }
 
-let create ?memo_capacity ?(quota = Budget.default) ?(domains = 1) () =
+let create ?memo_capacity ?(quota = Budget.default) ?(domains = 1)
+    ?max_inflight () =
   (match memo_capacity with
   | Some cap -> D.Analyses.Memo.capacity := max 1 cap
   | None -> ());
@@ -46,6 +55,8 @@ let create ?memo_capacity ?(quota = Budget.default) ?(domains = 1) () =
   {
     pool = Taskpool.create ~workers:(max 1 domains);
     quota;
+    max_inflight = Option.map (max 1) max_inflight;
+    started = Unix.gettimeofday ();
     stats_lock = Mutex.create ();
     stats =
       {
@@ -53,9 +64,15 @@ let create ?memo_capacity ?(quota = Budget.default) ?(domains = 1) () =
         s_parallelize = 0;
         s_calc = 0;
         s_stats = 0;
+        s_health = 0;
         s_errors = 0;
         s_conns = 0;
         s_conns_total = 0;
+        s_inflight = 0;
+        s_shed_requests = 0;
+        s_shed_conns = 0;
+        s_reaped = 0;
+        s_deadline_refused = 0;
       };
     tiers = Portfolio.Stats.make ();
   }
@@ -75,6 +92,34 @@ let note_connect t =
       s.s_conns_total <- s.s_conns_total + 1)
 
 let note_disconnect t = bump t (fun s -> s.s_conns <- s.s_conns - 1)
+let note_shed_conn t = bump t (fun s -> s.s_shed_conns <- s.s_shed_conns + 1)
+let note_reaped t = bump t (fun s -> s.s_reaped <- s.s_reaped + 1)
+
+(* The admission gate: at most [max_inflight] work-bearing requests may
+   be solving (or queued on the worker pool) at once; beyond that the
+   request is shed with a backoff hint instead of queueing unboundedly.
+   The hint scales with the overload: each excess waiter suggests
+   another quantum of patience. *)
+let try_admit t =
+  match t.max_inflight with
+  | None -> `Admitted
+  | Some cap ->
+    Mutex.lock t.stats_lock;
+    let inflight = t.stats.s_inflight in
+    let decision =
+      if inflight < cap then begin
+        t.stats.s_inflight <- inflight + 1;
+        `Admitted
+      end
+      else begin
+        t.stats.s_shed_requests <- t.stats.s_shed_requests + 1;
+        `Shed (25. *. float_of_int (inflight - cap + 1))
+      end
+    in
+    Mutex.unlock t.stats_lock;
+    decision
+
+let release t = bump t (fun s -> s.s_inflight <- s.s_inflight - 1)
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic payloads                                              *)
@@ -236,8 +281,14 @@ let memo_report ~req_hits ~req_misses =
    response.  A worker runs one task at a time, so the domain-local
    counters are exact per-request figures even with other sessions in
    flight on sibling workers.  The task traps its own exceptions, and
-   run_batch's lock hands the result back to the session thread. *)
-let solve t budget (f : unit -> Json.t) :
+   run_batch's lock hands the result back to the session thread.
+
+   [wall] is the request's absolute deadline, installed as the worker
+   domain's wall deadline: every solver meter inside enforces it, so a
+   request that waited in the pool queue gets a correspondingly smaller
+   time budget, and one whose deadline passed while queued is refused
+   before any solver work runs. *)
+let solve t budget ~wall (f : unit -> Json.t) :
     (Json.t * Protocol.memo_report * Json.t, exn) result =
   let result = ref (Error (Failure "petitd: request task never ran")) in
   let task () =
@@ -247,7 +298,10 @@ let solve t budget (f : unit -> Json.t) :
         Portfolio.Stats.reset ();
         D.Analyses.Memo.local_reset ();
         let payload =
-          Budget.with_limits (Protocol.clamp_budget budget t.quota) f
+          Budget.with_wall_deadline wall (fun () ->
+              if Budget.wall_expired () then
+                raise (Budget.Exhausted Budget.Deadline);
+              Budget.with_limits (Protocol.clamp_budget budget t.quota) f)
         in
         let req_hits, req_misses = D.Analyses.Memo.local_counts () in
         let response =
@@ -265,13 +319,36 @@ let solve t budget (f : unit -> Json.t) :
   Taskpool.run_batch ~participate:false t.pool [ task ];
   !result
 
-let err t ~id code message =
+let err ?retry_after_ms t ~id code message =
   bump t (fun s -> s.s_errors <- s.s_errors + 1);
-  (Protocol.Error_ { id; code; message }, `Continue)
+  (Protocol.Error_ { id; code; message; retry_after_ms }, `Continue)
 
-let program_request t ~id ~program ~in_bounds ~budget payload_of =
+(* Admission for work-bearing requests: shed on an over-full gate, and
+   refuse outright a request whose wall deadline has already passed —
+   running it could only burn a worker to produce [Gave_up] anyway. *)
+let admitted t ~id ~wall k =
+  match try_admit t with
+  | `Shed retry_after_ms ->
+    err ~retry_after_ms t ~id Protocol.Overloaded
+      "in-flight limit reached; retry after backing off"
+  | `Admitted ->
+    Fun.protect
+      ~finally:(fun () -> release t)
+      (fun () ->
+        match wall with
+        | Some d when Unix.gettimeofday () >= d ->
+          bump t (fun s ->
+              s.s_deadline_refused <- s.s_deadline_refused + 1);
+          err t ~id Protocol.Gave_up
+            "request deadline expired before work started"
+        | _ -> k ())
+
+let wall_of ~now deadline_ms =
+  Option.map (fun ms -> now +. (ms /. 1000.)) deadline_ms
+
+let program_request t ~id ~program ~in_bounds ~budget ~wall payload_of =
   match
-    solve t budget (fun () ->
+    solve t budget ~wall (fun () ->
         let prog = Lang.Sema.analyze (Lang.Parser.parse_string program) in
         payload_of ~in_bounds prog)
   with
@@ -285,20 +362,24 @@ let program_request t ~id ~program ~in_bounds ~budget payload_of =
          pos.Lang.Ast.col msg)
   | Error (Lang.Sema.Error msg) -> err t ~id Protocol.Semantic_error msg
   | Error (Invalid_argument msg) -> err t ~id Protocol.Semantic_error msg
+  | Error (Budget.Exhausted r) ->
+    err t ~id Protocol.Gave_up
+      (Printf.sprintf "budget exhausted (%s)" (Budget.reason_to_string r))
   | Error e -> err t ~id Protocol.Server_error (Printexc.to_string e)
+
+(* Snapshot the lifetime tier totals under the lock. *)
+let snapshot_tiers t =
+  let copy = Portfolio.Stats.make () in
+  Mutex.lock t.stats_lock;
+  Portfolio.Stats.merge_into copy t.tiers;
+  Mutex.unlock t.stats_lock;
+  copy
 
 let stats_payload t =
   let s = t.stats in
   let m = memo_report ~req_hits:0 ~req_misses:0 in
   let total = m.Protocol.mr_hits + m.Protocol.mr_misses in
-  let tiers =
-    (* snapshot the lifetime tier totals under the lock *)
-    let copy = Portfolio.Stats.make () in
-    Mutex.lock t.stats_lock;
-    Portfolio.Stats.merge_into copy t.tiers;
-    Mutex.unlock t.stats_lock;
-    copy
-  in
+  let tiers = snapshot_tiers t in
   Json.Obj
     [
       ( "requests",
@@ -335,35 +416,95 @@ let stats_payload t =
           ] );
     ]
 
+(* The server's overload posture: everything an operator (or a load
+   balancer) needs to see whether the protections are firing.  Served
+   on the session thread — never queued behind solver work — so it
+   answers even when every worker is busy. *)
+let health_payload t =
+  Mutex.lock t.stats_lock;
+  let s = t.stats in
+  let snap =
+    [
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
+      ("in_flight", Json.Int s.s_inflight);
+      ( "max_inflight",
+        match t.max_inflight with
+        | Some n -> Json.Int n
+        | None -> Json.Null );
+      ( "shed",
+        Json.Obj
+          [
+            ("requests", Json.Int s.s_shed_requests);
+            ("connections", Json.Int s.s_shed_conns);
+          ] );
+      ("reaped", Json.Int s.s_reaped);
+      ("deadline_refused", Json.Int s.s_deadline_refused);
+      ( "connections",
+        Json.Obj
+          [
+            ("open", Json.Int s.s_conns); ("total", Json.Int s.s_conns_total);
+          ] );
+      ( "served",
+        Json.Int (s.s_analyze + s.s_parallelize + s.s_calc + s.s_stats
+                  + s.s_health) );
+      ("errors", Json.Int s.s_errors);
+    ]
+  in
+  Mutex.unlock t.stats_lock;
+  let m = memo_report ~req_hits:0 ~req_misses:0 in
+  Json.Obj
+    (snap
+    @ [
+        ("domains", Json.Int (Taskpool.workers t.pool));
+        ("memo", Protocol.memo_json m);
+        ("backend", Json.Str (Portfolio.backend_to_string !Portfolio.backend));
+        ("tiers", tiers_json (snapshot_tiers t));
+      ])
+
 let handle t ~peer:_ ~id (req : Protocol.request) =
+  let now = Unix.gettimeofday () in
   match req with
-  | Protocol.Analyze { program; in_bounds; budget } ->
+  | Protocol.Analyze { program; in_bounds; budget; deadline_ms } ->
     bump t (fun s -> s.s_analyze <- s.s_analyze + 1);
-    program_request t ~id ~program ~in_bounds ~budget analyze_payload
-  | Protocol.Parallelize { program; in_bounds; budget } ->
+    let wall = wall_of ~now deadline_ms in
+    admitted t ~id ~wall (fun () ->
+        program_request t ~id ~program ~in_bounds ~budget ~wall
+          analyze_payload)
+  | Protocol.Parallelize { program; in_bounds; budget; deadline_ms } ->
     bump t (fun s -> s.s_parallelize <- s.s_parallelize + 1);
-    program_request t ~id ~program ~in_bounds ~budget parallelize_payload
-  | Protocol.Omega_calc { op; budget } -> (
+    let wall = wall_of ~now deadline_ms in
+    admitted t ~id ~wall (fun () ->
+        program_request t ~id ~program ~in_bounds ~budget ~wall
+          parallelize_payload)
+  | Protocol.Omega_calc { op; budget; deadline_ms } ->
     bump t (fun s -> s.s_calc <- s.s_calc + 1);
-    match
-      solve t budget (fun () ->
-          match Calc.eval op with
-          | Ok r -> Calc.result_json r
-          | Error msg -> raise (Calc_error msg))
-    with
-    | Ok (payload, memo, governance) ->
-      ( Protocol.Result
-          { id; payload; memo = Some memo; governance = Some governance },
-        `Continue )
-    | Error (Budget.Exhausted r) ->
-      err t ~id Protocol.Gave_up
-        (Printf.sprintf "budget exhausted (%s)" (Budget.reason_to_string r))
-    | Error (Calc_error msg) -> err t ~id Protocol.Parse_error msg
-    | Error e -> err t ~id Protocol.Server_error (Printexc.to_string e))
+    let wall = wall_of ~now deadline_ms in
+    admitted t ~id ~wall (fun () ->
+        match
+          solve t budget ~wall (fun () ->
+              match Calc.eval op with
+              | Ok r -> Calc.result_json r
+              | Error msg -> raise (Calc_error msg))
+        with
+        | Ok (payload, memo, governance) ->
+          ( Protocol.Result
+              { id; payload; memo = Some memo; governance = Some governance },
+            `Continue )
+        | Error (Budget.Exhausted r) ->
+          err t ~id Protocol.Gave_up
+            (Printf.sprintf "budget exhausted (%s)"
+               (Budget.reason_to_string r))
+        | Error (Calc_error msg) -> err t ~id Protocol.Parse_error msg
+        | Error e -> err t ~id Protocol.Server_error (Printexc.to_string e))
   | Protocol.Stats ->
     bump t (fun s -> s.s_stats <- s.s_stats + 1);
     ( Protocol.Result
         { id; payload = stats_payload t; memo = None; governance = None },
+      `Continue )
+  | Protocol.Health ->
+    bump t (fun s -> s.s_health <- s.s_health + 1);
+    ( Protocol.Result
+        { id; payload = health_payload t; memo = None; governance = None },
       `Continue )
   | Protocol.Shutdown ->
     ( Protocol.Result

@@ -23,13 +23,23 @@ val create :
   ?memo_capacity:int ->
   ?quota:Omega.Budget.limits ->
   ?domains:int ->
+  ?max_inflight:int ->
   unit ->
   t
 (** Fresh service state: resets the verdict cache (and bounds it at
     [memo_capacity] when given); [quota] is the per-request budget
     ceiling (default {!Omega.Budget.default}); [domains] sizes the
     worker-domain pool that runs solver work (default 1 — requests are
-    then still serialized, but off the session threads). *)
+    then still serialized, but off the session threads).
+
+    [max_inflight] is the admission gate: at most that many work-bearing
+    requests solving (or queued on the pool) at once; beyond it requests
+    are shed with a typed [Overloaded] error carrying a [retry_after_ms]
+    hint instead of queueing unboundedly (default: unbounded).  Requests
+    carrying a [deadline_ms] have the remainder folded into the solver's
+    wall deadline, so a request admitted late gets a correspondingly
+    smaller time budget; one whose deadline passed before any work could
+    start is refused with [Gave_up]. *)
 
 val quota : t -> Omega.Budget.limits
 
@@ -51,6 +61,12 @@ val handle :
 val note_connect : t -> unit
 val note_disconnect : t -> unit
 (** Connection accounting for the stats payload; called by the server. *)
+
+val note_shed_conn : t -> unit
+(** A connection was refused by the server's connection cap. *)
+
+val note_reaped : t -> unit
+(** A stalled connection was closed by a read/write deadline. *)
 
 (** {1 Deterministic payloads}
 

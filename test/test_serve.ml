@@ -124,48 +124,59 @@ let all_requests : Protocol.request list =
   [
     Protocol.Analyze
       { program = "for i := 1 to n do\na(i) := 0\nendfor";
-        in_bounds = true; budget = Protocol.no_budget };
+        in_bounds = true; budget = Protocol.no_budget; deadline_ms = None };
     Protocol.Analyze
-      { program = ""; in_bounds = false; budget = some_budget };
+      { program = ""; in_bounds = false; budget = some_budget;
+        deadline_ms = Some 1500. };
     Protocol.Parallelize
-      { program = "x := 1"; in_bounds = false; budget = some_budget };
+      { program = "x := 1"; in_bounds = false; budget = some_budget;
+        deadline_ms = Some 0.25 };
     Protocol.Omega_calc
-      { op = Protocol.Sat "0 <= x <= 5"; budget = Protocol.no_budget };
+      { op = Protocol.Sat "0 <= x <= 5"; budget = Protocol.no_budget;
+        deadline_ms = None };
     Protocol.Omega_calc
-      { op = Protocol.Implies ("x >= 1", "x >= 0"); budget = some_budget };
+      { op = Protocol.Implies ("x >= 1", "x >= 0"); budget = some_budget;
+        deadline_ms = Some 100. };
     Protocol.Omega_calc
       {
         op =
           Protocol.Project
             { mode = `Exact; onto = [ "x"; "y" ]; problem = "x = 2*y" };
         budget = Protocol.no_budget;
+        deadline_ms = None;
       };
     Protocol.Omega_calc
       {
         op = Protocol.Project { mode = `Dark; onto = []; problem = "x = 1" };
         budget = Protocol.no_budget;
+        deadline_ms = None;
       };
     Protocol.Omega_calc
       {
         op = Protocol.Project { mode = `Real; onto = [ "z" ]; problem = "z < 9" };
         budget = Protocol.no_budget;
+        deadline_ms = None;
       };
     Protocol.Omega_calc
       {
         op = Protocol.Gist { problem = "x >= 0 and x <= 5"; given = "x >= 3" };
         budget = Protocol.no_budget;
+        deadline_ms = None;
       };
     Protocol.Omega_calc
       {
         op = Protocol.Optimize { dir = `Min; var = "x"; problem = "x >= 7" };
         budget = Protocol.no_budget;
+        deadline_ms = None;
       };
     Protocol.Omega_calc
       {
         op = Protocol.Optimize { dir = `Max; var = "x"; problem = "x <= -3" };
         budget = some_budget;
+        deadline_ms = None;
       };
     Protocol.Stats;
+    Protocol.Health;
     Protocol.Shutdown;
   ]
 
@@ -193,13 +204,29 @@ let all_responses : Protocol.response list =
         governance = Some (Json.Obj [ ("queries", Json.Int 9) ]);
       };
     Protocol.Error_
-      { id = 7; code = Protocol.Parse_error; message = "line 1: nope" };
+      { id = 7; code = Protocol.Parse_error; message = "line 1: nope";
+        retry_after_ms = None };
     Protocol.Error_
-      { id = 0; code = Protocol.Frame_too_large; message = "too big" };
-    Protocol.Error_ { id = 3; code = Protocol.Gave_up; message = "fuel" };
-    Protocol.Error_ { id = 3; code = Protocol.Bad_request; message = "?" };
-    Protocol.Error_ { id = 3; code = Protocol.Semantic_error; message = "s" };
-    Protocol.Error_ { id = 3; code = Protocol.Server_error; message = "e" };
+      { id = 0; code = Protocol.Frame_too_large; message = "too big";
+        retry_after_ms = None };
+    Protocol.Error_
+      { id = 3; code = Protocol.Gave_up; message = "fuel";
+        retry_after_ms = None };
+    Protocol.Error_
+      { id = 3; code = Protocol.Bad_request; message = "?";
+        retry_after_ms = None };
+    Protocol.Error_
+      { id = 3; code = Protocol.Semantic_error; message = "s";
+        retry_after_ms = None };
+    Protocol.Error_
+      { id = 3; code = Protocol.Server_error; message = "e";
+        retry_after_ms = None };
+    Protocol.Error_
+      { id = 0; code = Protocol.Overloaded; message = "connection limit";
+        retry_after_ms = Some 100. };
+    Protocol.Error_
+      { id = 9; code = Protocol.Overloaded; message = "in-flight limit";
+        retry_after_ms = Some 62.5 };
   ]
 
 (* Round-trips are checked on the canonical encoded string: decode of
@@ -257,8 +284,10 @@ let fresh_path =
     Printf.sprintf "/tmp/petitd-test-%d-%d.sock" (Unix.getpid ()) !n
 
 (* Tests default to one worker domain (the deterministic baseline);
-   the multi-domain stress opts in with [domains]. *)
-let with_server ?max_frame ?(domains = 1) f =
+   the multi-domain stress opts in with [domains], and the overload
+   tests pin their own caps and deadlines. *)
+let with_server ?max_frame ?(domains = 1) ?max_connections ?max_inflight
+    ?read_timeout_ms ?drain_ms f =
   let path = fresh_path () in
   let config =
     let base = Server.default_config (Protocol.Unix_path path) in
@@ -266,6 +295,26 @@ let with_server ?max_frame ?(domains = 1) f =
       match max_frame with
       | None -> base
       | Some m -> { base with Server.c_max_frame = m }
+    in
+    let base =
+      match max_connections with
+      | None -> base
+      | Some n -> { base with Server.c_max_connections = n }
+    in
+    let base =
+      match max_inflight with
+      | None -> base
+      | Some _ as v -> { base with Server.c_max_inflight = v }
+    in
+    let base =
+      match read_timeout_ms with
+      | None -> base
+      | Some _ as v -> { base with Server.c_read_timeout_ms = v }
+    in
+    let base =
+      match drain_ms with
+      | None -> base
+      | Some ms -> { base with Server.c_drain_ms = ms }
     in
     { base with Server.c_domains = domains }
   in
@@ -302,7 +351,7 @@ let test_server_calc () =
      request_exn c
        (Protocol.Omega_calc
           { op = Protocol.Sat "0 <= x <= 5 and 2*x = 3";
-            budget = Protocol.no_budget })
+            budget = Protocol.no_budget; deadline_ms = None })
    with
   | Protocol.Result { payload; _ } ->
     check bool_t "unsat"
@@ -313,13 +362,14 @@ let test_server_calc () =
   expect_error Protocol.Parse_error
     (request_exn c
        (Protocol.Omega_calc
-          { op = Protocol.Sat "0 <= <="; budget = Protocol.no_budget }));
+          { op = Protocol.Sat "0 <= <="; budget = Protocol.no_budget;
+            deadline_ms = None }));
   (* and the connection still answers *)
   (match
      request_exn c
        (Protocol.Omega_calc
           { op = Protocol.Implies ("x >= 1", "x >= 0");
-            budget = Protocol.no_budget })
+            budget = Protocol.no_budget; deadline_ms = None })
    with
   | Protocol.Result { payload; _ } ->
     check bool_t "implies" true
@@ -458,11 +508,11 @@ let run_clients path ~clients ~programs =
               payload
                 (Protocol.Analyze
                    { program = src; in_bounds = false;
-                     budget = Protocol.no_budget }),
+                     budget = Protocol.no_budget; deadline_ms = None }),
               payload
                 (Protocol.Parallelize
                    { program = src; in_bounds = false;
-                     budget = Protocol.no_budget }) ))
+                     budget = Protocol.no_budget; deadline_ms = None }) ))
           programs
       in
       Client.close c;
@@ -546,6 +596,253 @@ let test_concurrent_determinism_domains () =
       Client.close c)
 
 (* ------------------------------------------------------------------ *)
+(* Overload control, deadlines, drain, retry policy                    *)
+(* ------------------------------------------------------------------ *)
+
+let health_int payload path =
+  let rec go j = function
+    | [] -> Option.value ~default:(-1) (Json.to_int_opt j)
+    | k :: rest -> (
+      match Json.member k j with Some j' -> go j' rest | None -> -1)
+  in
+  go payload path
+
+let test_health () =
+  with_server @@ fun path ->
+  let c = connect_exn path in
+  (match request_exn c Protocol.Health with
+  | Protocol.Result { payload; _ } ->
+    check bool_t "in_flight present" true
+      (health_int payload [ "in_flight" ] >= 0);
+    check bool_t "shed counters present" true
+      (health_int payload [ "shed"; "requests" ] >= 0
+      && health_int payload [ "shed"; "connections" ] >= 0);
+    check bool_t "reaped present" true (health_int payload [ "reaped" ] >= 0);
+    check bool_t "one connection open" true
+      (health_int payload [ "connections"; "open" ] = 1)
+  | Protocol.Error_ e -> Alcotest.failf "health failed: %s" e.message);
+  Client.close c
+
+(* A request whose wall deadline has already passed is refused with
+   [Gave_up] without burning a worker; the same request with a generous
+   deadline succeeds on the same connection. *)
+let test_request_deadline () =
+  with_server @@ fun path ->
+  let c = connect_exn path in
+  let analyze deadline_ms =
+    request_exn c
+      (Protocol.Analyze
+         { program = Corpus.find "example1"; in_bounds = false;
+           budget = Protocol.no_budget; deadline_ms })
+  in
+  (match analyze (Some 0.001) with
+  | Protocol.Error_ e ->
+    check string_t "refused as gave_up"
+      (Protocol.error_code_to_string Protocol.Gave_up)
+      (Protocol.error_code_to_string e.code);
+    check bool_t "mentions the deadline" true
+      (String.length e.message > 0)
+  | Protocol.Result _ -> Alcotest.fail "expired deadline was not refused");
+  (match analyze (Some 60_000.) with
+  | Protocol.Result _ -> ()
+  | Protocol.Error_ e ->
+    Alcotest.failf "generous deadline failed: %s" e.message);
+  Client.close c
+
+(* A peer that starts a frame and stalls is reaped by the read deadline:
+   it sees EOF within a few deadlines, the daemon counts the reap, and
+   other clients are unaffected. *)
+let test_slowloris_reaped () =
+  with_server ~read_timeout_ms:150. @@ fun path ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (* two bytes of a four-byte header, then silence *)
+  ignore (Unix.write_substring fd "\x00\x00" 0 2);
+  let deadline = Unix.gettimeofday () +. 3. in
+  let rec await_eof () =
+    if Unix.gettimeofday () > deadline then `Still_open
+    else
+      match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> await_eof ()
+      | _ -> (
+        match Unix.read fd (Bytes.create 64) 0 64 with
+        | 0 -> `Reaped
+        | _ -> await_eof ()
+        | exception Unix.Unix_error _ -> `Reaped)
+  in
+  check bool_t "stalled connection reaped" true (await_eof () = `Reaped);
+  Unix.close fd;
+  (* the daemon still serves, and accounted for the reap *)
+  let c = connect_exn path in
+  (match request_exn c Protocol.Health with
+  | Protocol.Result { payload; _ } ->
+    check bool_t "reap counted" true (health_int payload [ "reaped" ] >= 1)
+  | Protocol.Error_ e -> Alcotest.failf "health failed: %s" e.message);
+  Client.close c
+
+(* Over the connection cap: the surplus connection receives a typed
+   [Overloaded] shed carrying a retry hint, and once the cap frees up a
+   retrying session gets through. *)
+let test_overcap_shed_then_retry () =
+  with_server ~max_connections:1 @@ fun path ->
+  let c1 = connect_exn path in
+  (* the cap is occupied: a second connection is shed with a hint *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (match Protocol.read_frame ~deadline:(Unix.gettimeofday () +. 5.)
+           ~max:Protocol.default_max_frame fd
+   with
+  | Ok payload -> (
+    match Json.parse payload with
+    | Ok j -> (
+      match Protocol.decode_response j with
+      | Ok (Protocol.Error_ e) ->
+        check string_t "overloaded"
+          (Protocol.error_code_to_string Protocol.Overloaded)
+          (Protocol.error_code_to_string e.code);
+        check bool_t "carries a retry hint" true (e.retry_after_ms <> None)
+      | Ok (Protocol.Result _) -> Alcotest.fail "expected a shed, got a result"
+      | Error e -> Alcotest.failf "undecodable shed: %s" e)
+    | Error e -> Alcotest.failf "shed is not JSON: %s" e)
+  | Error _ -> Alcotest.fail "no shed response on the over-cap connection");
+  Unix.close fd;
+  (* free the slot; a retrying session must eventually be admitted *)
+  Client.close c1;
+  let policy =
+    {
+      Client.default_policy with
+      Client.p_attempts = 20;
+      p_base_ms = 10.;
+      p_max_ms = 100.;
+    }
+  in
+  let s = Client.open_session ~policy (Protocol.Unix_path path) in
+  (match Client.call s Protocol.Stats with
+  | Ok (Protocol.Result _) -> ()
+  | Ok (Protocol.Error_ e) -> Alcotest.failf "retry landed on: %s" e.message
+  | Error e -> Alcotest.failf "retrying session failed: %s" e);
+  Client.close_session s
+
+(* Graceful drain: a request in flight when shutdown lands still gets
+   its response; an idle connection is force-closed; [wait] returns
+   within the drain budget plus slack.  The server is managed by hand
+   here because the assertions straddle [Server.wait]. *)
+let test_graceful_drain () =
+  let path = fresh_path () in
+  let config =
+    {
+      (Server.default_config (Protocol.Unix_path path)) with
+      Server.c_domains = 1;
+      c_drain_ms = 3_000.;
+    }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let idle = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect idle (Unix.ADDR_UNIX path);
+  let inflight = ref (Error "never ran") in
+  let a =
+    Thread.create
+      (fun () ->
+        let c = connect_exn path in
+        inflight :=
+          (match
+             Client.request c
+               (Protocol.Analyze
+                  { program = Corpus.find "cholsky"; in_bounds = false;
+                    budget = Protocol.no_budget; deadline_ms = None })
+           with
+          | Ok (Protocol.Result _) -> Ok ()
+          | Ok (Protocol.Error_ e) -> Error e.message
+          | Error e -> Error e);
+        Client.close c)
+      ()
+  in
+  (* wait for the analyze to be in flight (or already done) *)
+  let rec await tries =
+    if tries = 0 || !inflight <> Error "never ran" then ()
+    else
+      let c = connect_exn path in
+      let busy =
+        match Client.request c Protocol.Health with
+        | Ok (Protocol.Result { payload; _ }) ->
+          health_int payload [ "in_flight" ] >= 1
+        | _ -> false
+      in
+      Client.close c;
+      if not busy then begin
+        Thread.delay 0.002;
+        await (tries - 1)
+      end
+  in
+  await 500;
+  (let c = connect_exn path in
+   ignore (Client.request c Protocol.Shutdown);
+   Client.close c);
+  let t0 = Unix.gettimeofday () in
+  Server.wait server;
+  let wait_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Thread.join a;
+  (match !inflight with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "in-flight request lost in drain: %s" e);
+  check bool_t "drain bounded" true (wait_ms < 6_000.);
+  (* the idle connection was force-closed by the drain *)
+  (match Unix.select [ idle ] [] [] 2. with
+  | [], _, _ -> Alcotest.fail "idle connection not closed by drain"
+  | _ -> (
+    match Unix.read idle (Bytes.create 64) 0 64 with
+    | 0 -> ()
+    | _ -> Alcotest.fail "unexpected bytes on the idle connection"
+    | exception Unix.Unix_error _ -> ()));
+  Unix.close idle
+
+(* The client's backoff schedule is a pure function of the policy seed:
+   same seed, same delays; a different seed diverges; every delay is
+   within the jitter envelope of its nominal step. *)
+let test_retry_backoff_deterministic () =
+  let no_server = fresh_path () in
+  let run seed =
+    let delays = ref [] in
+    let policy =
+      {
+        Client.default_policy with
+        Client.p_attempts = 6;
+        p_base_ms = 10.;
+        p_max_ms = 40.;
+        p_retry_budget_ms = 1e9;
+        p_connect_timeout_ms = Some 200.;
+        p_seed = seed;
+        p_sleep = (fun d -> delays := d :: !delays);
+      }
+    in
+    let s = Client.open_session ~policy (Protocol.Unix_path no_server) in
+    (match Client.call s Protocol.Stats with
+    | Ok _ -> Alcotest.fail "a call with no server succeeded"
+    | Error _ -> ());
+    let retries = Client.session_retries s in
+    Client.close_session s;
+    (List.rev !delays, retries)
+  in
+  let d1, retries = run 11 in
+  let d2, _ = run 11 in
+  let d3, _ = run 12 in
+  check int_t "one sleep per retry" 5 (List.length d1);
+  check int_t "session_retries counts them" 5 retries;
+  check bool_t "same seed, same schedule" true (d1 = d2);
+  check bool_t "different seed diverges" true (d1 <> d3);
+  List.iteri
+    (fun i d ->
+      let nominal = Float.min 40. (10. *. (2. ** float_of_int i)) in
+      check bool_t
+        (Printf.sprintf "delay %d within jitter envelope" i)
+        true
+        (d >= 0.5 *. nominal && d < 1.5 *. nominal))
+    d1
+
+(* ------------------------------------------------------------------ *)
 (* Memo thread safety                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -600,6 +897,16 @@ let suite =
         test_server_oversized_frame;
       Alcotest.test_case "server: truncated frame contained" `Quick
         test_server_truncated_frame;
+      Alcotest.test_case "server: health endpoint" `Quick test_health;
+      Alcotest.test_case "server: expired deadline refused" `Quick
+        test_request_deadline;
+      Alcotest.test_case "server: slowloris reaped" `Quick
+        test_slowloris_reaped;
+      Alcotest.test_case "server: over-cap shed then retry" `Quick
+        test_overcap_shed_then_retry;
+      Alcotest.test_case "server: graceful drain" `Quick test_graceful_drain;
+      Alcotest.test_case "client: deterministic retry backoff" `Quick
+        test_retry_backoff_deterministic;
       Alcotest.test_case "1 vs 8 clients, identical verdicts" `Slow
         test_concurrent_determinism;
       Alcotest.test_case "8 clients over 2 solver domains, identical verdicts"
