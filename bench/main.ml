@@ -822,15 +822,28 @@ type vm_row = {
   vr_loops : int;
   vr_std_doall : int;
   vr_ext_doall : int;
+  vr_iters : int; (* calibrated inner iterations for the serial-VM sample *)
   vr_interp : float;
   vr_vm : float;
+  vr_vm_run : float; (* serial VM, run only (arena setup excluded) *)
   vr_std : float;
   vr_ext : float;
+  vr_opt : float; (* serial VM, full optimizer pipeline, run only *)
+  vr_ablation : (string * float) list; (* config label -> seconds *)
   vr_std_regions : int;
   vr_ext_regions : int;
   vr_std_inline : int;
   vr_ext_inline : int;
+  vr_elided : int;
+  vr_fused : int;
+  vr_loopi : int;
+  vr_x_fused : int;
+  vr_x_interchanged : int;
+  vr_x_killed : int;
+  vr_dyn_base : int; (* dynamic instructions, unoptimized serial VM *)
+  vr_dyn_opt : int; (* dynamic instructions, optimized serial VM *)
   vr_identical : bool;
+  vr_subsets_ok : bool; (* all 16 optimizer-flag subsets bit-identical *)
 }
 
 let geomean = function
@@ -844,6 +857,20 @@ let ratio num den =
   let tick = 1e-7 in
   Float.max num tick /. Float.max den tick
 
+let dyn_ratio r = float_of_int r.vr_dyn_base /. float_of_int (max 1 r.vr_dyn_opt)
+
+(* The per-pass ablation configurations, as (label, flags) with flags =
+   (restructure, superinst, elide, writekill).  Each row switches one
+   pass off with the other three on, so its whole-pipeline contribution
+   is the gap to the all-on row. *)
+let ablation_configs =
+  [
+    ("no_restructure", (false, true, true, true));
+    ("no_superinst", (true, false, true, true));
+    ("no_elide", (true, true, false, true));
+    ("no_writekill", (true, true, true, false));
+  ]
+
 let json_of_vm_speedup ~domains ~smoke ~repeat (rows : vm_row list) =
   let row r =
     Json.Obj
@@ -853,19 +880,40 @@ let json_of_vm_speedup ~domains ~smoke ~repeat (rows : vm_row list) =
         ("loops", Json.Int r.vr_loops);
         ("std_doall", Json.Int r.vr_std_doall);
         ("ext_doall", Json.Int r.vr_ext_doall);
+        ("iters", Json.Int r.vr_iters);
         ("interp_ms", jf (ms r.vr_interp));
         ("vm_ms", jf (ms r.vr_vm));
+        ("vm_run_ms", jf (ms r.vr_vm_run));
         ("std_ms", jf (ms r.vr_std));
         ("ext_ms", jf (ms r.vr_ext));
+        ("opt_ms", jf (ms r.vr_opt));
         ("compile_speedup", jf (ratio r.vr_interp r.vr_vm));
         ("std_speedup", jf (ratio r.vr_vm r.vr_std));
         ("ext_speedup", jf (ratio r.vr_vm r.vr_ext));
+        ("opt_speedup", jf (ratio r.vr_vm_run r.vr_opt));
+        ( "ablation",
+          Json.Obj
+            (List.map (fun (label, t) -> (label, jf (ms t))) r.vr_ablation) );
+        ("elided", Json.Int r.vr_elided);
+        ("fused", Json.Int r.vr_fused);
+        ("loopi", Json.Int r.vr_loopi);
+        ( "restructure",
+          Json.Obj
+            [
+              ("fused", Json.Int r.vr_x_fused);
+              ("interchanged", Json.Int r.vr_x_interchanged);
+              ("killed", Json.Int r.vr_x_killed);
+            ] );
+        ("dyn_base", Json.Int r.vr_dyn_base);
+        ("dyn_opt", Json.Int r.vr_dyn_opt);
+        ("dyn_reduction", jf (dyn_ratio r));
         ("std_regions", Json.Int r.vr_std_regions);
         ("ext_regions", Json.Int r.vr_ext_regions);
         ("std_inline", Json.Int r.vr_std_inline);
         ("ext_inline", Json.Int r.vr_ext_inline);
         ("ext_beats_serial", Json.Bool (r.vr_ext < r.vr_vm));
         ("identical", Json.Bool r.vr_identical);
+        ("subsets_identical", Json.Bool r.vr_subsets_ok);
       ]
   in
   let names p =
@@ -874,6 +922,26 @@ let json_of_vm_speedup ~domains ~smoke ~repeat (rows : vm_row list) =
          (fun r -> if p r then Some (Json.Str r.vr_name) else None)
          rows)
   in
+  (* aggregate per-pass ablation: geomean slowdown of switching one
+     pass off (vs all-on) and geomean speedup of the crippled pipeline
+     over the unoptimized serial VM *)
+  let ablation_rows =
+    List.map
+      (fun (label, _) ->
+        let offs =
+          List.map (fun r -> (r, List.assoc label r.vr_ablation)) rows
+        in
+        Json.Obj
+          [
+            ("pass", Json.Str label);
+            ( "geomean_slowdown_off",
+              jf (geomean (List.map (fun (r, t) -> ratio t r.vr_opt) offs)) );
+            ( "geomean_speedup_vs_baseline",
+              jf (geomean (List.map (fun (r, t) -> ratio r.vr_vm_run t) offs))
+            );
+          ])
+      ablation_configs
+  in
   Json.Obj
     [
       ("backend", Json.Str "vm");
@@ -881,10 +949,18 @@ let json_of_vm_speedup ~domains ~smoke ~repeat (rows : vm_row list) =
       ("smoke", Json.Bool smoke);
       ("repeat", Json.Int repeat);
       ("all_identical", Json.Bool (List.for_all (fun r -> r.vr_identical) rows));
+      ("flag_subsets", Json.Int 16);
+      ( "all_subsets_identical",
+        Json.Bool (List.for_all (fun r -> r.vr_subsets_ok) rows) );
       ( "geomean_compile_speedup",
         jf (geomean (List.map (fun r -> ratio r.vr_interp r.vr_vm) rows)) );
       ( "geomean_ext_speedup",
         jf (geomean (List.map (fun r -> ratio r.vr_vm r.vr_ext) rows)) );
+      ( "geomean_opt_speedup",
+        jf (geomean (List.map (fun r -> ratio r.vr_vm_run r.vr_opt) rows)) );
+      ( "geomean_dyn_reduction",
+        jf (geomean (List.map dyn_ratio rows)) );
+      ("ablation", Json.List ablation_rows);
       ("ext_beats_serial", names (fun r -> r.vr_ext < r.vr_vm));
       ("ext_beats_std", names (fun r -> r.vr_ext < r.vr_std));
       ("kernels", Json.List (List.map row rows));
@@ -895,17 +971,45 @@ let speedup_vm_suite ~smoke ~domains ~repeat ~out () =
   let domains = Xform.Exec.pool_size pool in
   section
     (Printf.sprintf
-       "Speedup (compiled backend): interp / serial VM / std VM / ext VM (%d \
-        domain%s%s, best of %d after warmup)"
+       "Speedup (compiled backend): interp / serial VM / std VM / ext VM / \
+        optimized VM (%d domain%s%s, best of %d after warmup)"
        domains
        (if domains = 1 then "" else "s")
        (if smoke then ", smoke" else "")
        repeat);
   let target = if smoke then 8_000 else 150_000 in
-  let best f = warm_best ~reps:repeat f in
-  Printf.printf "%-18s %-16s %8s %8s %8s %8s %6s %6s %6s %5s %s\n" "kernel"
-    "syms" "interp" "vm(ms)" "std(ms)" "ext(ms)" "c-x" "std-x" "ext-x" "ident"
-    "regions s/e(+inl)";
+  (* Sub-resolution samples: a smoke-scale kernel finishes in a few
+     microseconds, under the clock tick, so single-shot samples read 0
+     and every ratio saturates at the clamp.  Calibrate an
+     inner-iteration count per measurement so each timed sample clears
+     [floor_s]; report per-iteration time, and record the count in the
+     artifact so a reader can judge the sample quality. *)
+  let floor_s = if smoke then 0.002 else 0.01 in
+  let calibrated f =
+    let _, t1 = time f in
+    let iters =
+      if t1 >= floor_s then 1
+      else
+        max 1
+          (min 1000
+             (int_of_float (Float.ceil (floor_s /. Float.max t1 1e-7))))
+    in
+    let t =
+      if iters = 1 then warm_best ~reps:repeat f
+      else
+        warm_best ~reps:repeat (fun () ->
+            for _ = 1 to iters do
+              f ()
+            done)
+        /. float_of_int iters
+    in
+    (t, iters)
+  in
+  let saved_flags = List.map (fun (_, r) -> (r, !r)) (Lang.Opt.flags ()) in
+  let gate_failures = ref [] in
+  Printf.printf "%-18s %-14s %8s %8s %8s %8s %8s %5s %5s %5s %5s %5s %5s\n"
+    "kernel" "syms" "interp" "vm(ms)" "std(ms)" "ext(ms)" "opt(ms)" "c-x"
+    "std-x" "ext-x" "opt-x" "dyn-x" "ident";
   let rows =
     List.filter_map
       (fun name ->
@@ -961,19 +1065,146 @@ let speedup_vm_suite ~smoke ~domains ~repeat ~out () =
                 && Lang.Vm.equal_state tvm t_std_vm
                 && Lang.Vm.equal_state tvm t_ext_vm
               in
+              (* --- optimizer pipeline ---
+                 The source-level passes (restructure/write-kill) change
+                 what gets compiled, so each of the four
+                 (restructure, writekill) pairs is restructured and
+                 compiled once; the bytecode passes (superinst/elide)
+                 then apply to the compiled unit.  Reused by the
+                 16-subset identity gate and the ablation rows. *)
+              let ast = Lang.Parser.parse_string (Corpus.find name) in
+              let flag_pairs =
+                [ (false, false); (true, false); (false, true); (true, true) ]
+              in
+              let rw_units =
+                List.map
+                  (fun (r, w) ->
+                    Lang.Opt.set ~restructure:r ~superinst:false ~elide:false
+                      ~writekill:w;
+                    let ast', xr = Xform.Restructure.optimize ast in
+                    ( (r, w),
+                      (Lang.Compile.program (Lang.Sema.analyze ast') ~syms, xr)
+                    ))
+                  flag_pairs
+              in
+              let unit_for (r, s, e, w) =
+                let u_rw, _ = List.assoc (r, w) rw_units in
+                Lang.Opt.set ~restructure:r ~superinst:s ~elide:e ~writekill:w;
+                fst (Lang.Opt.optimize u_rw)
+              in
+              (* bit-identity gate: all 16 optimizer-flag subsets must
+                 reproduce the interpreter's final memory exactly (the
+                 interp-memory check, since restructuring may change the
+                 arena layout), with every elision proof in bounds *)
+              let subsets_ok =
+                List.for_all
+                  (fun ((r, w), (u_rw, _)) ->
+                    List.for_all
+                      (fun (s, e) ->
+                        Lang.Opt.set ~restructure:r ~superinst:s ~elide:e
+                          ~writekill:w;
+                        let u, rep = Lang.Opt.optimize u_rw in
+                        let t = Lang.Vm.create ~init:speedup_init u in
+                        Lang.Vm.run t;
+                        let ok =
+                          Lang.Vm.check_against ~init:speedup_init t serial_mem
+                          = []
+                          && Lang.Opt.check_proofs u_rw rep = []
+                        in
+                        if not ok then
+                          gate_failures :=
+                            Printf.sprintf
+                              "%s (restructure=%b superinst=%b elide=%b \
+                               writekill=%b)"
+                              name r s e w
+                            :: !gate_failures;
+                        ok)
+                      flag_pairs)
+                  rw_units
+              in
+              (* the production configuration: everything on *)
+              let u_all_rw, xr = List.assoc (true, true) rw_units in
+              Lang.Opt.all_on ();
+              let u_opt, orep = Lang.Opt.optimize u_all_rw in
+              let dyn u =
+                Lang.Vm.run_count (Lang.Vm.create ~init:speedup_init u)
+              in
+              let dyn_base = dyn u_serial and dyn_opt = dyn u_opt in
               (* timings *)
-              let t_interp =
-                best (fun () ->
+              let run_vm u =
+                let t = Lang.Vm.create ~init:speedup_init u in
+                Lang.Vm.run t
+              in
+              (* single-threaded measurements first: right after a
+                 run_par burst the pool's waking workers still steal
+                 cycles (one core), inflating whatever is timed next *)
+              let t_interp, _ =
+                calibrated (fun () ->
                     ignore
                       (Xform.Exec.run_serial ~init:speedup_init prog ~syms))
               in
-              let t_vm =
-                best (fun () ->
-                    let t = Lang.Vm.create ~init:speedup_init u_serial in
-                    Lang.Vm.run t)
+              let t_vm, iters = calibrated (fun () -> run_vm u_serial) in
+              (* The optimizer-flag configurations are timed round-robin
+                 inside each repetition, not config-at-a-time: allocator
+                 and frequency drift across a kernel's measurement
+                 window otherwise dwarfs the per-pass effect (the same
+                 lesson measure_subject learned).  One calibration on
+                 the unoptimized unit fixes the iteration count for
+                 every config, so loop overhead cancels in the ratios.
+                 Vm.create (arena allocation + initialization) is
+                 hoisted out of the timed window — the optimizer cannot
+                 change setup cost, and on big-arena kernels setup is
+                 half the wall time, washing out the effect being
+                 measured ([vm_ms] above keeps the legacy
+                 setup-included number).  Creates are batched so each
+                 timed window spans enough runs to clear the clock's
+                 resolution without holding more than ~32 MB of
+                 arenas. *)
+              let run_only u =
+                let cells = max 1 u.Lang.Compile.u_arena in
+                let batch = max 1 (min iters (min 64 (4_000_000 / cells))) in
+                let rounds = (iters + batch - 1) / batch in
+                let acc = ref 0. in
+                for _ = 1 to rounds do
+                  let vms =
+                    Array.init batch (fun _ ->
+                        Lang.Vm.create ~init:speedup_init u)
+                  in
+                  let _, t = time (fun () -> Array.iter Lang.Vm.run vms) in
+                  acc := !acc +. t
+                done;
+                !acc /. float_of_int (rounds * batch)
               in
-              let t_std = best (fun () -> ignore (run_par u_std)) in
-              let t_ext = best (fun () -> ignore (run_par u_ext)) in
+              let vm_configs =
+                Array.of_list
+                  (("baseline", u_serial) :: ("all_on", u_opt)
+                  :: List.map
+                       (fun (label, cfg) -> (label, unit_for cfg))
+                       ablation_configs)
+              in
+              let bests = Array.map (fun _ -> infinity) vm_configs in
+              Array.iter (fun (_, u) -> run_vm u) vm_configs;
+              for _rep = 1 to repeat do
+                Array.iteri
+                  (fun i (_, u) ->
+                    bests.(i) <- Float.min bests.(i) (run_only u))
+                  vm_configs
+              done;
+              let config_time label =
+                let rec find i =
+                  if fst vm_configs.(i) = label then bests.(i) else find (i + 1)
+                in
+                find 0
+              in
+              let t_vm_run = config_time "baseline" in
+              let t_opt = config_time "all_on" in
+              let ablation =
+                List.map
+                  (fun (label, _) -> (label, config_time label))
+                  ablation_configs
+              in
+              let t_std, _ = calibrated (fun () -> ignore (run_par u_std)) in
+              let t_ext, _ = calibrated (fun () -> ignore (run_par u_ext)) in
               let row =
                 {
                   vr_name = name;
@@ -981,44 +1212,66 @@ let speedup_vm_suite ~smoke ~domains ~repeat ~out () =
                   vr_loops = nloops;
                   vr_std_doall = std_doall;
                   vr_ext_doall = ext_doall;
+                  vr_iters = iters;
                   vr_interp = t_interp;
                   vr_vm = t_vm;
+                  vr_vm_run = t_vm_run;
                   vr_std = t_std;
                   vr_ext = t_ext;
+                  vr_opt = t_opt;
+                  vr_ablation = ablation;
                   vr_std_regions = std_stats.Xform.Exec.x_regions;
                   vr_ext_regions = ext_stats.Xform.Exec.x_regions;
                   vr_std_inline = std_stats.Xform.Exec.x_inline;
                   vr_ext_inline = ext_stats.Xform.Exec.x_inline;
+                  vr_elided = orep.Lang.Opt.r_elided;
+                  vr_fused = orep.Lang.Opt.r_fused;
+                  vr_loopi = orep.Lang.Opt.r_loopi;
+                  vr_x_fused = xr.Xform.Restructure.x_fused;
+                  vr_x_interchanged = xr.Xform.Restructure.x_interchanged;
+                  vr_x_killed = xr.Xform.Restructure.x_killed;
+                  vr_dyn_base = dyn_base;
+                  vr_dyn_opt = dyn_opt;
                   vr_identical = identical;
+                  vr_subsets_ok = subsets_ok;
                 }
               in
               Printf.printf
-                "%-18s %-16s %8.1f %8.2f %8.2f %8.2f %6.1f %6.2f %6.2f %5s \
-                 %d/%d(+%d/%d)\n"
+                "%-18s %-14s %8.1f %8.2f %8.2f %8.2f %8.2f %5.1f %5.2f %5.2f \
+                 %5.2f %5.2f %5s\n"
                 name
                 (String.concat ","
                    (List.map (fun (s, v) -> Printf.sprintf "%s=%d" s v) syms))
-                (ms t_interp) (ms t_vm) (ms t_std) (ms t_ext)
+                (ms t_interp) (ms t_vm) (ms t_std) (ms t_ext) (ms t_opt)
                 (ratio t_interp t_vm) (ratio t_vm t_std) (ratio t_vm t_ext)
-                (if identical then "yes" else "NO")
-                std_stats.Xform.Exec.x_regions ext_stats.Xform.Exec.x_regions
-                std_stats.Xform.Exec.x_inline ext_stats.Xform.Exec.x_inline;
+                (ratio t_vm_run t_opt) (dyn_ratio row)
+                (if identical && subsets_ok then "yes" else "NO");
               Some row)))
       Corpus.timing_population
   in
   Xform.Exec.shutdown pool;
+  List.iter (fun (r, v) -> r := v) saved_flags;
   let all_ok = List.for_all (fun r -> r.vr_identical) rows in
+  let subsets_ok = !gate_failures = [] in
   let n p = List.length (List.filter p rows) in
   Printf.printf
-    "\n%d kernels; geomean interp->VM speedup %.1fx; ext VM beats serial VM \
-     on %d, beats std VM on %d; all final states identical: %b\n"
+    "\n\
+     %d kernels; geomean interp->VM speedup %.1fx; geomean optimizer speedup \
+     %.2fx (dynamic instructions %.2fx down); ext VM beats serial VM on %d, \
+     beats std VM on %d; all final states identical: %b; all 16 flag subsets \
+     identical: %b\n"
     (List.length rows)
     (geomean (List.map (fun r -> ratio r.vr_interp r.vr_vm) rows))
+    (geomean (List.map (fun r -> ratio r.vr_vm_run r.vr_opt) rows))
+    (geomean (List.map dyn_ratio rows))
     (n (fun r -> r.vr_ext < r.vr_vm))
     (n (fun r -> r.vr_ext < r.vr_std))
-    all_ok;
+    all_ok subsets_ok;
+  List.iter
+    (fun d -> Printf.printf "DIVERGENT SUBSET: %s\n" d)
+    (List.rev !gate_failures);
   write_json ~out (json_of_vm_speedup ~domains ~smoke ~repeat rows);
-  if not all_ok then exit 1
+  if not (all_ok && subsets_ok) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Robustness suite: governance sweep + fault-injection soundness      *)

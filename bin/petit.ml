@@ -631,6 +631,93 @@ let run_cmd =
        ~doc:"Execute the program and print its dynamic dependences.")
     Term.(const run $ file_arg $ syms_arg)
 
+let disasm_cmd =
+  let run file syms paranoid =
+    with_errors @@ fun () ->
+    let ast = load file in
+    Lang.Opt.all_on ();
+    let ast', xr = Xform.Restructure.optimize ast in
+    let prog = Lang.Sema.analyze ast' in
+    let syms =
+      match syms with
+      | [] -> (
+        (* no -s given: search for workable symbol values *)
+        match
+          Xform.Oracle.pick_syms ~candidates:[ 10; 8; 6; 5; 4; 3; 2; 1 ] prog
+        with
+        | Some s -> s
+        | None -> [])
+      | s -> s
+    in
+    List.iter (fun (n, v) -> Printf.printf ";; sym %s = %d\n" n v) syms;
+    Printf.printf
+      ";; restructuring: %d loop pair(s) fused, %d nest(s) interchanged, %d \
+       dead store(s) deleted\n"
+      xr.Xform.Restructure.x_fused xr.Xform.Restructure.x_interchanged
+      xr.Xform.Restructure.x_killed;
+    if
+      xr.Xform.Restructure.x_fused > 0
+      || xr.Xform.Restructure.x_interchanged > 0
+      || xr.Xform.Restructure.x_killed > 0
+    then begin
+      print_endline ";; restructured source:";
+      print_string (Lang.Ast.program_to_string ast')
+    end;
+    let u0 = Lang.Compile.program prog ~syms in
+    let u, rep = Lang.Opt.optimize ~paranoid u0 in
+    let size u =
+      Array.fold_left
+        (fun n (r : Lang.Compile.region) ->
+          n + Array.length r.rg_serial + Array.length r.rg_par)
+        (Array.length u.Lang.Compile.u_main)
+        u.Lang.Compile.u_regions
+    in
+    let counts u =
+      List.iter
+        (fun (m, c) -> Printf.printf ";;   %-8s %4d\n" m c)
+        (Lang.Opt.static_counts u)
+    in
+    Printf.printf "\n;; unoptimized bytecode (%d instructions)\n" (size u0);
+    print_string (Lang.Compile.disasm u0);
+    print_endline ";; static opcode counts:";
+    counts u0;
+    Printf.printf
+      "\n\
+       ;; optimized bytecode (%d instructions): %d bounds check(s) elided, %d \
+       instruction(s) fused away, %d immediate back-edge(s)%s\n"
+      (size u) rep.Lang.Opt.r_elided rep.Lang.Opt.r_fused rep.Lang.Opt.r_loopi
+      (if paranoid then ", paranoid re-checks planted" else "");
+    print_string (Lang.Compile.disasm u);
+    print_endline ";; static opcode counts:";
+    counts u;
+    if rep.Lang.Opt.r_proofs <> [] then begin
+      print_endline ";; elision proofs:";
+      List.iter
+        (fun p -> Printf.printf ";;   %s\n" (Lang.Opt.proof_string p))
+        rep.Lang.Opt.r_proofs;
+      match Lang.Opt.check_proofs u0 rep with
+      | [] -> ()
+      | viols ->
+        List.iter (Printf.printf ";; PROOF VIOLATION: %s\n") viols;
+        exit 1
+    end
+  in
+  let paranoid_arg =
+    Arg.(
+      value & flag
+      & info [ "paranoid" ]
+          ~doc:
+            "Plant an assertion in front of every register-addressed \
+             unchecked access (the elision debug mode).")
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:
+         "Compile through the optimizer and print the unoptimized and \
+          optimized bytecode with per-opcode static counts and elision \
+          proofs.")
+    Term.(const run $ file_arg $ syms_arg $ paranoid_arg)
+
 let restraint_conv : Depend.Symbolic.restraint Arg.conv =
   let parse s =
     try
@@ -822,6 +909,7 @@ let () =
             graph_cmd;
             deps_cmd;
             run_cmd;
+            disasm_cmd;
             symbolic_cmd;
             corpus_cmd;
             serve_stats_cmd;

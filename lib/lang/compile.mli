@@ -60,6 +60,38 @@ type instr =
   | LoopDown of int * int * int * int  (** same with >= (negative step) *)
   | Region of int  (** enter parallel region by id, then fall through *)
   | Halt
+  (* {2 Optimizer opcodes}
+
+     The compiler itself never emits anything below; {!Opt} introduces
+     them.  [..u] variants access the arena {e unchecked} — each
+     occurrence is justified by a recorded interval proof (see
+     {!Opt.proof}); the fused ([MuladdLd], [AddSt], ...) variants
+     collapse an address-compute or arithmetic producer into its memory
+     consumer when the intermediate register is provably dead. *)
+  | Ldu of int * int  (** rd <- arena(rs), unchecked *)
+  | Ldui of int * int  (** rd <- arena(imm), unchecked *)
+  | Stu of int * int  (** arena(rd) <- rs, unchecked *)
+  | Stui of int * int  (** arena(imm) <- rs, unchecked *)
+  | MuladdLd of int * int * int * int  (** rd <- arena(rs + imm*rt) *)
+  | MuladdLdu of int * int * int * int
+  | MuladdSt of int * int * int * int  (** arena(rs + imm*rt) <- rv *)
+  | MuladdStu of int * int * int * int
+  | AddiLd of int * int * int  (** rd <- arena(rs + imm) *)
+  | AddiLdu of int * int * int
+  | AddiSt of int * int * int  (** arena(rs + imm) <- rv *)
+  | AddiStu of int * int * int
+  | AddSt of int * int * int  (** arena(ra) <- rb + rc *)
+  | AddStu of int * int * int
+  | SubSt of int * int * int  (** arena(ra) <- rb - rc *)
+  | SubStu of int * int * int
+  | MulSt of int * int * int  (** arena(ra) <- rb * rc *)
+  | MulStu of int * int * int
+  | LoopUpi of int * int * int * int
+      (** var += step; if var <= limit-imm then pc <- target *)
+  | LoopDowni of int * int * int * int
+  | AssertRange of int * int * int
+      (** paranoid re-check: raise {!Vm.Proof_failure} unless
+          lo <= reg <= hi (debug mode only, never on the fast path) *)
 
 (** {1 Layout} *)
 
@@ -123,6 +155,9 @@ val addr : unit_ -> string * int list -> int option
 val iter_cells : unit_ -> (string -> int list -> int -> unit) -> unit
 (** Enumerate every arena cell as [(array, index, offset)], in layout
     order. *)
+
+val instr_string : instr -> string
+(** One instruction, rendered as in {!disasm}. *)
 
 val disasm : unit_ -> string
 (** Human-readable listing of the main code and each region's bodies. *)

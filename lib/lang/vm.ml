@@ -4,6 +4,8 @@
    a compiler bug must surface as an exception, not a silent wild
    write).  Slab accesses appear only in parallel region bodies. *)
 
+exception Proof_failure of string
+
 type t = {
   u : Compile.unit_;
   t_arena : int array;
@@ -116,6 +118,98 @@ let rec exec t regs slab written (code : Compile.instr array) on_region pc =
     let handled = on_region t r ~lo ~hi in
     if not handled then region_serial t r ~lo ~hi;
     exec t regs slab written code on_region (pc + 1)
+  | Compile.Ldu (d, a) ->
+    Array.unsafe_set regs d
+      (Array.unsafe_get arena (Array.unsafe_get regs a));
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.Ldui (d, a) ->
+    Array.unsafe_set regs d (Array.unsafe_get arena a);
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.Stu (a, s) ->
+    Array.unsafe_set arena (Array.unsafe_get regs a) (Array.unsafe_get regs s);
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.Stui (a, s) ->
+    Array.unsafe_set arena a (Array.unsafe_get regs s);
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.MuladdLd (d, s, n, r) ->
+    Array.unsafe_set regs d
+      arena.(Array.unsafe_get regs s + (n * Array.unsafe_get regs r));
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.MuladdLdu (d, s, n, r) ->
+    Array.unsafe_set regs d
+      (Array.unsafe_get arena
+         (Array.unsafe_get regs s + (n * Array.unsafe_get regs r)));
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.MuladdSt (s, n, r, v) ->
+    arena.(Array.unsafe_get regs s + (n * Array.unsafe_get regs r)) <-
+      Array.unsafe_get regs v;
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.MuladdStu (s, n, r, v) ->
+    Array.unsafe_set arena
+      (Array.unsafe_get regs s + (n * Array.unsafe_get regs r))
+      (Array.unsafe_get regs v);
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.AddiLd (d, s, n) ->
+    Array.unsafe_set regs d arena.(Array.unsafe_get regs s + n);
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.AddiLdu (d, s, n) ->
+    Array.unsafe_set regs d
+      (Array.unsafe_get arena (Array.unsafe_get regs s + n));
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.AddiSt (s, n, v) ->
+    arena.(Array.unsafe_get regs s + n) <- Array.unsafe_get regs v;
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.AddiStu (s, n, v) ->
+    Array.unsafe_set arena
+      (Array.unsafe_get regs s + n)
+      (Array.unsafe_get regs v);
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.AddSt (a, b, c) ->
+    arena.(Array.unsafe_get regs a) <-
+      Array.unsafe_get regs b + Array.unsafe_get regs c;
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.AddStu (a, b, c) ->
+    Array.unsafe_set arena
+      (Array.unsafe_get regs a)
+      (Array.unsafe_get regs b + Array.unsafe_get regs c);
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.SubSt (a, b, c) ->
+    arena.(Array.unsafe_get regs a) <-
+      Array.unsafe_get regs b - Array.unsafe_get regs c;
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.SubStu (a, b, c) ->
+    Array.unsafe_set arena
+      (Array.unsafe_get regs a)
+      (Array.unsafe_get regs b - Array.unsafe_get regs c);
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.MulSt (a, b, c) ->
+    arena.(Array.unsafe_get regs a) <-
+      Array.unsafe_get regs b * Array.unsafe_get regs c;
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.MulStu (a, b, c) ->
+    Array.unsafe_set arena
+      (Array.unsafe_get regs a)
+      (Array.unsafe_get regs b * Array.unsafe_get regs c);
+    exec t regs slab written code on_region (pc + 1)
+  | Compile.LoopUpi (v, step, lim, top) ->
+    let x = Array.unsafe_get regs v + step in
+    Array.unsafe_set regs v x;
+    if x <= lim then exec t regs slab written code on_region top
+    else exec t regs slab written code on_region (pc + 1)
+  | Compile.LoopDowni (v, step, lim, top) ->
+    let x = Array.unsafe_get regs v + step in
+    Array.unsafe_set regs v x;
+    if x >= lim then exec t regs slab written code on_region top
+    else exec t regs slab written code on_region (pc + 1)
+  | Compile.AssertRange (r, lo, hi) ->
+    let x = Array.unsafe_get regs r in
+    if x < lo || x > hi then
+      raise
+        (Proof_failure
+           (Printf.sprintf
+              "elision proof violated at pc %d: r%d = %d outside [%d, %d]" pc r
+              x lo hi));
+    exec t regs slab written code on_region (pc + 1)
   | Compile.Halt -> ()
 
 and region_serial t (r : Compile.region) ~lo ~hi =
@@ -138,6 +232,130 @@ let run_region_serial = region_serial
 
 let run ?(on_region = no_region) t =
   exec t t.t_regs [||] Bytes.empty t.u.Compile.u_main on_region 0
+
+(* Counting twin of [exec]: same semantics (regions run serially), one
+   counter increment per dispatched instruction.  A separate function so
+   the hot loop above stays branch-free; this one is only used to
+   explain speedups (dynamic instruction counts in the bench artifact),
+   never to time them. *)
+let run_count t : int =
+  let n = ref 0 in
+  let arena = t.t_arena in
+  let regs = t.t_regs in
+  let rec go (code : Compile.instr array) pc =
+    incr n;
+    match code.(pc) with
+    | Compile.Li (d, x) ->
+      regs.(d) <- x;
+      go code (pc + 1)
+    | Compile.Mov (d, s) ->
+      regs.(d) <- regs.(s);
+      go code (pc + 1)
+    | Compile.Add (d, a, b) ->
+      regs.(d) <- regs.(a) + regs.(b);
+      go code (pc + 1)
+    | Compile.Sub (d, a, b) ->
+      regs.(d) <- regs.(a) - regs.(b);
+      go code (pc + 1)
+    | Compile.Mul (d, a, b) ->
+      regs.(d) <- regs.(a) * regs.(b);
+      go code (pc + 1)
+    | Compile.Maxr (d, a, b) ->
+      regs.(d) <- max regs.(a) regs.(b);
+      go code (pc + 1)
+    | Compile.Minr (d, a, b) ->
+      regs.(d) <- min regs.(a) regs.(b);
+      go code (pc + 1)
+    | Compile.Addi (d, s, x) ->
+      regs.(d) <- regs.(s) + x;
+      go code (pc + 1)
+    | Compile.Muli (d, s, x) ->
+      regs.(d) <- regs.(s) * x;
+      go code (pc + 1)
+    | Compile.Muladd (d, s, x, r) ->
+      regs.(d) <- regs.(s) + (x * regs.(r));
+      go code (pc + 1)
+    | Compile.Ld (d, a) | Compile.Ldu (d, a) ->
+      regs.(d) <- arena.(regs.(a));
+      go code (pc + 1)
+    | Compile.Ldi (d, a) | Compile.Ldui (d, a) ->
+      regs.(d) <- arena.(a);
+      go code (pc + 1)
+    | Compile.St (a, s) | Compile.Stu (a, s) ->
+      arena.(regs.(a)) <- regs.(s);
+      go code (pc + 1)
+    | Compile.Sti (a, s) | Compile.Stui (a, s) ->
+      arena.(a) <- regs.(s);
+      go code (pc + 1)
+    | Compile.MuladdLd (d, s, x, r) | Compile.MuladdLdu (d, s, x, r) ->
+      regs.(d) <- arena.(regs.(s) + (x * regs.(r)));
+      go code (pc + 1)
+    | Compile.MuladdSt (s, x, r, v) | Compile.MuladdStu (s, x, r, v) ->
+      arena.(regs.(s) + (x * regs.(r))) <- regs.(v);
+      go code (pc + 1)
+    | Compile.AddiLd (d, s, x) | Compile.AddiLdu (d, s, x) ->
+      regs.(d) <- arena.(regs.(s) + x);
+      go code (pc + 1)
+    | Compile.AddiSt (s, x, v) | Compile.AddiStu (s, x, v) ->
+      arena.(regs.(s) + x) <- regs.(v);
+      go code (pc + 1)
+    | Compile.AddSt (a, b, c) | Compile.AddStu (a, b, c) ->
+      arena.(regs.(a)) <- regs.(b) + regs.(c);
+      go code (pc + 1)
+    | Compile.SubSt (a, b, c) | Compile.SubStu (a, b, c) ->
+      arena.(regs.(a)) <- regs.(b) - regs.(c);
+      go code (pc + 1)
+    | Compile.MulSt (a, b, c) | Compile.MulStu (a, b, c) ->
+      arena.(regs.(a)) <- regs.(b) * regs.(c);
+      go code (pc + 1)
+    | Compile.LdS _ | Compile.LdSi _ | Compile.StS _ | Compile.StSi _ ->
+      invalid_arg "Vm.run_count: slab access outside a parallel chunk"
+    | Compile.Bgt (a, b, tgt) ->
+      go code (if regs.(a) > regs.(b) then tgt else pc + 1)
+    | Compile.Blt (a, b, tgt) ->
+      go code (if regs.(a) < regs.(b) then tgt else pc + 1)
+    | Compile.LoopUp (v, step, lim, top) ->
+      let x = regs.(v) + step in
+      regs.(v) <- x;
+      go code (if x <= regs.(lim) then top else pc + 1)
+    | Compile.LoopDown (v, step, lim, top) ->
+      let x = regs.(v) + step in
+      regs.(v) <- x;
+      go code (if x >= regs.(lim) then top else pc + 1)
+    | Compile.LoopUpi (v, step, lim, top) ->
+      let x = regs.(v) + step in
+      regs.(v) <- x;
+      go code (if x <= lim then top else pc + 1)
+    | Compile.LoopDowni (v, step, lim, top) ->
+      let x = regs.(v) + step in
+      regs.(v) <- x;
+      go code (if x >= lim then top else pc + 1)
+    | Compile.AssertRange (r, lo, hi) ->
+      let x = regs.(r) in
+      if x < lo || x > hi then
+        raise
+          (Proof_failure
+             (Printf.sprintf
+                "elision proof violated at pc %d: r%d = %d outside [%d, %d]"
+                pc r x lo hi));
+      go code (pc + 1)
+    | Compile.Region rid ->
+      let r = t.u.Compile.u_regions.(rid) in
+      let lo = regs.(r.Compile.rg_lo) and hi = regs.(r.Compile.rg_hi) in
+      let step = r.Compile.rg_step in
+      let rec iter v =
+        if (if step > 0 then v <= hi else v >= hi) then begin
+          regs.(r.Compile.rg_vreg) <- v;
+          go r.Compile.rg_serial 0;
+          iter (v + step)
+        end
+      in
+      iter lo;
+      go code (pc + 1)
+    | Compile.Halt -> ()
+  in
+  go t.u.Compile.u_main 0;
+  !n
 
 (* ------------------------------------------------------------------ *)
 (* Chunks                                                              *)

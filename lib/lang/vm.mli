@@ -19,6 +19,11 @@
     and written directly in the shared arena — sound because doall
     legality leaves them no cross-iteration memory conflicts. *)
 
+exception Proof_failure of string
+(** An {!Compile.AssertRange} re-check failed: an elision proof recorded
+    by {!Opt} was violated at run time (only raised in paranoid debug
+    mode — the production unchecked opcodes carry no re-check). *)
+
 type t
 
 val create : ?init:(string -> int list -> int) -> Compile.unit_ -> t
@@ -34,6 +39,12 @@ val run :
     evaluated bounds of each dynamic region entry; returning [true]
     means the callback executed the whole region (e.g. in parallel),
     [false] falls back to {!run_region_serial}. *)
+
+val run_count : t -> int
+(** Like {!run} with every region serial, returning the number of
+    dynamically dispatched instructions.  A separate (slower) counting
+    twin of the dispatch loop — use it to {e explain} measured speedups
+    (the bench artifact's dynamic instruction counts), never to time. *)
 
 val region_trip : Compile.region -> lo:int -> hi:int -> int
 (** Number of iterations of a region instance. *)

@@ -1,0 +1,460 @@
+(* Dependence-licensed fusion, interchange and write-kill deletion.
+   See restructure.mli for the legality arguments. *)
+
+type report = { x_fused : int; x_interchanged : int; x_killed : int }
+
+let empty_report = { x_fused = 0; x_interchanged = 0; x_killed = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec labels_of_stmt acc (s : Ast.stmt) =
+  match s with
+  | Ast.Assign { label; _ } -> (
+    match label with Some l -> l :: acc | None -> acc)
+  | Ast.For { body; _ } -> List.fold_left labels_of_stmt acc body
+
+let labels_of_stmts stmts = List.rev (List.fold_left labels_of_stmt [] stmts)
+
+let rec expr_mentions v (e : Ast.expr) =
+  match e with
+  | Ast.Int _ -> false
+  | Ast.Name s -> s = v
+  | Ast.Neg a -> expr_mentions v a
+  | Ast.Add (a, b) | Ast.Sub (a, b) | Ast.Mul (a, b) | Ast.Max (a, b)
+  | Ast.Min (a, b) ->
+    expr_mentions v a || expr_mentions v b
+  | Ast.Ref (_, subs) -> List.exists (expr_mentions v) subs
+
+(* [v] is mentioned (or re-bound, which we also refuse) in a statement *)
+let rec stmt_mentions v (s : Ast.stmt) =
+  match s with
+  | Ast.Assign { lhs = _, subs; rhs; _ } ->
+    List.exists (expr_mentions v) subs || expr_mentions v rhs
+  | Ast.For { var; lo; hi; body; _ } ->
+    var = v || expr_mentions v lo || expr_mentions v hi
+    || List.exists (stmt_mentions v) body
+
+let rec rename_expr v v' (e : Ast.expr) =
+  match e with
+  | Ast.Int _ -> e
+  | Ast.Name s -> if s = v then Ast.Name v' else e
+  | Ast.Neg a -> Ast.Neg (rename_expr v v' a)
+  | Ast.Add (a, b) -> Ast.Add (rename_expr v v' a, rename_expr v v' b)
+  | Ast.Sub (a, b) -> Ast.Sub (rename_expr v v' a, rename_expr v v' b)
+  | Ast.Mul (a, b) -> Ast.Mul (rename_expr v v' a, rename_expr v v' b)
+  | Ast.Max (a, b) -> Ast.Max (rename_expr v v' a, rename_expr v v' b)
+  | Ast.Min (a, b) -> Ast.Min (rename_expr v v' a, rename_expr v v' b)
+  | Ast.Ref (a, subs) -> Ast.Ref (a, List.map (rename_expr v v') subs)
+
+let rec rename_stmt v v' (s : Ast.stmt) =
+  match s with
+  | Ast.Assign a ->
+    let arr, subs = a.lhs in
+    Ast.Assign
+      {
+        a with
+        lhs = (arr, List.map (rename_expr v v') subs);
+        rhs = rename_expr v v' a.rhs;
+      }
+  | Ast.For f ->
+    (* candidate bodies that re-bind [v] are refused before renaming *)
+    Ast.For
+      {
+        f with
+        lo = rename_expr v v' f.lo;
+        hi = rename_expr v v' f.hi;
+        body = List.map (rename_stmt v v') f.body;
+      }
+
+let prelabel (p : Ast.program) =
+  let used = Hashtbl.create 16 in
+  let rec collect (s : Ast.stmt) =
+    match s with
+    | Ast.Assign { label = Some l; _ } -> Hashtbl.replace used l ()
+    | Ast.Assign _ -> ()
+    | Ast.For { body; _ } -> List.iter collect body
+  in
+  List.iter collect p.Ast.stmts;
+  let ctr = ref 0 in
+  let fresh () =
+    let rec next () =
+      incr ctr;
+      let l = Printf.sprintf "s%d" !ctr in
+      if Hashtbl.mem used l then next () else (Hashtbl.replace used l (); l)
+    in
+    next ()
+  in
+  let rec fill (s : Ast.stmt) =
+    match s with
+    | Ast.Assign ({ label = None; _ } as a) ->
+      Ast.Assign { a with label = Some (fresh ()) }
+    | Ast.Assign _ -> s
+    | Ast.For f -> Ast.For { f with body = List.map fill f.body }
+  in
+  { p with Ast.stmts = List.map fill p.Ast.stmts }
+
+let try_graph (p : Ast.program) : Graph.t option =
+  match Graph.build (Sema.analyze p) with
+  | g -> Some g
+  | exception _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fusion                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fusable (f1 : Ast.stmt) (f2 : Ast.stmt) =
+  match (f1, f2) with
+  | Ast.For a, Ast.For b -> a.step = b.step && a.lo = b.lo && a.hi = b.hi
+  | _ -> false
+
+(* Build the fused loop, or None when renaming is unsafe. *)
+let mk_fused (f1 : Ast.stmt) (f2 : Ast.stmt) =
+  match (f1, f2) with
+  | Ast.For a, Ast.For b ->
+    let rebinds var body =
+      let rec binds (s : Ast.stmt) =
+        match s with
+        | Ast.Assign _ -> false
+        | Ast.For f -> f.var = var || List.exists binds f.body
+      in
+      List.exists binds body
+    in
+    if rebinds a.var a.body || rebinds b.var b.body then None
+    else if a.var = b.var then
+      Some (Ast.For { a with body = a.body @ b.body })
+    else if
+      List.exists (stmt_mentions a.var) b.body
+      (* a.var free in the second body would be captured *)
+    then None
+    else
+      let body2 = List.map (rename_stmt b.var a.var) b.body in
+      Some (Ast.For { a with body = a.body @ body2 })
+  | _ -> None
+
+(* Find the first non-refused fusable adjacent pair, returning the
+   rewritten program plus the two bodies' labels (for the legality
+   check) and a stable key naming the site. *)
+let find_fusion ~refused (p : Ast.program) =
+  let found = ref None in
+  let rec scan stmts =
+    match stmts with
+    | (Ast.For a as s1) :: (Ast.For b as s2) :: rest
+      when !found = None && fusable s1 s2 ->
+      let key =
+        "fuse:"
+        ^ String.concat "," (labels_of_stmts [ s1 ])
+        ^ "|"
+        ^ String.concat "," (labels_of_stmts [ s2 ])
+      in
+      if Hashtbl.mem refused key then s1 :: scan (s2 :: rest)
+      else begin
+        match mk_fused s1 s2 with
+        | Some fused ->
+          found :=
+            Some (key, labels_of_stmts a.body, labels_of_stmts b.body);
+          fused :: rest
+        | None ->
+          Hashtbl.replace refused key ();
+          s1 :: scan (s2 :: rest)
+      end
+    | Ast.For f :: rest when !found = None ->
+      let body' = scan f.body in
+      let s' = Ast.For { f with body = body' } in
+      if !found <> None then s' :: rest else s' :: scan rest
+    | s :: rest -> s :: scan rest
+    | [] -> []
+  in
+  let stmts' = scan p.Ast.stmts in
+  match !found with
+  | None -> None
+  | Some (key, ls1, ls2) -> Some ({ p with Ast.stmts = stmts' }, key, ls1, ls2)
+
+(* Legal iff the trial program's graph has no dependence (any kind, any
+   status) from a second-body statement to a first-body statement: in
+   the original program every first-body instance ran before every
+   second-body instance, so such an edge is an order reversal. *)
+let fusion_legal (g : Graph.t) ~ls1 ~ls2 =
+  let in_l1 = Hashtbl.create 8 and in_l2 = Hashtbl.create 8 in
+  List.iter (fun l -> Hashtbl.replace in_l1 l ()) ls1;
+  List.iter (fun l -> Hashtbl.replace in_l2 l ()) ls2;
+  not
+    (List.exists
+       (fun (e : Graph.edge) ->
+         Hashtbl.mem in_l2 e.e_src.Ir.label
+         && Hashtbl.mem in_l1 e.e_dst.Ir.label)
+       g.edges)
+
+let fusion_pass p =
+  let refused = Hashtbl.create 8 in
+  let fused = ref 0 in
+  let rec go p =
+    match find_fusion ~refused p with
+    | None -> p
+    | Some (p_trial, key, ls1, ls2) -> (
+      match try_graph p_trial with
+      | Some g when fusion_legal g ~ls1 ~ls2 ->
+        incr fused;
+        go p_trial
+      | _ ->
+        Hashtbl.replace refused key ();
+        go p)
+  in
+  let p = go p in
+  (p, !fused)
+
+(* ------------------------------------------------------------------ *)
+(* Interchange                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let allows_pos (e : Dirvec.entry) =
+  (match e.Dirvec.sign with
+  | Dirvec.Pos | Dirvec.NonNeg | Dirvec.Any -> true
+  | _ -> false)
+  && match e.Dirvec.hi with Some h -> h > 0 | None -> true
+
+let allows_neg (e : Dirvec.entry) =
+  (match e.Dirvec.sign with
+  | Dirvec.Neg | Dirvec.NonPos | Dirvec.Any -> true
+  | _ -> false)
+  && match e.Dirvec.lo with Some l -> l < 0 | None -> true
+
+let index_of x l =
+  let rec go i = function
+    | [] -> None
+    | y :: rest -> if y = x then Some i else go (i + 1) rest
+  in
+  go 0 l
+
+let interchange_hazard (g : Graph.t) ~outer ~inner =
+  List.exists
+    (fun (e : Graph.edge) ->
+      match (index_of outer e.e_loops, index_of inner e.e_loops) with
+      | Some k, Some k' when k' = k + 1 ->
+        List.exists
+          (fun (v : Dirvec.t) ->
+            let arr = Array.of_list v in
+            Array.length arr > k'
+            &&
+            let zero_prefix = ref true in
+            for j = 0 to k - 1 do
+              if not (Dirvec.entry_allows_zero arr.(j)) then
+                zero_prefix := false
+            done;
+            !zero_prefix && allows_pos arr.(k) && allows_neg arr.(k'))
+          e.e_vectors
+      | _ -> false)
+    g.edges
+
+(* Locality: after interchange the old outer variable becomes the
+   fastest-varying one, so count accesses whose last (stride-1)
+   subscript tracks each variable. *)
+let locality_gain (body : Ast.stmt list) ~outer_var ~inner_var =
+  let cur = ref 0 and after = ref 0 in
+  let last_sub subs =
+    match List.rev subs with [] -> None | s :: _ -> Some s
+  in
+  let count subs =
+    match last_sub subs with
+    | None -> ()
+    | Some s ->
+      if expr_mentions inner_var s then incr cur;
+      if expr_mentions outer_var s then incr after
+  in
+  let rec walk (s : Ast.stmt) =
+    match s with
+    | Ast.Assign { lhs = _, subs; rhs; _ } ->
+      count subs;
+      let rec exprs (e : Ast.expr) =
+        match e with
+        | Ast.Ref (_, rsubs) ->
+          count rsubs;
+          List.iter exprs rsubs
+        | Ast.Neg a -> exprs a
+        | Ast.Add (a, b) | Ast.Sub (a, b) | Ast.Mul (a, b) | Ast.Max (a, b)
+        | Ast.Min (a, b) ->
+          exprs a;
+          exprs b
+        | Ast.Int _ | Ast.Name _ -> ()
+      in
+      exprs rhs
+    | Ast.For f -> List.iter walk f.body
+  in
+  List.iter walk body;
+  !after > !cur
+
+(* Find the first non-refused profitable-and-legal perfect 2-nest. *)
+let find_interchange ~refused (g : Graph.t) verdicts (p : Ast.program) =
+  let doall node =
+    List.exists
+      (fun (v : Parallel.verdict) ->
+        v.v_loop.Graph.l_node = node && v.v_ext_doall)
+      verdicts
+  in
+  let loop_node ~var ~labels =
+    List.find_opt
+      (fun (li : Graph.loop_info) -> li.l_var = var && li.l_stmts = labels)
+      g.loops
+  in
+  let found = ref None in
+  let rec scan stmts =
+    match stmts with
+    | Ast.For ({ body = [ Ast.For inner ]; _ } as outer) :: rest
+      when !found = None ->
+      let labels = labels_of_stmts inner.body in
+      let key = "swap:" ^ outer.var ^ ":" ^ inner.var ^ ":"
+                ^ String.concat "," labels
+      in
+      let rectangular =
+        (not (expr_mentions outer.var inner.lo))
+        && (not (expr_mentions outer.var inner.hi))
+        && outer.var <> inner.var && labels <> []
+      in
+      let attempt =
+        if Hashtbl.mem refused key || not rectangular then None
+        else
+          match (loop_node ~var:outer.var ~labels,
+                 loop_node ~var:inner.var ~labels)
+          with
+          | Some lo_, Some li_
+            when li_.Graph.l_depth = lo_.Graph.l_depth + 1 ->
+            let onode = lo_.Graph.l_node and inode = li_.Graph.l_node in
+            let profitable =
+              (doall inode && not (doall onode))
+              || ((not (doall onode && not (doall inode)))
+                 && locality_gain inner.body ~outer_var:outer.var
+                      ~inner_var:inner.var)
+            in
+            if profitable && not (interchange_hazard g ~outer:onode ~inner:inode)
+            then
+              Some
+                (Ast.For
+                   {
+                     inner with
+                     body = [ Ast.For { outer with body = inner.body } ];
+                   })
+            else None
+          | _ -> None
+      in
+      (match attempt with
+      | Some swapped ->
+        found := Some key;
+        swapped :: rest
+      | None ->
+        Hashtbl.replace refused key ();
+        Ast.For outer :: scan rest)
+    | Ast.For f :: rest when !found = None ->
+      let body' = scan f.body in
+      let s' = Ast.For { f with body = body' } in
+      if !found <> None then s' :: rest else s' :: scan rest
+    | s :: rest -> s :: scan rest
+    | [] -> []
+  in
+  let stmts' = scan p.Ast.stmts in
+  match !found with
+  | None -> None
+  | Some key -> Some ({ p with Ast.stmts = stmts' }, key)
+
+let interchange_pass p =
+  let refused = Hashtbl.create 8 in
+  let swapped = ref 0 in
+  let rec go p rounds =
+    if rounds = 0 then p
+    else
+      match try_graph p with
+      | None -> p
+      | Some g -> (
+        let verdicts = Parallel.analyze g in
+        match find_interchange ~refused g verdicts p with
+        | None -> p
+        | Some (p', key) ->
+          Hashtbl.replace refused key ();
+          incr swapped;
+          go p' (rounds - 1))
+  in
+  let p = go p 8 in
+  (p, !swapped)
+
+(* ------------------------------------------------------------------ *)
+(* Write-kill deletion                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec delete_labeled l stmts =
+  match stmts with
+  | [] -> []
+  | Ast.Assign { label = Some l'; _ } :: rest when l' = l -> rest
+  | Ast.For f :: rest ->
+    let body' = delete_labeled l f.body in
+    (* dropping a now-empty loop is sound: it had no other effect *)
+    if body' = [] then delete_labeled l rest
+    else Ast.For { f with body = body' } :: delete_labeled l rest
+  | s :: rest -> s :: delete_labeled l rest
+
+(* One deletion: a write none of whose values are observed (all flow
+   edges out are dead) and which a later write terminates (section 4.3:
+   every cell it writes is overwritten afterwards). *)
+let find_kill (p : Ast.program) =
+  match Sema.analyze p with
+  | exception _ -> None
+  | ir -> (
+    match Graph.build ir with
+    | exception _ -> None
+    | g ->
+      let ctx = Depend.Depctx.create ir in
+      let writes = Ir.writes ir in
+      let deletable (w : Ir.access) =
+        let flows_live =
+          List.exists
+            (fun (e : Graph.edge) ->
+              e.e_kind = Depend.Deps.Flow
+              && e.e_src.Ir.acc_id = w.Ir.acc_id
+              && Graph.live e)
+            g.edges
+        in
+        (not flows_live)
+        && List.exists
+             (fun (w' : Ir.access) ->
+               w'.Ir.stmt_id <> w.Ir.stmt_id
+               && (match Depend.Analyses.terminates ctx ~src:w ~dst:w' with
+                  | r -> r
+                  | exception _ -> false))
+             writes
+      in
+      List.find_map
+        (fun (w : Ir.access) -> if deletable w then Some w.Ir.label else None)
+        writes)
+
+let writekill_pass p =
+  let killed = ref 0 in
+  let rec go p rounds =
+    if rounds = 0 then p
+    else
+      match find_kill p with
+      | None -> p
+      | Some label ->
+        incr killed;
+        go { p with Ast.stmts = delete_labeled label p.Ast.stmts } (rounds - 1)
+  in
+  let p = go p 8 in
+  (p, !killed)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let optimize (p : Ast.program) =
+  let p = prelabel p in
+  match try_graph p with
+  | None -> (p, empty_report)
+  | Some _ ->
+    let p, fused, swapped =
+      if !Opt.restructure then begin
+        let p, fused = fusion_pass p in
+        let p, swapped = interchange_pass p in
+        (p, fused, swapped)
+      end
+      else (p, 0, 0)
+    in
+    let p, killed = if !Opt.writekill then writekill_pass p else (p, 0) in
+    (p, { x_fused = fused; x_interchanged = swapped; x_killed = killed })

@@ -9,6 +9,7 @@ let () =
       Test_xform.suite;
       Test_exec.suite;
       Test_vm.suite;
+      Test_opt.suite;
       Test_misc.suite;
       Test_robust.suite;
       Test_perf.suite;

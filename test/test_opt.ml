@@ -1,0 +1,319 @@
+(* Tests for the optimizer stage: the dependence-licensed source
+   restructuring (Xform.Restructure) and the bytecode passes (Lang.Opt).
+
+   The contract under test is the one the speedup bench enforces over
+   the whole corpus: every subset of the four optimizer flags yields a
+   bit-identical final store; illegal interchange and fusion are
+   refused; every bounds-check elision carries a proof that the
+   paranoid re-checker accepts at run time. *)
+
+open Lang
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* Same deterministic nonzero fill as test_exec/test_vm. *)
+let init _ idx = List.fold_left (fun h i -> (h * 31) + i + 17) 7 idx
+
+let with_flags (r, s, e, w) f =
+  let saved = (!Opt.restructure, !Opt.superinst, !Opt.elide, !Opt.writekill) in
+  Opt.set ~restructure:r ~superinst:s ~elide:e ~writekill:w;
+  Fun.protect
+    ~finally:(fun () ->
+      let r, s, e, w = saved in
+      Opt.set ~restructure:r ~superinst:s ~elide:e ~writekill:w)
+    f
+
+let analyze src = Sema.analyze (Parser.parse_string src)
+
+(* ------------------------------------------------------------------ *)
+(* Interchange legality                                                *)
+(* ------------------------------------------------------------------ *)
+
+let loop_node (g : Xform.Graph.t) var =
+  match
+    List.find_opt (fun (l : Xform.Graph.loop_info) -> l.l_var = var) g.loops
+  with
+  | Some l -> l.Xform.Graph.l_node
+  | None -> Alcotest.failf "no loop %s in graph" var
+
+let test_interchange_hazard () =
+  (* carried (+, -): the classic forbidden pattern *)
+  let g_bad =
+    Xform.Graph.build
+      (analyze
+         "symbolic n; real a[0:101, 0:101];\n\
+          for i := 1 to 100 do for j := 1 to 100 do\n\
+          a(j, i) := a(j + 1, i - 1) + 1; endfor endfor")
+  in
+  check bool_t "(+,-) nest hazards" true
+    (Xform.Restructure.interchange_hazard g_bad ~outer:(loop_node g_bad "i")
+       ~inner:(loop_node g_bad "j"));
+  (* carried (+, +): permutable *)
+  let g_ok =
+    Xform.Graph.build
+      (analyze
+         "symbolic n; real a[0:101, 0:101];\n\
+          for i := 1 to 100 do for j := 1 to 100 do\n\
+          a(j, i) := a(j + 1, i + 1) + 1; endfor endfor")
+  in
+  check bool_t "(+,+) nest permutable" false
+    (Xform.Restructure.interchange_hazard g_ok ~outer:(loop_node g_ok "i")
+       ~inner:(loop_node g_ok "j"))
+
+let test_interchange_refusal () =
+  with_flags (true, false, false, false) (fun () ->
+      (* profitable by locality (last subscript tracks the outer loop)
+         but licensed by nothing: the (+,-) vector must refuse it *)
+      let ast =
+        Parser.parse_string
+          "symbolic n; real a[0:101, 0:101];\n\
+           for i := 1 to 100 do for j := 1 to 100 do\n\
+           a(j, i) := a(j + 1, i - 1) + 1; endfor endfor"
+      in
+      let _, rep = Xform.Restructure.optimize ast in
+      check int_t "illegal interchange refused" 0
+        rep.Xform.Restructure.x_interchanged;
+      (* the same shape with a (+,+) dependence interchanges *)
+      let ast_ok =
+        Parser.parse_string
+          "symbolic n; real a[0:101, 0:101];\n\
+           for i := 1 to 100 do for j := 1 to 100 do\n\
+           a(j, i) := a(j + 1, i + 1) + 1; endfor endfor"
+      in
+      let ast', rep_ok = Xform.Restructure.optimize ast_ok in
+      check int_t "legal interchange applied" 1
+        rep_ok.Xform.Restructure.x_interchanged;
+      (* and it is still the same computation *)
+      let syms = [ ("n", 5) ] in
+      let serial = Xform.Exec.run_serial ~init (analyze
+        "symbolic n; real a[0:101, 0:101];\n\
+         for i := 1 to 100 do for j := 1 to 100 do\n\
+         a(j, i) := a(j + 1, i + 1) + 1; endfor endfor") ~syms in
+      let u = Compile.program (Sema.analyze ast') ~syms in
+      let t = Vm.create ~init u in
+      Vm.run t;
+      match Vm.check_against ~init t serial with
+      | [] -> ()
+      | diffs ->
+        Alcotest.failf "interchanged nest diverges: %s" (Vm.diff_string diffs))
+
+(* ------------------------------------------------------------------ *)
+(* Fusion legality                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fusion () =
+  with_flags (true, false, false, false) (fun () ->
+      (* loop 2 reads loop 1's array backwards: fusing would feed
+         iteration i the value of iteration 100-i before it is written *)
+      let bad =
+        Parser.parse_string
+          "symbolic n; real a[0:100], b[0:100];\n\
+           for i := 0 to 100 do a(i) := i; endfor\n\
+           for i := 0 to 100 do b(i) := a(100 - i) + 1; endfor"
+      in
+      let _, rep = Xform.Restructure.optimize bad in
+      check int_t "backward-reading fusion refused" 0
+        rep.Xform.Restructure.x_fused;
+      (* aligned reads fuse, and the result matches the interpreter *)
+      let good_src =
+        "symbolic n; real a[0:100], b[0:100];\n\
+         for i := 0 to 100 do a(i) := i; endfor\n\
+         for j := 0 to 100 do b(j) := a(j) + 1; endfor"
+      in
+      let good = Parser.parse_string good_src in
+      let ast', rep_ok = Xform.Restructure.optimize good in
+      check int_t "aligned fusion applied" 1 rep_ok.Xform.Restructure.x_fused;
+      let syms = [ ("n", 3) ] in
+      let serial = Xform.Exec.run_serial ~init (analyze good_src) ~syms in
+      let u = Compile.program (Sema.analyze ast') ~syms in
+      let t = Vm.create ~init u in
+      Vm.run t;
+      match Vm.check_against ~init t serial with
+      | [] -> ()
+      | diffs ->
+        Alcotest.failf "fused loops diverge: %s" (Vm.diff_string diffs))
+
+(* ------------------------------------------------------------------ *)
+(* Write-kill deletion                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_writekill () =
+  with_flags (false, false, false, true) (fun () ->
+      let src =
+        "symbolic n; real a[0:100];\n\
+         for i := 0 to 100 do a(i) := 1; endfor\n\
+         for i := 0 to 100 do a(i) := i + 2; endfor"
+      in
+      let ast', rep = Xform.Restructure.optimize (Parser.parse_string src) in
+      check int_t "fully overwritten store deleted" 1
+        rep.Xform.Restructure.x_killed;
+      let syms = [ ("n", 3) ] in
+      let serial = Xform.Exec.run_serial ~init (analyze src) ~syms in
+      let u = Compile.program (Sema.analyze ast') ~syms in
+      let t = Vm.create ~init u in
+      Vm.run t;
+      (match Vm.check_against ~init t serial with
+      | [] -> ()
+      | diffs ->
+        Alcotest.failf "write-killed program diverges: %s"
+          (Vm.diff_string diffs));
+      (* an observed store must survive, and so must a final store *)
+      let observed =
+        "symbolic n; real a[0:100], b[0:100];\n\
+         for i := 0 to 100 do a(i) := 1; endfor\n\
+         for i := 0 to 100 do b(i) := a(i); endfor\n\
+         for i := 0 to 100 do a(i) := 2; endfor"
+      in
+      let _, rep2 =
+        Xform.Restructure.optimize (Parser.parse_string observed)
+      in
+      check int_t "observed store survives" 0 rep2.Xform.Restructure.x_killed)
+
+(* ------------------------------------------------------------------ *)
+(* Bytecode passes on a simple kernel                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_bytecode_passes () =
+  with_flags (false, true, true, false) (fun () ->
+      let prog =
+        analyze
+          "symbolic n; real a[0:100], b[0:100];\n\
+           for i := 0 to 99 do a(i) := b(i) + 1; endfor"
+      in
+      let syms = [ ("n", 5) ] in
+      let u0 = Compile.program prog ~syms in
+      let u, rep = Opt.optimize u0 in
+      check bool_t "some accesses elided" true (rep.Opt.r_elided > 0);
+      check bool_t "some instructions fused" true (rep.Opt.r_fused > 0);
+      check bool_t "constant limit took the immediate back-edge" true
+        (Array.exists
+           (function Compile.LoopUpi _ -> true | _ -> false)
+           u.Compile.u_main);
+      check bool_t "no proof violations" true (Opt.check_proofs u0 rep = []);
+      (* identical final state, fewer dynamic instructions *)
+      let t0 = Vm.create ~init u0 and t1 = Vm.create ~init u in
+      let n0 = Vm.run_count t0 and n1 = Vm.run_count t1 in
+      check bool_t "optimized state identical" true (Vm.equal_state t0 t1);
+      check bool_t
+        (Printf.sprintf "dynamic count shrank (%d -> %d)" n0 n1)
+        true (n1 < n0);
+      (* static counts name the new opcodes *)
+      let names = List.map fst (Opt.static_counts u) in
+      check bool_t "unchecked or fused opcodes in the listing" true
+        (List.exists
+           (fun m ->
+             List.mem m names)
+           [ "ld.u"; "st.u"; "mald.u"; "mast.u"; "aild.u"; "aist.u" ]))
+
+let test_paranoid_corpus () =
+  with_flags (true, true, true, true) (fun () ->
+      let total_elided = ref 0 and total_fused = ref 0 in
+      let executed = ref 0 in
+      List.iter
+        (fun (name, src) ->
+          let ast, _ = (Parser.parse_string src, ()) in
+          let ast', _rep = Xform.Restructure.optimize ast in
+          let prog' = Sema.analyze ast' in
+          match
+            Xform.Oracle.pick_syms ~candidates:[ 6; 5; 4; 3; 2; 1 ]
+              (Sema.analyze ast)
+          with
+          | None -> ()
+          | Some syms -> (
+            match Xform.Exec.run_serial ~init (Sema.analyze ast) ~syms with
+            | exception Interp.Runtime_error _ -> ()
+            | serial -> (
+              match Compile.program prog' ~syms with
+              | exception Compile.Unsupported _ -> ()
+              | u0 ->
+                incr executed;
+                let u, rep = Opt.optimize ~paranoid:true u0 in
+                total_elided := !total_elided + rep.Opt.r_elided;
+                check bool_t
+                  (Printf.sprintf "%s: proofs verify" name)
+                  true
+                  (Opt.check_proofs u0 rep = []);
+                let t = Vm.create ~init u in
+                (match Vm.run t with
+                | () -> ()
+                | exception Vm.Proof_failure msg ->
+                  Alcotest.failf "%s: paranoid re-check tripped: %s" name msg);
+                (match Vm.check_against ~init t serial with
+                | [] -> ()
+                | diffs ->
+                  Alcotest.failf "%s: optimized pipeline diverges: %s" name
+                    (Vm.diff_string diffs));
+                (* paranoid and production modes agree bit for bit
+                   (fusion only fully applies in production, where no
+                   assert interposes between producer and consumer) *)
+                let up, repp = Opt.optimize u0 in
+                total_fused := !total_fused + repp.Opt.r_fused;
+                let tp = Vm.create ~init up in
+                Vm.run tp;
+                check bool_t
+                  (Printf.sprintf "%s: paranoid == production" name)
+                  true (Vm.equal_state t tp))))
+        Corpus.all;
+      check bool_t "enough corpus kernels optimized" true (!executed >= 8);
+      check bool_t "corpus-wide elisions happened" true (!total_elided > 0);
+      check bool_t "corpus-wide fusions happened" true (!total_fused > 0))
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: every flag subset is bit-identical on random nests          *)
+(* ------------------------------------------------------------------ *)
+
+let arb_nest =
+  QCheck.make ~print:Ast.program_to_string ~shrink:Test_exec.shrink_program
+    (QCheck.gen Test_e2e.arb_program)
+
+let prop_flag_subsets (ast : Ast.program) : bool =
+  let prog = Sema.analyze ast in
+  List.for_all
+    (fun nval ->
+      let syms = [ ("n", nval) ] in
+      match Xform.Exec.run_serial ~init prog ~syms with
+      | exception Interp.Runtime_error _ -> true
+      | serial ->
+        (* source passes depend only on the restructure/writekill bits *)
+        List.for_all
+          (fun (r, w) ->
+            with_flags (r, true, true, w) (fun () ->
+                let ast', _ = Xform.Restructure.optimize ast in
+                match Compile.program (Sema.analyze ast') ~syms with
+                | exception Compile.Unsupported _ -> true
+                | u0 ->
+                  List.for_all
+                    (fun (s, e) ->
+                      with_flags (r, s, e, w) (fun () ->
+                          let u, rep = Opt.optimize ~paranoid:(s && e) u0 in
+                          let t = Vm.create ~init u in
+                          Vm.run t;
+                          Vm.check_against ~init t serial = []
+                          && Opt.check_proofs u0 rep = []))
+                    [ (false, false); (false, true); (true, false);
+                      (true, true) ]))
+          [ (false, false); (false, true); (true, false); (true, true) ])
+    [ 4; 7 ]
+
+let qcheck_subsets =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:20 ~name:"optimizer flag subsets bit-identical"
+       arb_nest prop_flag_subsets)
+
+let suite =
+  ( "opt",
+    [
+      Alcotest.test_case "interchange hazard test" `Quick
+        test_interchange_hazard;
+      Alcotest.test_case "interchange licensing" `Quick
+        test_interchange_refusal;
+      Alcotest.test_case "fusion licensing" `Quick test_fusion;
+      Alcotest.test_case "write-kill deletion" `Quick test_writekill;
+      Alcotest.test_case "bytecode elision + fusion" `Quick
+        test_bytecode_passes;
+      Alcotest.test_case "paranoid re-checks over the corpus" `Slow
+        test_paranoid_corpus;
+      qcheck_subsets;
+    ] )
